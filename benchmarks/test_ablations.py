@@ -1,0 +1,57 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5.
+
+1. Smoothed-identity permutation init vs random permutation init.
+2. Row/col L2 normalization of relaxed U, V.
+3. Adaptive (lambda-scaled quadratic) ALM vs standard ALM.
+"""
+
+from conftest import run_once
+from repro.experiments import (
+    run_alm_variant_ablation,
+    run_normalization_ablation,
+    run_perm_init_ablation,
+)
+
+
+def test_perm_init_ablation(benchmark):
+    """Paper: random-permutation init blocks gradient flow (zeros get
+    no gradient); smoothed identity feeds every entry."""
+    res = run_once(benchmark, run_perm_init_ablation, k=8)
+    assert res.nonzero_grad_fraction_smoothed > 0.95
+    assert res.nonzero_grad_fraction_random < 0.5
+
+
+def test_normalization_ablation(benchmark):
+    """Relaxed permutations are contractions, so without row/col L2
+    normalization the cascaded layers collapse the signal toward zero;
+    normalization keeps the output statistics near unit scale."""
+    res = run_once(benchmark, run_normalization_ablation, k=8)
+    assert res.output_std_without_norm < 0.1 * res.output_std_with_norm
+    assert 0.1 < res.output_std_with_norm < 20.0
+
+
+def test_alm_variant_ablation(benchmark):
+    """The adaptive ALM exerts (near-)zero constraint pressure at the
+    start (lambda = 0), letting the task loss dominate early; standard
+    ALM applies its quadratic penalty immediately."""
+    res = run_once(benchmark, run_alm_variant_ablation, k=8)
+    assert abs(res.early_penalty_adaptive) < 1e-12
+    assert res.early_penalty_standard > 0.0
+
+
+def test_crossing_cost_sweep(benchmark):
+    """PDK what-if extension: as the hypothetical foundry's crossing
+    area grows from AMF-like (64 um^2) to AIM-like (4900 um^2), the
+    searched designs must not spend a growing share of their budget on
+    routing — expensive crossings get pruned."""
+    from repro.experiments import run_crossing_cost_sweep
+
+    res = run_once(benchmark, run_crossing_cost_sweep, k=8)
+    shares = [
+        n_cr * area / max(f, 1.0)
+        for n_cr, area, f in zip(res.crossings, res.cr_areas, res.footprints)
+    ]
+    # Cheapest-crossing PDK tolerates the largest routing share.
+    assert shares[-1] <= shares[0] + 0.15
+    # Designs stay in their windows regardless of PDK.
+    assert all(235_000 <= f <= 305_000 for f in res.footprints)

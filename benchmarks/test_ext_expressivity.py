@@ -1,0 +1,37 @@
+"""Extension bench: direct matrix-representability measurement.
+
+The paper uses classification accuracy as an expressiveness proxy;
+this bench measures the quantity itself — the error of fitting each
+PTC family's programmable phases to Haar-random unitaries — and
+checks that the footprint/expressivity Pareto structure of Table 1
+appears: MZI is universal (lowest error, largest footprint); the
+deep searched-space design beats the shallow one; the shallow one is
+the cheapest.
+"""
+
+from conftest import run_once
+from repro.experiments import run_expressivity_comparison
+
+
+def test_expressivity_pareto(benchmark):
+    res = run_once(benchmark, run_expressivity_comparison, k=8,
+                   steps=400, n_targets=2)
+    print("\n=== Unitary-fit expressivity, K=8 (AMF footprints) ===")
+    print(f"  {'design':>9} {'fit error':>10} {'fidelity':>9} {'F (k um^2)':>11}")
+    for n, e, f, fp in zip(res.names, res.errors, res.fidelities,
+                           res.footprints_kum2):
+        print(f"  {n:>9} {e:10.3f} {f:9.3f} {fp:11.0f}")
+    front = res.front()
+    print("  pareto front:", " -> ".join(p.label for p in front))
+
+    # MZI is universal: far lower error than any restricted design.
+    assert res.error_of("mzi") < 0.5 * min(
+        res.error_of("fft"), res.error_of("adept-a1"))
+    # More footprint buys more expressivity inside the searched space.
+    assert res.error_of("adept-a5") < res.error_of("adept-a1")
+    # MZI pays for universality with the largest footprint by far.
+    mzi_fp = res.footprints_kum2[res.names.index("mzi")]
+    assert mzi_fp > 2.0 * max(
+        fp for n, fp in zip(res.names, res.footprints_kum2) if n != "mzi")
+    # The front must keep at least one searched-space design.
+    assert any(p.label.startswith("adept") for p in front)

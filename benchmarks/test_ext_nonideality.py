@@ -1,0 +1,26 @@
+"""Extension bench: passive-nonideality robustness vs mesh depth.
+
+Device-level mechanism behind Fig. 4's MZI-ONN collapse: insertion
+loss, coupler imbalance, and thermal crosstalk all compound with
+optical depth, so a deep mesh realizes its ideal transfer with lower
+fidelity than a shallow one under identical device quality.
+"""
+
+from conftest import run_once
+from repro.experiments import run_nonideality_study
+
+
+def test_nonideality_depth_tradeoff(benchmark):
+    res = run_once(benchmark, run_nonideality_study, k=8,
+                   shallow_blocks=3, deep_blocks=16, n_trials=8)
+    print("\n=== Nonideality robustness: shallow (3+3 blk) vs deep (16+16 blk) ===")
+    print(f"  {'nonideality':>15} {'shallow':>9} {'deep':>9}")
+    for name, s, d in zip(res.specs, res.shallow_fidelity, res.deep_fidelity):
+        print(f"  {name:>15} {s:9.4f} {d:9.4f}")
+
+    # Depth must hurt under every modelled nonideality.
+    for name, s, d in zip(res.specs, res.shallow_fidelity, res.deep_fidelity):
+        assert d < s, f"{name}: deep ({d:.4f}) should trail shallow ({s:.4f})"
+    # Combined nonidealities are the worst case for the deep mesh.
+    combined = res.deep_fidelity[res.specs.index("combined")]
+    assert combined <= min(res.deep_fidelity) + 1e-9

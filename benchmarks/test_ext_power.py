@@ -1,0 +1,32 @@
+"""Extension bench: power / latency / energy-per-MAC comparison.
+
+Quantifies the paper's motivation ("sub-nanosecond latency,
+near-zero energy") for the three design families with a link-budget
+model: heaters + DACs + ADCs + laser (covering worst-path insertion
+loss), optical propagation latency over the column floorplan.
+"""
+
+from conftest import run_once
+from repro.experiments import run_power_comparison
+
+
+def test_power_latency_comparison(benchmark):
+    res = run_once(benchmark, run_power_comparison, k=8)
+    print("\n=== Link-budget comparison, K=8 (AMF) ===")
+    print(f"  {'design':>7} {'power (mW)':>11} {'latency (ps)':>13} "
+          f"{'fJ/MAC':>8} {'loss (dB)':>10}")
+    for n, p, l, e, d in zip(res.names, res.total_power_mw, res.latency_ps,
+                             res.energy_per_mac_fj, res.worst_loss_db):
+        print(f"  {n:>7} {p:11.1f} {l:13.1f} {e:8.1f} {d:10.2f}")
+
+    mzi_p, mzi_l, mzi_e = res.of("mzi")
+    fft_p, fft_l, fft_e = res.of("fft")
+    adept_p, adept_l, adept_e = res.of("adept")
+    # The MZI mesh loses on every axis, by a wide margin.
+    assert mzi_p > 2.0 * max(fft_p, adept_p)
+    assert mzi_l > 2.0 * max(fft_l, adept_l)
+    assert mzi_e > 2.0 * max(fft_e, adept_e)
+    # All designs hold the paper's sub-nanosecond latency claim.
+    assert all(l < 1000.0 for l in res.latency_ps)
+    # The footprint-constrained searched design is the leanest.
+    assert adept_p <= fft_p * 1.2

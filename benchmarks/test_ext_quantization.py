@@ -1,0 +1,27 @@
+"""Extension bench: low-bit phase-control quantization (ROQ-style).
+
+Not a paper table; substantiates the robustness discussion of
+reference [8] with this library's meshes: quantization-aware (STE)
+finetuning dominates post-training quantization at every bit width,
+and both approach full precision as bits grow.
+"""
+
+from conftest import run_once
+from repro.experiments import run_quantization_study
+
+
+def test_quantization_study(benchmark):
+    res = run_once(benchmark, run_quantization_study, k=6, steps=400)
+    print("\n=== Phase-control quantization (K=6, MZI mesh) ===")
+    print(f"  full precision fit error: {res.full_precision_error:.4f}")
+    print(f"  {'bits':>5} {'PTQ':>8} {'QAT':>8}")
+    for bits, ptq, qat in zip(res.bit_widths, res.ptq_errors, res.qat_errors):
+        print(f"  {bits:>5} {ptq:8.3f} {qat:8.3f}")
+
+    # PTQ degrades monotonically as bits shrink.
+    assert res.ptq_errors == sorted(res.ptq_errors)
+    # QAT (best-seen STE finetune from the PTQ point) never loses to PTQ.
+    for ptq, qat in zip(res.ptq_errors, res.qat_errors):
+        assert qat <= ptq + 1e-9
+    # At the highest bit width both sit near the full-precision floor.
+    assert res.ptq_errors[0] < 2.5 * max(res.full_precision_error, 0.05)

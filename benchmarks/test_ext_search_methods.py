@@ -1,0 +1,29 @@
+"""Extension bench: differentiable search vs black-box baselines.
+
+The paper argues the PTC design space, O((K * K!/2)^B_max), is too
+large and discrete for off-the-shelf search.  This ablation runs
+random sampling and evolutionary mutation in the *same* space under
+the *same* footprint window and compares the expressivity of the
+designs each method returns.
+"""
+
+from conftest import run_once
+from repro.experiments import run_search_method_ablation
+
+
+def test_search_method_ablation(benchmark, scale):
+    res = run_once(benchmark, run_search_method_ablation, k=8,
+                   budget=12, scale=scale)
+    print("\n=== Search-method ablation (K=8, AMF window [240, 300]k) ===")
+    print(f"  {'method':>13} {'score':>8} {'F (um^2)':>10} {'feasible':>9}")
+    for m, s, f, ok in zip(res.methods, res.scores, res.footprints,
+                           res.feasible):
+        print(f"  {m:>13} {s:8.4f} {f:10.0f} {str(ok):>9}")
+
+    # Every method must return a design inside the footprint window.
+    assert all(res.feasible)
+    # The differentiable search must be competitive with the best
+    # black-box baseline (paper claim; small budgets leave noise, so
+    # allow a 10%-of-range margin).
+    best_bb = max(res.score_of("random"), res.score_of("evolutionary"))
+    assert res.score_of("adept") >= best_bb - 0.1

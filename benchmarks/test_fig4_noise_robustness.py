@@ -1,0 +1,32 @@
+"""Figure 4: noise-robustness curves of 16x16 PTCs.
+
+(a) 2-layer CNN on MNIST; (b) LeNet-5 on FashionMNIST.  All designs are
+variation-aware trained (sigma = 0.02), then evaluated under phase
+noise sigma in {0.02..0.10}, repeated runs per point.
+
+Shape assertion: the searched ADEPT designs do not degrade meaningfully
+faster than the deep MZI mesh (the paper shows them tracking or beating
+the log-depth FFT design).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import check_fig4_shape, run_fig4_part
+
+
+@pytest.mark.parametrize("part", ["a", "b"])
+def test_fig4_part(benchmark, scale, transfer_topologies, part):
+    result = run_once(
+        benchmark, run_fig4_part, part, transfer_topologies, k=16, scale=scale
+    )
+    assert set(result.curves) >= {"MZI", "FFT"}
+    for name, curve in result.curves.items():
+        assert len(curve) == 5
+        stds = [c[0] for c in curve]
+        assert stds == sorted(stds)
+        for _, mean_acc, std_acc in curve:
+            assert 0.0 <= mean_acc <= 100.0
+            assert std_acc >= 0.0
+    problems = check_fig4_shape(result)
+    assert not problems, problems

@@ -1,0 +1,25 @@
+"""Figure 5(b): footprint-penalty beta scan.
+
+Scans beta over the paper's range (0.001 .. 10) on the ADEPT-a1
+window and verifies: a large beta (~10) bounds the expected footprint
+inside [F_min, F_max]; small betas leave the constraint violated
+because the task loss dominates the architecture gradients.
+"""
+
+from conftest import run_once
+from repro.experiments import BETA_VALUES, check_fig5b_shape, run_fig5b
+
+
+def test_fig5b_beta_scan(benchmark, scale):
+    steps = 400 if scale.search_epochs > 10 else 150
+    traces = run_once(
+        benchmark, run_fig5b, k=8, window_kum2=(240.0, 300.0), steps=steps,
+        beta_values=BETA_VALUES,
+    )
+    assert set(traces) == set(BETA_VALUES)
+    problems = check_fig5b_shape(traces)
+    assert not problems, problems
+    # The paper's qualitative picture: beta = 10 in-window, beta <= 0.01
+    # violated (task pressure pushes E[F] above F_max).
+    assert traces[10.0].final_in_window
+    assert not traces[0.001].final_in_window

@@ -1,0 +1,25 @@
+"""Table 2: PDK adaptation to AIM Photonics (16x16 PTCs).
+
+Regenerates the ADEPT-a0..a5 rows plus baselines on the AIM PDK, where
+waveguide crossings (4900 um^2) cost more than couplers.  Hard
+assertions: baseline footprints exact; searched designs honor their
+windows and are no more crossing-dense than the butterfly baseline.
+"""
+
+from conftest import run_once
+from repro.experiments import check_table2_shape, run_table2
+from repro.photonics import AIM, butterfly_footprint, mzi_onn_footprint
+
+
+def test_table2_aim(benchmark, scale):
+    result = run_once(benchmark, run_table2, k=16, n_targets=6, scale=scale)
+
+    assert round(mzi_onn_footprint(AIM, 16).in_paper_units()) == 4480
+    assert round(butterfly_footprint(AIM, 16).in_paper_units()) == 1007
+
+    problems = check_table2_shape(result, k=16)
+    assert not problems, problems
+
+    # The paper's ADEPT-a0 headline: comparable to FFT at ~2.4x smaller.
+    smallest = min(r.footprint.total for r in result.searched)
+    assert butterfly_footprint(AIM, 16).total / smallest > 1.5

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""PDK adaptation: equally tight budgets on AMF vs AIM foundries.
+
+AMF crossings cost 64 um^2 (nearly free); AIM crossings cost 4900 um^2
+(more than a coupler).  Given a *tight* footprint window — sized so a
+~4-5 block design barely fits on each PDK — the search must adapt: on
+AIM, routing competes with couplers for area, so the footprint penalty
+prunes crossings; on AMF, routing is essentially free and survives.
+This is the mechanism behind the paper's Table 2.
+
+Run:  python examples/adapt_to_aim_pdk.py
+"""
+
+from repro.experiments import ExperimentScale, run_search
+from repro.photonics import AIM, AMF, block_footprint_bounds
+
+K = 8
+
+# Per-PDK windows targeting the same block budget (~4-5 blocks): a
+# minimal block costs 55.9k um^2 on AMF but only 24k um^2 on AIM.
+WINDOWS = {"AMF": (240.0, 300.0), "AIM": (100.0, 135.0)}  # 1000 um^2
+
+
+def main() -> None:
+    scale = ExperimentScale()
+    results = {}
+    for pdk in (AMF, AIM):
+        window = WINDOWS[pdk.name]
+        fb_min, _ = block_footprint_bounds(pdk, K)
+        print(f"--- {pdk.name}: PS {pdk.ps_area:.0f} / DC {pdk.dc_area:.0f} / "
+              f"CR {pdk.cr_area:.0f} um^2, window [{window[0]:.0f}, "
+              f"{window[1]:.0f}]k (~{window[1] * 1000 / fb_min:.1f} minimal "
+              f"blocks) ---")
+        res = run_search(K, pdk, window, scale,
+                         name=f"adept-{pdk.name.lower()}", seed=1)
+        topo = res.topology
+        results[pdk.name] = topo
+        n_ps, n_dc, n_cr = topo.device_counts()
+        fb = topo.footprint(pdk)
+        share = n_cr * pdk.cr_area / max(fb.total, 1)
+        print(f"  blocks={topo.n_blocks}  PS={n_ps} DC={n_dc} CR={n_cr}  "
+              f"footprint={fb.in_paper_units():.1f}k um^2")
+        print(f"  crossing area share: {share:.1%}\n")
+
+    amf = results["AMF"]
+    aim = results["AIM"]
+    amf_share = amf.device_counts()[2] * AMF.cr_area / amf.footprint(AMF).total
+    aim_share = aim.device_counts()[2] * AIM.cr_area / aim.footprint(AIM).total
+    print(f"Crossing area share: AMF {amf_share:.1%} (crossings ~free, kept) "
+          f"vs AIM {aim_share:.1%} (budget-capped)")
+    print("Both designs honor their windows; the AIM design cannot afford "
+          "crossing-heavy routing and the search prunes it.")
+
+
+if __name__ == "__main__":
+    main()

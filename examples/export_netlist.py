@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""From a searched topology to a manufacturable design description.
+
+Loads (or builds) a topology, then produces everything a layout team
+would ask for: the device-level netlist (JSON), an ASCII schematic,
+the estimated floorplan on both foundry PDKs, and the optical depth /
+per-wire insertion-loss budget.
+
+Run:  python examples/export_netlist.py [topology.json]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import PTCTopology, random_feasible_topology
+from repro.layout import build_netlist, place, render_topology
+from repro.photonics import AIM, AMF
+from repro.photonics.nonideality import NonidealitySpec
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        topo = PTCTopology.load(sys.argv[1])
+        print(f"loaded topology from {sys.argv[1]}")
+    else:
+        topo = random_feasible_topology(8, AMF, 336_000, 420_000,
+                                        rng=np.random.default_rng(7),
+                                        name="demo-a2")
+        print("no topology given; sampled a feasible demo design "
+              "(window [336, 420]k um^2, AMF)")
+    print("  " + topo.summary(AMF) + "\n")
+
+    netlist = build_netlist(topo)
+    out = Path(f"{topo.name}.netlist.json")
+    netlist.save(out)
+    n_ps, n_dc, n_cr = netlist.device_counts()
+    print(f"netlist: {len(netlist.devices)} devices "
+          f"(PS={n_ps}, DC={n_dc}, CR={n_cr}) in {netlist.n_columns} columns")
+    print(f"optical depth: {netlist.optical_depth()} devices on the "
+          f"longest path")
+    print(f"saved -> {out}\n")
+
+    spec = NonidealitySpec(loss_ps_db=0.2, loss_dc_db=0.15, loss_cr_db=0.1)
+    loss = netlist.path_loss_db(spec)
+    print("insertion-loss budget (0.2/0.15/0.1 dB per PS/DC/CR):")
+    print(f"  worst wire: {loss.max():.2f} dB, best wire: {loss.min():.2f} dB, "
+          f"mean {loss.mean():.2f} dB\n")
+
+    for pdk in (AMF, AIM):
+        print(place(netlist, pdk).summary())
+    print()
+    print(render_topology(topo, max_columns=20))
+
+
+if __name__ == "__main__":
+    main()

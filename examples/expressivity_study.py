@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Measure matrix representability directly, family by family.
+
+The paper compares PTC families by classification accuracy — a proxy
+for how well each mesh represents arbitrary linear operators.  This
+example measures the quantity itself: it gradient-fits the
+programmable phases of each family to Haar-random unitary targets and
+reports the residual error, the singular-spectrum statistics, and the
+footprint/expressivity Pareto front.
+
+Run:  python examples/expressivity_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    ParetoPoint,
+    build_factory,
+    factory_spectrum_stats,
+    pareto_front,
+    unitary_expressivity,
+)
+from repro.core import random_feasible_topology
+from repro.photonics import AMF, butterfly_footprint, mzi_onn_footprint
+
+K = 8
+STEPS = 400
+
+
+def main() -> None:
+    windows = {"adept-small": (240e3, 300e3), "adept-large": (624e3, 780e3)}
+    topologies = {
+        name: random_feasible_topology(K, AMF, lo, hi,
+                                       rng=np.random.default_rng(1), name=name)
+        for name, (lo, hi) in windows.items()
+    }
+    designs = [
+        ("mzi", "mzi", None, mzi_onn_footprint(AMF, K).in_paper_units()),
+        ("fft", "fft", None, butterfly_footprint(AMF, K).in_paper_units()),
+    ] + [
+        (name, "topology", topo, topo.footprint(AMF).in_paper_units())
+        for name, topo in topologies.items()
+    ]
+
+    print(f"Unitary-fit expressivity at K={K} ({STEPS} Adam steps/target)\n")
+    print(f"{'design':>12} {'fit error':>10} {'fidelity':>9} "
+          f"{'eff.rank':>9} {'F (k um^2)':>11}")
+    points = []
+    for name, kind, topo, fp in designs:
+        fit = unitary_expressivity(
+            lambda: build_factory(kind, K, topology=topo,
+                                  rng=np.random.default_rng(0)),
+            n_targets=2, steps=STEPS, rng=np.random.default_rng(2))
+        stats = factory_spectrum_stats(
+            build_factory(kind, K, topology=topo, rng=np.random.default_rng(0)),
+            n_samples=4, rng=np.random.default_rng(3))
+        print(f"{name:>12} {fit.error:10.3f} {fit.fidelity:9.3f} "
+              f"{stats.mean_effective_rank:9.2f} {fp:11.0f}")
+        points.append(ParetoPoint(footprint=fp, score=1.0 - fit.error,
+                                  label=name))
+
+    front = pareto_front(points)
+    print("\nPareto front (ascending footprint):")
+    for p in front:
+        print(f"  {p.label:>12}: footprint {p.footprint:.0f}k, "
+              f"expressivity score {p.score:.3f}")
+    print("\nReading: the MZI mesh is universal but pays ~5-7x the area;")
+    print("inside ADEPT's space, footprint buys expressivity — the")
+    print("trade-off the differentiable search navigates automatically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Programming a fabricated chip: digital twin vs hardware-in-the-loop.
+
+A fabricated PTC differs from its design: couplers are imbalanced and
+devices lose light.  This example deploys a target matrix onto such a
+chip two ways and compares measurement budgets:
+
+* **adjoint** — gradient descent on the differentiable chip model
+  (requires an accurate digital twin);
+* **SPSA** — forward-only simultaneous-perturbation calibration:
+  three chip measurements per step, no model, no gradients — the
+  protocol available on real hardware.
+
+Run:  python examples/onchip_calibration.py
+"""
+
+import numpy as np
+
+from repro.core import random_topology
+from repro.onn import calibrate_adjoint, calibrate_spsa
+from repro.photonics.nonideality import (
+    NonidealitySpec,
+    NonidealTopologyFactory,
+)
+from repro.ptc.unitary import FixedTopologyFactory
+from repro.utils import sparkline
+
+K = 8
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    topo = random_topology(K, 3, 3, rng, coupler_density=1.0)
+    blocks = [(b.perm, b.coupler_mask, b.offset) for b in topo.blocks_u]
+
+    # The deployment target: a matrix this topology can realize.
+    ref = FixedTopologyFactory(K, 1, blocks, rng=np.random.default_rng(1))
+    target = ref.build().data[0]
+
+    spec = NonidealitySpec(dc_t_std=0.03, loss_dc_db=0.05)
+    print(f"fabricated chip: {len(topo.blocks_u)}-block {K}x{K} mesh, "
+          f"coupler imbalance sigma=0.03, 0.05 dB/DC loss\n")
+
+    runs = {}
+    for method, calibrate, kwargs in (
+        ("adjoint (digital twin)", calibrate_adjoint, dict(steps=250)),
+        ("SPSA (hardware loop)", calibrate_spsa,
+         dict(steps=800, rng=np.random.default_rng(4))),
+    ):
+        chip = NonidealTopologyFactory(K, 1, topo.blocks_u, spec,
+                                       rng=np.random.default_rng(2))
+        res = calibrate(chip, target, **kwargs)
+        runs[method] = res
+        print(f"{method}")
+        print(f"  error {res.initial_error:.3f} -> {res.final_error:.4f} "
+              f"({100 * res.improvement:.1f}% recovered) in "
+              f"{res.n_measurements} chip measurements")
+        print(f"  trace [{sparkline(res.history)}]\n")
+
+    adj, spsa = runs["adjoint (digital twin)"], runs["SPSA (hardware loop)"]
+    print("Reading: both reach a similar error floor (set by the")
+    print("phase-incorrigible amplitude errors), but the digital twin")
+    print(f"needs {spsa.n_measurements / adj.n_measurements:.0f}x fewer chip")
+    print("evaluations — IF its model matches the silicon. SPSA needs no")
+    print("model at all, which is why real photonic demos calibrate with")
+    print("perturbative methods.")
+
+
+if __name__ == "__main__":
+    main()

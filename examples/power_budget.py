@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Link-budget study: what does each PTC family cost to operate?
+
+Builds the MZI-ONN and FFT-ONN baselines as explicit block topologies,
+samples an ADEPT-space design in the paper's smallest 8x8 footprint
+window, and compares electrical power, optical latency, worst-path
+insertion loss, and energy per MAC on both foundry PDKs.
+
+Run:  python examples/power_budget.py
+"""
+
+import numpy as np
+
+from repro.core import random_feasible_topology
+from repro.photonics import AIM, AMF, PowerConfig, estimate_power
+from repro.photonics.nonideality import NonidealitySpec
+from repro.ptc import butterfly_topology, mzi_topology
+
+K = 8
+
+
+def main() -> None:
+    designs = [
+        ("MZI-ONN", mzi_topology(K)),
+        ("FFT-ONN", butterfly_topology(K)),
+        ("ADEPT", random_feasible_topology(
+            K, AMF, 240_000, 300_000, rng=np.random.default_rng(0),
+            name="adept")),
+    ]
+    loss = NonidealitySpec(loss_ps_db=0.2, loss_dc_db=0.15, loss_cr_db=0.1)
+
+    for pdk in (AMF, AIM):
+        print(f"\n=== {pdk.name} PDK, K={K}, 10 GHz modulation ===")
+        print(f"{'design':>8} {'blocks':>7} {'power mW':>9} {'latency ps':>11} "
+              f"{'loss dB':>8} {'fJ/MAC':>8}")
+        for name, topo in designs:
+            r = estimate_power(topo, pdk, loss_spec=loss)
+            print(f"{name:>8} {topo.n_blocks:>7} {r.total_power_mw:9.1f} "
+                  f"{r.latency_ps:11.1f} {r.worst_path_loss_db:8.2f} "
+                  f"{r.energy_per_mac_fj:8.1f}")
+
+    print("\nSensitivity: halving heater power (advanced phase shifters)")
+    cfg = PowerConfig(heater_p_pi_mw=12.5)
+    for name, topo in designs:
+        r = estimate_power(topo, AMF, loss_spec=loss, config=cfg)
+        print(f"  {name:>8}: {r.total_power_mw:8.1f} mW "
+              f"({r.energy_per_mac_fj:.1f} fJ/MAC)")
+
+    print("\nReading: depth dominates every axis. The 4K-block MZI mesh")
+    print("pays ~5x the power and ~6x the latency of footprint-constrained")
+    print("designs; loss compounds per column, so its laser budget grows")
+    print("exponentially with depth.")
+
+
+if __name__ == "__main__":
+    main()

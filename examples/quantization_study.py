@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Low-bit phase-control quantization: PTQ vs quantization-aware STE.
+
+Phase shifters are driven by b-bit DACs.  This example trains an MZI
+mesh to implement a random unitary, then deploys it at 6/4/3/2-bit
+phase control two ways:
+
+* **PTQ** — snap the trained phases to the grid;
+* **QAT** — finetune with straight-through quantizers in the loop
+  (the ROQ recipe, reference [8] of the paper), keeping the best
+  quantized configuration encountered.
+
+Run:  python examples/quantization_study.py
+"""
+
+from repro.core.quantization import phase_resolution
+from repro.experiments import run_quantization_study
+
+K = 6
+BITS = (8, 6, 4, 3, 2)
+
+
+def main() -> None:
+    print(f"Fitting a {K}x{K} MZI mesh to a Haar-random unitary, then")
+    print("deploying with quantized phase controls...\n")
+    res = run_quantization_study(k=K, bit_widths=BITS, steps=400)
+
+    print(f"full-precision fit error: {res.full_precision_error:.4f}\n")
+    print(f"{'bits':>5} {'resolution':>11} {'PTQ error':>10} {'QAT error':>10} "
+          f"{'QAT gain':>9}")
+    for bits, ptq, qat in zip(res.bit_widths, res.ptq_errors, res.qat_errors):
+        gain = (ptq - qat) / ptq * 100 if ptq > 0 else 0.0
+        print(f"{bits:>5} {phase_resolution(bits):11.4f} {ptq:10.4f} "
+              f"{qat:10.4f} {gain:8.1f}%")
+
+    print("\nReading: at high bit width both converge to the full-precision")
+    print("floor; as the DAC coarsens, quantization-aware finetuning")
+    print("recovers a growing share of the PTQ loss.")
+
+
+if __name__ == "__main__":
+    main()

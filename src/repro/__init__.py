@@ -1,0 +1,36 @@
+"""ADEPT: Automatic Differentiable DEsign of Photonic Tensor cores.
+
+A from-scratch reproduction of Gu et al., DAC 2022
+(arXiv:2112.08703), including every substrate: a complex-valued
+autograd engine, an NN layer library, photonic device models and
+foundry PDKs, the MZI-ONN and FFT-ONN baselines, and the full ADEPT
+differentiable topology-search flow.
+
+Quickstart::
+
+    from repro.core import ADEPTConfig, search_ptc
+    from repro.photonics import AMF
+
+    cfg = ADEPTConfig(k=8, pdk=AMF, f_min=240_000, f_max=300_000)
+    result = search_ptc(cfg)
+    print(result.topology.summary(AMF))
+"""
+
+from . import analysis, autograd, core, data, layout, nn, onn, optim, photonics, ptc, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "autograd",
+    "core",
+    "data",
+    "layout",
+    "nn",
+    "onn",
+    "optim",
+    "photonics",
+    "ptc",
+    "utils",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Expressiveness, spectrum, and Pareto analysis of PTC designs."""
+
+from .connectivity import (
+    block_adjacency,
+    light_cone_sizes,
+    mixing_depth,
+    reachability,
+    topology_mixing_report,
+)
+from .expressivity import (
+    FitResult,
+    build_factory,
+    fit_unitary,
+    matrix_expressivity,
+    unitary_expressivity,
+)
+from .pareto import ParetoPoint, dominates, hypervolume_2d, pareto_front
+from .spectrum import (
+    SpectrumStats,
+    condition_number,
+    effective_rank,
+    factory_spectrum_stats,
+    singular_spectrum,
+    unitarity_error,
+)
+
+__all__ = [
+    "FitResult",
+    "ParetoPoint",
+    "SpectrumStats",
+    "block_adjacency",
+    "build_factory",
+    "condition_number",
+    "dominates",
+    "effective_rank",
+    "factory_spectrum_stats",
+    "fit_unitary",
+    "hypervolume_2d",
+    "light_cone_sizes",
+    "mixing_depth",
+    "matrix_expressivity",
+    "pareto_front",
+    "reachability",
+    "singular_spectrum",
+    "unitarity_error",
+    "topology_mixing_report",
+    "unitary_expressivity",
+]

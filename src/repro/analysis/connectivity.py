@@ -1,0 +1,88 @@
+"""Structural mixing analysis: which inputs can reach which outputs.
+
+A mesh can only be expressive if light from every input port can
+interfere with light from every other.  Each block mixes adjacent
+pairs (its DC column) and relabels wires (its CR layer); cascading
+blocks grows each output's *light cone*.  The butterfly reaches full
+mixing in exactly log2(K) stages — the structural reason the paper's
+FFT-ONN baseline is the shallow-depth reference — while a coupler-poor
+ADEPT block needs more.
+
+This is a zero-optimization, purely combinatorial complement to the
+fit-based expressivity measures: a topology whose reachability matrix
+is not all-ones cannot realize any dense operator, no matter how its
+phases are programmed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.topology import BlockSpec, PTCTopology
+
+__all__ = [
+    "block_adjacency",
+    "light_cone_sizes",
+    "mixing_depth",
+    "reachability",
+]
+
+
+def block_adjacency(block: BlockSpec, k: int) -> np.ndarray:
+    """Boolean K x K matrix: ``A[i, j]`` true if output wire i of the
+    block can carry light from its input wire j."""
+    a = np.eye(k, dtype=bool)
+    mask = np.asarray(block.coupler_mask, dtype=bool)
+    for slot, placed in enumerate(mask):
+        if not placed:
+            continue
+        p = block.offset + 2 * slot
+        if p + 1 < k:
+            a[p, p + 1] = a[p + 1, p] = True
+    if block.perm is not None:
+        perm_mat = np.zeros((k, k), dtype=bool)
+        perm_mat[np.arange(k), np.asarray(block.perm)] = True
+        a = perm_mat @ a
+    return a
+
+
+def reachability(blocks: Sequence[BlockSpec], k: int) -> np.ndarray:
+    """Boolean K x K reachability through the whole cascade."""
+    r = np.eye(k, dtype=bool)
+    for block in blocks:
+        r = block_adjacency(block, k) @ r
+    return r
+
+
+def light_cone_sizes(blocks: Sequence[BlockSpec], k: int) -> np.ndarray:
+    """Number of inputs reaching each output after the cascade."""
+    return reachability(blocks, k).sum(axis=1)
+
+
+def mixing_depth(blocks: Sequence[BlockSpec], k: int) -> Optional[int]:
+    """Number of leading blocks needed for full input-output mixing.
+
+    Returns the smallest prefix length ``d`` such that every output
+    of ``blocks[:d]`` sees every input, or ``None`` if the full
+    cascade never mixes completely.
+    """
+    r = np.eye(k, dtype=bool)
+    for d, block in enumerate(blocks, start=1):
+        r = block_adjacency(block, k) @ r
+        if r.all():
+            return d
+    return None
+
+
+def topology_mixing_report(topology: PTCTopology) -> str:
+    """One-line structural mixing summary of a topology's U mesh."""
+    k = topology.k
+    depth = mixing_depth(topology.blocks_u, k)
+    cones = light_cone_sizes(topology.blocks_u, k)
+    if depth is not None:
+        return (f"{topology.name!r}: fully mixed after {depth}/"
+                f"{len(topology.blocks_u)} U blocks")
+    return (f"{topology.name!r}: NOT fully mixed "
+            f"(light cones {int(cones.min())}-{int(cones.max())} of {k})")

@@ -1,0 +1,83 @@
+"""Pareto-front utilities for the footprint / expressiveness trade-off.
+
+ADEPT's output is not one design but a *family* (a1..a5 in the paper's
+tables): one design per footprint budget.  Comparing families —
+ADEPT's vs the manual baselines — is a bi-objective question
+(minimize footprint, maximize score), so the natural summary is the
+Pareto front and its hypervolume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "ParetoPoint",
+    "dominates",
+    "hypervolume_2d",
+    "pareto_front",
+]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One design: ``footprint`` to minimize, ``score`` to maximize."""
+
+    footprint: float
+    score: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.footprint < 0:
+            raise ValueError("footprint must be >= 0")
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+    """True if ``a`` is at least as good as ``b`` on both objectives
+    and strictly better on at least one."""
+    as_good = a.footprint <= b.footprint and a.score >= b.score
+    better = a.footprint < b.footprint or a.score > b.score
+    return as_good and better
+
+
+def pareto_front(points: Iterable[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset, sorted by ascending footprint.
+
+    Duplicate points are kept once.  Within equal footprints only the
+    best score survives.
+    """
+    pts = list(dict.fromkeys(points))
+    front = [p for p in pts if not any(dominates(q, p) for q in pts)]
+    front.sort(key=lambda p: (p.footprint, -p.score))
+    dedup: List[ParetoPoint] = []
+    for p in front:
+        if dedup and dedup[-1].footprint == p.footprint:
+            continue
+        dedup.append(p)
+    return dedup
+
+
+def hypervolume_2d(
+    front: Sequence[ParetoPoint],
+    ref_footprint: float,
+    ref_score: float = 0.0,
+) -> float:
+    """Area dominated by the front w.r.t. a reference point.
+
+    The reference must be worse than every front point (largest
+    acceptable footprint, smallest acceptable score); points outside
+    the reference box contribute nothing.  Larger is better.
+    """
+    pts = [p for p in pareto_front(front)
+           if p.footprint <= ref_footprint and p.score >= ref_score]
+    if not pts:
+        return 0.0
+    # Along a front sorted by ascending footprint, scores ascend too;
+    # on [fp_i, fp_{i+1}) the best achievable score is s_i, so the
+    # dominated area is a staircase integral.
+    area = 0.0
+    for i, p in enumerate(pts):
+        right = pts[i + 1].footprint if i + 1 < len(pts) else ref_footprint
+        area += (right - p.footprint) * (p.score - ref_score)
+    return area

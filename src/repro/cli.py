@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the library API so every major workflow is
+reachable without writing Python:
+
+* ``info`` — registered PDKs, paper footprint windows, version;
+* ``search`` — run an ADEPT search, save the topology JSON;
+* ``evaluate`` — train/evaluate a saved topology (or a baseline mesh)
+  on a synthetic dataset;
+* ``export`` — topology JSON -> netlist JSON + ASCII schematic +
+  floorplan estimate;
+* ``robustness`` — phase-noise robustness sweep of a saved topology;
+* ``baseline-search`` — random / evolutionary search in the same
+  space (ablation).
+
+Every command accepts ``--seed`` and prints a deterministic report to
+stdout; artifacts land where ``--out`` points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import __version__
+from .core import (
+    ADEPTConfig,
+    EvolutionarySearch,
+    PTCTopology,
+    RandomSearch,
+    make_expressivity_evaluator,
+    search_ptc,
+)
+from .experiments.common import TABLE1_WINDOWS, TABLE2_WINDOWS
+from .photonics import available_pdks, get_pdk
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ADEPT photonic tensor-core design automation (DAC 2022 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="show PDKs and paper footprint windows")
+    p_info.set_defaults(func=cmd_info)
+
+    p_search = sub.add_parser("search", help="run an ADEPT topology search")
+    p_search.add_argument("--k", type=int, default=8, help="PTC size K")
+    p_search.add_argument("--pdk", default="amf", help="foundry PDK name")
+    p_search.add_argument("--f-min", type=float, required=True,
+                          help="min footprint (1000 um^2, paper units)")
+    p_search.add_argument("--f-max", type=float, required=True,
+                          help="max footprint (1000 um^2, paper units)")
+    p_search.add_argument("--epochs", type=int, default=8)
+    p_search.add_argument("--n-train", type=int, default=384)
+    p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument("--out", type=Path, default=Path("topology.json"))
+    p_search.set_defaults(func=cmd_search)
+
+    p_eval = sub.add_parser("evaluate", help="train + evaluate a design")
+    p_eval.add_argument("design", help="topology JSON path, or 'mzi' / 'fft'")
+    p_eval.add_argument("--k", type=int, default=None,
+                        help="PTC size (required for mzi/fft)")
+    p_eval.add_argument("--dataset", default="mnist",
+                        choices=["mnist", "fmnist", "svhn", "cifar10"])
+    p_eval.add_argument("--model", default="cnn2",
+                        choices=["cnn2", "lenet5", "vgg8"])
+    p_eval.add_argument("--epochs", type=int, default=6)
+    p_eval.add_argument("--noise-std", type=float, default=0.0,
+                        help="variation-aware training noise")
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_export = sub.add_parser("export", help="netlist/floorplan/schematic export")
+    p_export.add_argument("design", type=Path, help="topology JSON path")
+    p_export.add_argument("--pdk", default="amf")
+    p_export.add_argument("--out", type=Path, default=None,
+                          help="netlist JSON output path")
+    p_export.add_argument("--max-columns", type=int, default=24,
+                          help="schematic truncation width")
+    p_export.add_argument("--svg", type=Path, default=None,
+                          help="also write an SVG floorplan here")
+    p_export.set_defaults(func=cmd_export)
+
+    p_rob = sub.add_parser("robustness", help="phase-noise robustness sweep")
+    p_rob.add_argument("design", type=Path, help="topology JSON path")
+    p_rob.add_argument("--sigmas", type=float, nargs="+",
+                       default=[0.02, 0.04, 0.06, 0.08, 0.10])
+    p_rob.add_argument("--n-trials", type=int, default=5)
+    p_rob.add_argument("--seed", type=int, default=0)
+    p_rob.set_defaults(func=cmd_robustness)
+
+    p_base = sub.add_parser("baseline-search",
+                            help="random / evolutionary search ablation")
+    p_base.add_argument("--method", choices=["random", "evolutionary"],
+                        default="random")
+    p_base.add_argument("--k", type=int, default=8)
+    p_base.add_argument("--pdk", default="amf")
+    p_base.add_argument("--f-min", type=float, required=True,
+                        help="min footprint (1000 um^2)")
+    p_base.add_argument("--f-max", type=float, required=True,
+                        help="max footprint (1000 um^2)")
+    p_base.add_argument("--budget", type=int, default=12,
+                        help="candidate evaluations")
+    p_base.add_argument("--seed", type=int, default=0)
+    p_base.add_argument("--out", type=Path, default=None)
+    p_base.set_defaults(func=cmd_baseline_search)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+
+def cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — ADEPT (DAC 2022) reproduction")
+    print("\nregistered PDKs (device areas in um^2):")
+    for name in available_pdks():
+        pdk = get_pdk(name)
+        print(f"  {pdk.name:<5} PS={pdk.ps_area:<8.0f} DC={pdk.dc_area:<8.0f} "
+              f"CR={pdk.cr_area:<8.0f}")
+    print("\npaper footprint windows (1000 um^2):")
+    for k, windows in TABLE1_WINDOWS.items():
+        pretty = ", ".join(f"[{a:.0f}, {b:.0f}]" for a, b in windows)
+        print(f"  Table 1 (AMF) K={k:<3} {pretty}")
+    pretty = ", ".join(f"[{a:.0f}, {b:.0f}]" for a, b in TABLE2_WINDOWS)
+    print(f"  Table 2 (AIM) K=16  {pretty}")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    pdk = get_pdk(args.pdk)
+    cfg = ADEPTConfig(
+        k=args.k,
+        pdk=pdk,
+        f_min=args.f_min * 1000.0,
+        f_max=args.f_max * 1000.0,
+        epochs=args.epochs,
+        warmup_epochs=max(1, args.epochs // 6),
+        spl_epoch=max(2, (2 * args.epochs) // 3),
+        n_train=args.n_train,
+        n_test=max(64, args.n_train // 2),
+        seed=args.seed,
+    )
+    print(f"searching K={args.k} on {pdk.name}, window "
+          f"[{args.f_min:.0f}, {args.f_max:.0f}]k um^2, {args.epochs} epochs ...")
+    result = search_ptc(cfg)
+    topo = result.topology
+    topo.save(args.out)
+    print(topo.summary(pdk))
+    print(f"saved -> {args.out}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from .experiments.common import ExperimentScale, train_eval_mesh
+
+    scale = ExperimentScale()
+    scale.retrain_epochs = args.epochs
+    scale.seed = args.seed
+    if args.design in ("mzi", "fft"):
+        if args.k is None:
+            print("error: --k is required for baseline meshes", file=sys.stderr)
+            return 2
+        mesh = "mzi" if args.design == "mzi" else "butterfly"
+        k = args.k
+        label = args.design
+    else:
+        topo = PTCTopology.load(args.design)
+        mesh = topo
+        k = topo.k
+        label = topo.name
+    acc, _ = train_eval_mesh(mesh, k, scale, dataset=args.dataset,
+                             model_name=args.model, noise_std=args.noise_std,
+                             seed=args.seed)
+    print(f"{label}: {args.model} on {args.dataset} -> {acc:.2f}% "
+          f"({args.epochs} epochs, seed {args.seed})")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from .layout import build_netlist, place, render_topology
+
+    topo = PTCTopology.load(args.design)
+    pdk = get_pdk(args.pdk)
+    netlist = build_netlist(topo)
+    out = args.out or args.design.with_suffix(".netlist.json")
+    netlist.save(out)
+    n_ps, n_dc, n_cr = netlist.device_counts()
+    print(f"{topo.summary(pdk)}")
+    print(f"netlist: {len(netlist.devices)} devices "
+          f"(PS={n_ps}, DC={n_dc}, CR={n_cr}), "
+          f"{netlist.n_columns} columns, optical depth {netlist.optical_depth()}")
+    print(place(netlist, pdk).summary())
+    from .photonics.power import estimate_power
+
+    print(estimate_power(topo, pdk).summary())
+    print(f"netlist saved -> {out}")
+    if args.svg is not None:
+        from .layout import floorplan_svg
+
+        args.svg.write_text(floorplan_svg(netlist, pdk, title=topo.name))
+        print(f"floorplan SVG saved -> {args.svg}")
+    print()
+    print(render_topology(topo, max_columns=args.max_columns))
+    return 0
+
+
+def cmd_robustness(args: argparse.Namespace) -> int:
+    from .photonics.nonideality import (
+        NonidealitySpec,
+        unitary_fidelity_under_noise,
+    )
+
+    topo = PTCTopology.load(args.design)
+    print(f"phase-noise robustness of {topo.name!r} (K={topo.k}, "
+          f"{topo.n_blocks} blocks; mean unitary fidelity, "
+          f"{args.n_trials} trials)")
+    print(f"  {'sigma':>6}  {'fidelity':>9}  {'std':>8}")
+    for sigma in args.sigmas:
+        mean, std = unitary_fidelity_under_noise(
+            topo, NonidealitySpec(phase_noise_std=float(sigma)),
+            n_trials=args.n_trials, rng=np.random.default_rng(args.seed))
+        print(f"  {sigma:6.3f}  {mean:9.4f}  {std:8.4f}")
+    return 0
+
+
+def cmd_baseline_search(args: argparse.Namespace) -> int:
+    pdk = get_pdk(args.pdk)
+    f_min, f_max = args.f_min * 1000.0, args.f_max * 1000.0
+    evaluate = make_expressivity_evaluator(steps=120, seed=args.seed)
+    if args.method == "random":
+        search = RandomSearch(args.k, pdk, f_min, f_max, evaluate=evaluate,
+                              seed=args.seed)
+        result = search.run(n_samples=args.budget)
+    else:
+        population = max(2, min(6, args.budget // 3))
+        search = EvolutionarySearch(args.k, pdk, f_min, f_max,
+                                    evaluate=evaluate, population=population,
+                                    seed=args.seed)
+        generations = max(1, (args.budget - population) // population)
+        result = search.run(generations=generations,
+                            children_per_gen=population)
+    print(f"{args.method} search: {result.n_evaluated} candidates, "
+          f"best score {result.score:.4f}")
+    print(result.topology.summary(pdk))
+    if args.out:
+        result.topology.save(args.out)
+        print(f"saved -> {args.out}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

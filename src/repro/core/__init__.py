@@ -1,0 +1,112 @@
+"""ADEPT core: differentiable photonic tensor-core topology search."""
+
+from .baseline_search import (
+    BaselineSearchResult,
+    EvolutionarySearch,
+    RandomSearch,
+    is_feasible,
+    make_expressivity_evaluator,
+    mutate_topology,
+    random_feasible_topology,
+)
+from .coupler import CouplerLearner, binarize_couplers, dc_count_expr, quantize_t
+from .footprint_penalty import (
+    FootprintPenaltyConfig,
+    block_footprints_exact,
+    expected_footprint_exact,
+    expected_footprint_proxy,
+    footprint_penalty,
+)
+from .gumbel import TemperatureSchedule, categorical_probs, gumbel_softmax, sample_gumbel
+from .permutation import (
+    PermutationLearner,
+    delta_l1_l2,
+    smoothed_identity,
+    soft_projection,
+)
+from .quantization import (
+    PhaseQuantConfig,
+    QuantizationPoint,
+    make_phase_quantizer,
+    phase_grid,
+    phase_resolution,
+    quantization_robustness_curve,
+    quantize_phase,
+    ste_quantize_phase,
+)
+from .search import (
+    ADEPTConfig,
+    ADEPTSearch,
+    ADEPTSearchResult,
+    SearchHistory,
+    build_proxy_model,
+    search_ptc,
+)
+from .spl import legalize_all, legalize_one
+from .supermesh import (
+    SuperMeshConv2d,
+    SuperMeshCore,
+    SuperMeshLinear,
+    SuperMeshSample,
+    SuperMeshSpace,
+)
+from .topology import BlockSpec, PTCTopology, random_topology
+from .variation import (
+    RobustnessPoint,
+    noise_robustness_curve,
+    variation_aware_train,
+)
+
+__all__ = [
+    "ADEPTConfig",
+    "ADEPTSearch",
+    "ADEPTSearchResult",
+    "BaselineSearchResult",
+    "EvolutionarySearch",
+    "RandomSearch",
+    "BlockSpec",
+    "CouplerLearner",
+    "FootprintPenaltyConfig",
+    "PTCTopology",
+    "PhaseQuantConfig",
+    "QuantizationPoint",
+    "PermutationLearner",
+    "RobustnessPoint",
+    "SearchHistory",
+    "SuperMeshConv2d",
+    "SuperMeshCore",
+    "SuperMeshLinear",
+    "SuperMeshSample",
+    "SuperMeshSpace",
+    "TemperatureSchedule",
+    "binarize_couplers",
+    "block_footprints_exact",
+    "build_proxy_model",
+    "categorical_probs",
+    "dc_count_expr",
+    "delta_l1_l2",
+    "expected_footprint_exact",
+    "expected_footprint_proxy",
+    "footprint_penalty",
+    "gumbel_softmax",
+    "legalize_all",
+    "legalize_one",
+    "is_feasible",
+    "make_expressivity_evaluator",
+    "mutate_topology",
+    "random_feasible_topology",
+    "noise_robustness_curve",
+    "quantize_t",
+    "make_phase_quantizer",
+    "phase_grid",
+    "phase_resolution",
+    "quantization_robustness_curve",
+    "quantize_phase",
+    "ste_quantize_phase",
+    "random_topology",
+    "sample_gumbel",
+    "search_ptc",
+    "smoothed_identity",
+    "soft_projection",
+    "variation_aware_train",
+]

@@ -1,0 +1,108 @@
+"""Binarization-aware learning of directional-coupler placement
+(paper section 3.3.3, Eq. 14).
+
+Each DC slot carries a latent real weight t; its quantization is
+
+    Q(t) = (sign(t) + 1) * (2 - sqrt(2)) / 4 + sqrt(2)/2
+         = sqrt(2)/2   if t < 0   (a 50:50 coupler is placed)
+         = 1           if t >= 0  (pass-through, no coupler)
+
+Training uses a straight-through estimator whose gradient is scaled by
+(2 - sqrt(2))/4 and clipped to [-1, 1].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, custom_grad
+from ..nn.module import Module, Parameter
+from ..utils.rng import get_rng
+
+_SQRT2 = math.sqrt(2.0)
+_STE_SCALE = (2.0 - _SQRT2) / 4.0
+
+
+def quantize_t(t: np.ndarray) -> np.ndarray:
+    """Hard binarization Q(t) in {sqrt(2)/2, 1} (numpy, no grad)."""
+    return (np.sign(t) + 1.0) * _STE_SCALE + _SQRT2 / 2.0
+
+
+def binarize_couplers(t: Tensor) -> Tensor:
+    """Quantize latent coupler weights with the paper's clipped STE."""
+
+    out = quantize_t(t.data)
+
+    def backward(g: np.ndarray):
+        return (np.clip(g * _STE_SCALE, -1.0, 1.0),)
+
+    return custom_grad(out, (t,), backward)
+
+
+def dc_count_expr(t_q: Tensor) -> Tensor:
+    """Differentiable coupler count of Eq. (15).
+
+    #DC = sum_i (2 Q(t_i) / (sqrt(2) - 2) + 2 / (2 - sqrt(2))); each
+    term evaluates to 1 when a coupler is placed (Q = sqrt(2)/2) and to
+    0 when not (Q = 1), while gradients flow through the STE.
+    """
+    a = 2.0 / (_SQRT2 - 2.0)
+    b = 2.0 / (2.0 - _SQRT2)
+    return (t_q * a + b).sum(axis=-1)
+
+
+class CouplerLearner(Module):
+    """Latent coupler placements for all SuperMesh blocks.
+
+    Block ``b`` has ``(K - s_b) // 2`` coupler slots where
+    ``s_b = b % 2`` — consecutive blocks interleave so light can reach
+    non-adjacent waveguides (paper Fig. 1).  Slots are stored padded to
+    the maximum count; a mask tracks validity.
+    """
+
+    def __init__(self, k: int, n_blocks: int, init_std: float = 0.1, rng=None):
+        super().__init__()
+        self.k = k
+        self.n_blocks = n_blocks
+        rng_ = get_rng(rng)
+        self.offsets = np.array([b % 2 for b in range(n_blocks)])
+        self.slot_counts = np.array([(k - off) // 2 for off in self.offsets])
+        max_slots = int(self.slot_counts.max())
+        self.max_slots = max_slots
+        # Negative-mean init biases toward placing couplers early on, so
+        # the warmup phase explores interference-rich topologies.
+        init = rng_.normal(-0.05, init_std, size=(n_blocks, max_slots))
+        self.latent = Parameter(init)
+        mask = np.zeros((n_blocks, max_slots), dtype=bool)
+        for b, cnt in enumerate(self.slot_counts):
+            mask[b, :cnt] = True
+        self.slot_mask = mask
+
+    def quantized(self) -> Tensor:
+        """(n_blocks, max_slots) binarized transmissions (STE grads)."""
+        return binarize_couplers(self.latent)
+
+    def block_transmissions(self, b: int) -> Tensor:
+        """Quantized transmissions of block b's valid slots."""
+        tq = self.quantized()
+        return tq[b, : int(self.slot_counts[b])]
+
+    def dc_counts(self) -> Tensor:
+        """(n_blocks,) differentiable coupler counts (invalid slots = 0)."""
+        tq = self.quantized()
+        a = 2.0 / (_SQRT2 - 2.0)
+        b = 2.0 / (2.0 - _SQRT2)
+        per_slot = tq * a + b
+        masked = per_slot * Tensor(self.slot_mask.astype(float))
+        return masked.sum(axis=-1)
+
+    def hard_masks(self) -> List[np.ndarray]:
+        """Per-block boolean placement masks (True = coupler present)."""
+        q = quantize_t(self.latent.data)
+        out = []
+        for b, cnt in enumerate(self.slot_counts):
+            out.append(q[b, :cnt] < 1.0 - 1e-9)
+        return out

@@ -1,0 +1,121 @@
+"""PDK-adaptive probabilistic footprint penalty (paper section 3.4).
+
+The expected SuperMesh footprint is
+
+    E[F(alpha)] = sum_b m_{b,2} * F_b,
+    F_b = #PS * F_PS + #DC(T_b) * F_DC + #CR(P_b) * F_CR
+
+with #PS = K (a full phase-shifter column is always kept — PS carry the
+post-fabrication programmability).  The crossing count #CR(P_b) — the
+minimum adjacent swaps sorting P_b — is not differentiable, so the
+penalty uses the proxy ``beta_CR * ||P~_b - I||_F^2 * F_CR`` while the
+*decision* of which penalty branch applies uses the exact count
+(Eq. 15).  A 5% margin is kept on both constraint edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd import tensor as T
+from .gumbel import categorical_probs
+from .supermesh import SuperMeshSpace
+
+
+@dataclass
+class FootprintPenaltyConfig:
+    """Hyper-parameters of the footprint penalty (paper: beta = 10,
+    beta_CR = 100, 5 % constraint margin)."""
+
+    beta: float = 10.0
+    beta_cr: float = 100.0
+    margin: float = 0.05
+
+
+def _inversion_count_with_ties(idx: np.ndarray) -> int:
+    """Inversions of an index sequence that may contain duplicates
+    (relaxed permutations argmax to such sequences before legality)."""
+    count = 0
+    n = len(idx)
+    for i in range(n):
+        count += int(np.sum(idx[i + 1 :] < idx[i]))
+    return count
+
+
+def block_footprints_exact(space: SuperMeshSpace) -> np.ndarray:
+    """Exact F_b per block (um^2): hard coupler counts + argmax-routing
+    crossing counts."""
+    k = space.k
+    pdk = space.pdk
+    dc_counts = [int(m.sum()) for m in space.couplers.hard_masks()]
+    p = space.perms.relaxed().data
+    out = np.empty(space.n_blocks)
+    for b in range(space.n_blocks):
+        perm_idx = np.argmax(p[b], axis=1)
+        n_cr = _inversion_count_with_ties(perm_idx)
+        out[b] = k * pdk.ps_area + dc_counts[b] * pdk.dc_area + n_cr * pdk.cr_area
+    return out
+
+
+def expected_footprint_exact(space: SuperMeshSpace) -> float:
+    """E[F(alpha)] with exact per-block footprints (um^2)."""
+    probs = space.exec_probabilities()
+    return float(np.dot(probs, block_footprints_exact(space)))
+
+
+def expected_footprint_proxy(
+    space: SuperMeshSpace, beta_cr: float = 100.0
+) -> Tensor:
+    """Differentiable E[F_prox(alpha)] (um^2).
+
+    Gradients reach the depth logits theta (through the execution
+    probabilities), the coupler latents (through the STE coupler
+    count), and the relaxed permutations (through ||P~ - I||^2).
+    """
+    k = space.k
+    pdk = space.pdk
+    dc_counts = space.couplers.dc_counts()  # (n_blocks,) Tensor
+    p_tilde = space.perms.relaxed()  # (n_blocks, K, K)
+    diff = p_tilde - Tensor(np.eye(k))
+    cr_proxy = (diff * diff).sum(axis=(-2, -1))  # (n_blocks,)
+    f_b = (
+        k * pdk.ps_area
+        + dc_counts * pdk.dc_area
+        + cr_proxy * (beta_cr * pdk.cr_area)
+    )
+    # Execution probabilities as a Tensor (always-on blocks -> 1).
+    if space._has_search:
+        soft = categorical_probs(space.theta)  # (n_search, 2)
+        parts = []
+        for b in range(space.n_blocks):
+            si = space._searchable_index(b)
+            parts.append(Tensor(np.array(1.0)) if si is None else soft[si, 1])
+        probs = T.stack(parts)
+    else:
+        probs = Tensor(np.ones(space.n_blocks))
+    return (probs * f_b).sum()
+
+
+def footprint_penalty(
+    space: SuperMeshSpace, config: FootprintPenaltyConfig = FootprintPenaltyConfig()
+) -> Tuple[Tensor, float]:
+    """The penalty L_F of Eq. (15).
+
+    Returns ``(penalty_tensor, expected_footprint_exact_um2)``; the
+    penalty is positive when over budget (pushes footprint down),
+    negative-signed (reward-shaped) when under, zero inside the margin.
+    """
+    e_exact = expected_footprint_exact(space)
+    f_max_hat = (1.0 - config.margin) * space.f_max
+    f_min_hat = (1.0 + config.margin) * space.f_min
+    if e_exact > f_max_hat:
+        proxy = expected_footprint_proxy(space, config.beta_cr)
+        return proxy * (config.beta / f_max_hat), e_exact
+    if e_exact < f_min_hat:
+        proxy = expected_footprint_proxy(space, config.beta_cr)
+        return proxy * (-config.beta / f_min_hat), e_exact
+    return Tensor(np.array(0.0)), e_exact

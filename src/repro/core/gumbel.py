@@ -1,0 +1,78 @@
+"""Gumbel-softmax relaxation for SuperMesh depth search (paper Eq. 5-7).
+
+Each super block b carries a sampling coefficient vector theta_b in R^2;
+``m_b = GumbelSoftmax(theta_b, tau)`` gives the soft (differentiable)
+probability of [skip block, execute block].  The temperature ``tau`` is
+annealed from 5 to 0.5 during the search.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor, softmax
+from ..utils.rng import get_rng
+
+
+def sample_gumbel(shape, rng: Optional[np.random.Generator] = None, eps: float = 1e-10) -> np.ndarray:
+    """Draw standard Gumbel(0, 1) noise."""
+    rng = get_rng(rng)
+    u = rng.uniform(eps, 1.0 - eps, size=shape)
+    return -np.log(-np.log(u))
+
+
+def gumbel_softmax(
+    theta: Tensor,
+    tau: float,
+    rng: Optional[np.random.Generator] = None,
+    hard: bool = False,
+) -> Tensor:
+    """Differentiable sample from the categorical parametrized by ``theta``.
+
+    ``theta``: (..., n_choices) logits.  Returns soft one-hot weights of
+    the same shape.  With ``hard=True``, the forward value is a true
+    one-hot (argmax of the noisy logits) while gradients flow through
+    the soft sample (straight-through Gumbel).
+    """
+    if tau <= 0:
+        raise ValueError(f"temperature must be positive, got {tau}")
+    g = Tensor(sample_gumbel(theta.shape, rng))
+    soft = softmax((theta + g) * (1.0 / tau), axis=-1)
+    if not hard:
+        return soft
+    idx = np.argmax(soft.data, axis=-1)
+    one_hot = np.zeros_like(soft.data)
+    np.put_along_axis(one_hot, idx[..., None], 1.0, axis=-1)
+    # Straight-through: forward hard, backward soft.
+    from ..autograd import custom_grad
+
+    def backward(grad):
+        return (grad,)
+
+    return custom_grad(one_hot, (soft,), backward)
+
+
+def categorical_probs(theta: Tensor) -> Tensor:
+    """Noise-free selection probabilities P_theta (paper Eq. 5)."""
+    return softmax(theta, axis=-1)
+
+
+class TemperatureSchedule:
+    """Exponential decay of the Gumbel temperature tau.
+
+    The paper decays tau from 5 to 0.5 over the course of training.
+    """
+
+    def __init__(self, tau_start: float = 5.0, tau_end: float = 0.5, total_epochs: int = 90):
+        if tau_start <= 0 or tau_end <= 0:
+            raise ValueError("temperatures must be positive")
+        self.tau_start = tau_start
+        self.tau_end = tau_end
+        self.total_epochs = max(1, total_epochs)
+        self._decay = (tau_end / tau_start) ** (1.0 / self.total_epochs)
+
+    def at_epoch(self, epoch: int) -> float:
+        e = min(max(epoch, 0), self.total_epochs)
+        return self.tau_start * self._decay ** e

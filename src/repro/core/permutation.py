@@ -1,0 +1,293 @@
+"""Differentiable permutation learning (paper section 3.3.2).
+
+The CR layer of each block is a permutation matrix — a doubly
+stochastic binary matrix.  Directly searching the (K!)^B space is
+hopeless, so ADEPT:
+
+1. **Reparametrizes** a free matrix into (approximately) the Birkhoff
+   polytope: absolute value -> column normalization -> row
+   normalization -> row-wise *soft projection* that rounds rows already
+   within ``eps`` of binary and stops their gradients (Eq. 11).
+2. Adds an **augmented-Lagrangian (ALM)** term driving the l1-norm of
+   every row/column toward its l2-norm — the continuous
+   characterization of permutation matrices (Eq. 8-10).  Unlike
+   standard ALM, the quadratic term is also scaled by the multipliers,
+   so the task loss dominates early and the constraint tightens as the
+   multipliers grow (Eq. 12).
+3. Initializes with a **smoothed identity** — random permutations are
+   useless because zero entries receive no gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, custom_grad
+from ..autograd import tensor as T
+from ..nn.module import Module, Parameter
+
+
+def smoothed_identity(
+    k: int,
+    n: int = 1,
+    jitter: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Initialization P0 = I*(1/2 - 1/(2K-2)) + 1/(2K-2) (paper Fig. 3).
+
+    Every entry is strictly positive so gradients reach all of them;
+    the diagonal is dominant so the relaxation starts near "no
+    routing".  Rows and columns already sum to ~1.
+
+    ``jitter`` adds positive uniform noise of relative strength
+    ``jitter`` to the off-diagonal floor.  The paper uses jitter = 0;
+    at the heavily compressed training budgets of this reproduction a
+    modest jitter substitutes for the exploration that tens of
+    thousands of extra SuperMesh steps would otherwise provide (without
+    it, the ALM attractor at the identity wins before the task loss can
+    justify any routing).
+    """
+    if k < 2:
+        raise ValueError("permutation size must be >= 2")
+    off = 1.0 / (2 * k - 2)
+    base = np.eye(k) * (0.5 - off) + off
+    out = np.broadcast_to(base, (n, k, k)).copy()
+    if jitter > 0.0:
+        from ..utils.rng import get_rng
+
+        out += get_rng(rng).uniform(0.0, jitter * off, size=out.shape)
+    return out
+
+
+def smoothed_permutation(
+    perms: np.ndarray, jitter: float = 0.0, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Smoothed relaxation of given permutations (batch of index vectors).
+
+    Same smoothing as :func:`smoothed_identity` — every entry strictly
+    positive so gradients flow — but centered on arbitrary permutations
+    instead of the identity.
+    """
+    perms = np.atleast_2d(np.asarray(perms, dtype=int))
+    n, k = perms.shape
+    off = 1.0 / (2 * k - 2)
+    out = np.full((n, k, k), off)
+    rows = np.repeat(np.arange(n), k)
+    out[rows, np.tile(np.arange(k), n), perms.ravel()] += 0.5 - off
+    if jitter > 0.0:
+        from ..utils.rng import get_rng
+
+        out += get_rng(rng).uniform(0.0, jitter * off, size=out.shape)
+    return out
+
+
+def local_shuffle_permutations(
+    k: int,
+    n: int,
+    max_swaps: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Random permutations built from a few adjacent swaps.
+
+    Used by the ``local-shuffle`` SuperMesh initialization: each block's
+    CR layer starts near a *local* routing pattern (r ~ U(0, 2K)
+    adjacent swaps), giving the search routing diversity to prune
+    rather than requiring it to invent routing from the identity — the
+    exploration that the paper's 100x larger step budget provides.
+    """
+    from ..utils.rng import get_rng
+
+    rng = get_rng(rng)
+    max_swaps = 2 * k if max_swaps is None else max_swaps
+    out = np.empty((n, k), dtype=int)
+    for b in range(n):
+        perm = np.arange(k)
+        for _ in range(int(rng.integers(0, max_swaps + 1))):
+            i = int(rng.integers(0, k - 1))
+            perm[i], perm[i + 1] = perm[i + 1], perm[i]
+        out[b] = perm
+    return out
+
+
+def _row_col_normalize(p: Tensor) -> Tensor:
+    """|P| -> column-normalize -> row-normalize (Eq. 11, first two steps)."""
+    p_abs = p.abs() + 1e-12
+    p_col = p_abs / p_abs.sum(axis=-2, keepdims=True)
+    p_row = p_col / p_col.sum(axis=-1, keepdims=True)
+    return p_row
+
+
+def soft_projection(p: Tensor, eps: float = 0.05) -> Tensor:
+    """Row-wise soft projection Omega_P (Eq. 11, third step).
+
+    Rows whose maximum entry is within ``eps`` of 1 are rounded to
+    binary **and their gradients are stopped** — this prevents the
+    rapidly growing linear ALM term from destabilizing rows that have
+    already converged.
+    """
+    data = p.data
+    row_max = data.max(axis=-1, keepdims=True)
+    frozen = row_max >= (1.0 - eps)  # (..., K, 1)
+    rounded = np.round(data)
+    out = np.where(frozen, rounded, data)
+    mask = (~frozen).astype(data.dtype)
+
+    def backward(g: np.ndarray):
+        return (g * mask,)
+
+    return custom_grad(out, (p,), backward)
+
+
+def delta_l1_l2(p: Tensor, axis: int) -> Tensor:
+    """Per-row (axis=-1) or per-column (axis=-2) ||.||_1 - ||.||_2.
+
+    Zero exactly when the vector has a single nonzero entry — together
+    with the Birkhoff constraints this characterizes permutations.
+    """
+    l1 = p.abs().sum(axis=axis)
+    l2 = (p * p).sum(axis=axis).sqrt()
+    return l1 - l2
+
+
+class PermutationLearner(Module):
+    """Relaxed permutations for all SuperMesh blocks plus ALM state.
+
+    Parameters
+    ----------
+    k: permutation size (number of waveguides).
+    n_blocks: number of CR layers (B_max of the SuperMesh).
+    rho0: initial quadratic penalty coefficient; the paper uses
+        (1e-7) * K / 8 and grows it geometrically so that
+        rho_T ~= 1e4 * rho0 over the training horizon.
+    eps: soft-projection threshold (paper: 0.05).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        n_blocks: int,
+        rho0: Optional[float] = None,
+        eps: float = 0.05,
+        total_steps: int = 2000,
+        init_jitter: float = 0.0,
+        init: str = "identity",
+        shuffle_mask: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.k = k
+        self.n_blocks = n_blocks
+        self.eps = eps
+        if init == "identity":
+            raw = smoothed_identity(k, n_blocks, jitter=init_jitter, rng=rng)
+        elif init in ("local-shuffle", "random"):
+            if init == "local-shuffle":
+                perms = local_shuffle_permutations(k, n_blocks, rng=rng)
+            else:
+                from ..utils.rng import get_rng
+
+                perms = np.stack(
+                    [get_rng(rng).permutation(k) for _ in range(n_blocks)]
+                )
+            if shuffle_mask is not None:
+                # Blocks outside the mask (e.g. the always-on blocks that
+                # every SubMesh must include) keep the conservative
+                # identity init so tight budgets stay reachable.
+                perms[~np.asarray(shuffle_mask, dtype=bool)] = np.arange(k)
+            raw = smoothed_permutation(perms, jitter=init_jitter, rng=rng)
+        else:
+            raise ValueError(
+                f"unknown init {init!r}; choose identity|local-shuffle|random"
+            )
+        self.raw = Parameter(raw)
+        self.rho0 = rho0 if rho0 is not None else 1e-7 * k / 8.0
+        self.rho = self.rho0
+        self.total_steps = max(1, total_steps)
+        # rho_T ~= 1e4 * rho0 => gamma = 1e4^(1/total_steps)
+        self.gamma = 10.0 ** (4.0 / self.total_steps)
+        self.lambda_row = np.zeros((n_blocks, k))
+        self.lambda_col = np.zeros((n_blocks, k))
+        self._frozen = False
+
+    # -- forward --------------------------------------------------------
+    def relaxed(self) -> Tensor:
+        """The reparametrized (approximately doubly-stochastic) P-tilde."""
+        if self._frozen:
+            return Tensor(self.raw.data)
+        return soft_projection(_row_col_normalize(self.raw), self.eps)
+
+    def forward(self) -> Tensor:
+        return self.relaxed()
+
+    # -- ALM ------------------------------------------------------------
+    def alm_loss(self, p_tilde: Optional[Tensor] = None) -> Tensor:
+        """L_P of Eq. (10): lambda-weighted linear + quadratic penalties."""
+        if self._frozen:
+            return Tensor(0.0)
+        if p_tilde is None:
+            p_tilde = self.relaxed()
+        d_row = delta_l1_l2(p_tilde, axis=-1)  # (B, K)
+        d_col = delta_l1_l2(p_tilde, axis=-2)  # (B, K)
+        lam_r = Tensor(self.lambda_row)
+        lam_c = Tensor(self.lambda_col)
+        linear = (lam_r * d_row).sum() + (lam_c * d_col).sum()
+        quad = (
+            (lam_r * d_row * d_row).sum() + (lam_c * d_col * d_col).sum()
+        ) * (self.rho / 2.0)
+        return linear + quad
+
+    def update_multipliers(self) -> None:
+        """Dual update of Eq. (12): lambda += rho * (Delta + Delta^2/2).
+
+        The whole increment is scaled by rho: with the tiny rho0 of the
+        paper (1e-7 * K/8) the multipliers stay negligible early — "the
+        optimization is dominated by the task-specific loss at the
+        beginning and gradually honors the constraint" — and only grow
+        once the geometric rho schedule has advanced (Fig. 5(a) shows
+        lambda reaching ~5e-3 after 2000 steps, not O(1)).
+        """
+        if self._frozen:
+            return
+        with_np = self.relaxed().data
+        d_row = np.abs(with_np).sum(-1) - np.sqrt((with_np ** 2).sum(-1))
+        d_col = np.abs(with_np).sum(-2) - np.sqrt((with_np ** 2).sum(-2))
+        self.lambda_row += self.rho * (d_row + 0.5 * d_row ** 2)
+        self.lambda_col += self.rho * (d_col + 0.5 * d_col ** 2)
+
+    def step_rho(self) -> None:
+        """Geometric schedule rho <- rho * gamma (Eq. text, 'Scheduling')."""
+        if not self._frozen:
+            self.rho *= self.gamma
+
+    # -- diagnostics / control -------------------------------------------
+    def permutation_error(self) -> float:
+        """Average l1-l2 gap — the 'Permutation Loss Delta_P' of Fig. 5(a)."""
+        p = self.relaxed().data
+        d_row = np.abs(p).sum(-1) - np.sqrt((p ** 2).sum(-1))
+        d_col = np.abs(p).sum(-2) - np.sqrt((p ** 2).sum(-2))
+        return float((d_row.mean() + d_col.mean()) / 2.0)
+
+    def mean_lambda(self) -> float:
+        return float((self.lambda_row.mean() + self.lambda_col.mean()) / 2.0)
+
+    def freeze_to(self, permutations: np.ndarray) -> None:
+        """Replace the relaxation with legal permutation matrices.
+
+        Called after stochastic permutation legalization; afterwards the
+        CR layers are fixed (no gradient), as they would be after chip
+        fabrication.
+        """
+        permutations = np.asarray(permutations, dtype=float)
+        if permutations.shape != (self.n_blocks, self.k, self.k):
+            raise ValueError(
+                f"expected shape {(self.n_blocks, self.k, self.k)}, got {permutations.shape}"
+            )
+        np.copyto(self.raw.data, permutations)
+        self.raw.requires_grad = False
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen

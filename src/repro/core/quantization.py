@@ -1,0 +1,155 @@
+"""Low-bit phase-control quantization with straight-through training.
+
+Phase shifters on a real chip are driven by b-bit DACs, so the
+programmable phases only take ``2^b`` discrete values in ``[0, 2 pi)``.
+The paper's robustness reference [8] (ROQ, DATE 2020) shows ONNs must
+be *trained* under this quantization to stay accurate at low bit
+widths.  This module provides:
+
+* :func:`quantize_phase` — plain numpy uniform quantizer (analysis).
+* :func:`ste_quantize_phase` — the same quantizer as an autograd op
+  with a straight-through gradient, usable during training.
+* :func:`make_phase_quantizer` — a closure suitable for
+  ``UnitaryFactory.phase_transform``, turning any mesh factory into a
+  quantized-control model.
+* :func:`quantization_robustness_curve` — accuracy (or fidelity)
+  versus bit width, the ROQ-style ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor, ensure_tensor, straight_through
+
+__all__ = [
+    "PhaseQuantConfig",
+    "QuantizationPoint",
+    "make_phase_quantizer",
+    "phase_grid",
+    "phase_resolution",
+    "quantization_robustness_curve",
+    "quantize_phase",
+    "ste_quantize_phase",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+
+@dataclass(frozen=True)
+class PhaseQuantConfig:
+    """Uniform phase-quantizer settings.
+
+    ``bits`` control levels = 2^bits over one full period.  ``wrap``
+    folds phases into [0, 2 pi) before quantizing (the physical DAC
+    view); with ``wrap=False`` out-of-range phases snap to the nearest
+    grid point of the *unwrapped* lattice, which is periodic anyway.
+    """
+
+    bits: int
+    wrap: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+
+    @property
+    def n_levels(self) -> int:
+        return 2 ** self.bits
+
+    @property
+    def step(self) -> float:
+        return _TWO_PI / self.n_levels
+
+
+def phase_resolution(bits: int) -> float:
+    """Smallest phase increment of a b-bit control: 2 pi / 2^b."""
+    return PhaseQuantConfig(bits=bits).step
+
+
+def phase_grid(bits: int) -> np.ndarray:
+    """All representable phases of a b-bit control in [0, 2 pi)."""
+    cfg = PhaseQuantConfig(bits=bits)
+    return np.arange(cfg.n_levels) * cfg.step
+
+
+def quantize_phase(phases: np.ndarray, bits: int, wrap: bool = True) -> np.ndarray:
+    """Round phases to the nearest b-bit grid point (numpy).
+
+    The grid is periodic: with ``wrap=True`` the value 2 pi - eps maps
+    to 0 (the nearest representable setting modulo the period).
+    """
+    cfg = PhaseQuantConfig(bits=bits, wrap=wrap)
+    phi = np.asarray(phases, dtype=float)
+    if wrap:
+        phi = np.mod(phi, _TWO_PI)
+    q = np.round(phi / cfg.step) * cfg.step
+    if wrap:
+        q = np.mod(q, _TWO_PI)
+    return q
+
+
+def ste_quantize_phase(phases: Tensor, bits: int, wrap: bool = True) -> Tensor:
+    """Quantize in the forward pass, identity gradient in the backward.
+
+    The straight-through estimator lets gradient descent move the
+    latent continuous phase even though the forward value is snapped
+    to the DAC grid — the same trick the paper uses for coupler
+    binarization (Eq. 14), applied to phase controls.
+    """
+    phases = ensure_tensor(phases)
+    q = quantize_phase(phases.data, bits, wrap=wrap)
+    return straight_through(q, phases)
+
+
+def make_phase_quantizer(bits: int, wrap: bool = True) -> Callable[[Tensor], Tensor]:
+    """A ``phase_transform`` hook for :class:`UnitaryFactory`.
+
+    Example::
+
+        factory = MZIMeshFactory(k=8, n_units=4)
+        factory.phase_transform = make_phase_quantizer(bits=4)
+        # every build() now sees 4-bit phases, trained with STE
+    """
+
+    def transform(phases: Tensor) -> Tensor:
+        return ste_quantize_phase(phases, bits, wrap=wrap)
+
+    transform.bits = bits  # introspectable for reports
+    return transform
+
+
+@dataclass
+class QuantizationPoint:
+    """One point of a bit-width robustness sweep."""
+
+    bits: int
+    score: float
+    score_std: float = 0.0
+
+
+def quantization_robustness_curve(
+    evaluate: Callable[[Optional[int]], float],
+    bit_widths: Sequence[int] = (8, 6, 5, 4, 3, 2, 1),
+    n_trials: int = 1,
+) -> List[QuantizationPoint]:
+    """Evaluate a model at several phase bit widths.
+
+    ``evaluate(bits)`` must return a scalar score (accuracy, fidelity,
+    negative loss, ...) with the given quantization applied; ``bits``
+    is None for the full-precision reference, which is prepended to
+    the returned list with ``bits = 0`` as a sentinel.
+    """
+    points: List[QuantizationPoint] = []
+    ref = [float(evaluate(None)) for _ in range(n_trials)]
+    points.append(QuantizationPoint(bits=0, score=float(np.mean(ref)),
+                                    score_std=float(np.std(ref))))
+    for bits in bit_widths:
+        scores = [float(evaluate(int(bits))) for _ in range(n_trials)]
+        points.append(QuantizationPoint(bits=int(bits), score=float(np.mean(scores)),
+                                        score_std=float(np.std(scores))))
+    return points

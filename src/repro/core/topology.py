@@ -1,0 +1,164 @@
+"""Searched PTC topology artifact.
+
+The output of an ADEPT search is a *topology*: the block count of each
+unitary (B_U, B_V), the CR-layer permutation of every block, and the
+DC-layer coupler placement of every block.  Phases are **not** part of
+a topology — they remain programmable after fabrication and are trained
+per task (variation-aware retraining).
+
+Topologies serialize to JSON so searched designs can be shipped,
+compared, and instantiated into ONN layers
+(:class:`repro.onn.layers.PTCLinear` accepts a topology as its mesh).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..photonics.crossings import count_inversions
+from ..photonics.footprint import FootprintBreakdown
+from ..photonics.pdk import FoundryPDK
+
+
+@dataclass
+class BlockSpec:
+    """One SuperMesh block: PS column + DC column + CR network."""
+
+    coupler_mask: np.ndarray  # bool, one per slot
+    offset: int  # 0 or 1 (DC column interleave)
+    perm: Optional[np.ndarray] = None  # index vector; None = identity
+
+    def n_dc(self) -> int:
+        return int(np.asarray(self.coupler_mask).sum())
+
+    def n_cr(self) -> int:
+        if self.perm is None:
+            return 0
+        return count_inversions(list(self.perm))
+
+    def to_dict(self) -> dict:
+        return {
+            "coupler_mask": [bool(x) for x in np.asarray(self.coupler_mask)],
+            "offset": int(self.offset),
+            "perm": None if self.perm is None else [int(x) for x in self.perm],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BlockSpec":
+        return cls(
+            coupler_mask=np.asarray(d["coupler_mask"], dtype=bool),
+            offset=int(d["offset"]),
+            perm=None if d.get("perm") is None else np.asarray(d["perm"], dtype=int),
+        )
+
+
+@dataclass
+class PTCTopology:
+    """A complete searched PTC design for the blocked USV layer."""
+
+    k: int
+    blocks_u: List[BlockSpec] = field(default_factory=list)
+    blocks_v: List[BlockSpec] = field(default_factory=list)
+    name: str = "adept"
+    pdk_name: str = ""
+    footprint_constraint: Tuple[float, float] = (0.0, float("inf"))
+
+    # -- accounting -------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks_u) + len(self.blocks_v)
+
+    def device_counts(self) -> Tuple[int, int, int]:
+        """(n_ps, n_dc, n_cr) over all blocks of U and V."""
+        blocks = self.blocks_u + self.blocks_v
+        n_ps = self.k * len(blocks)
+        n_dc = sum(b.n_dc() for b in blocks)
+        n_cr = sum(b.n_cr() for b in blocks)
+        return n_ps, n_dc, n_cr
+
+    def footprint(self, pdk: FoundryPDK) -> FootprintBreakdown:
+        n_ps, n_dc, n_cr = self.device_counts()
+        return FootprintBreakdown(
+            n_ps=n_ps,
+            n_dc=n_dc,
+            n_cr=n_cr,
+            total=pdk.footprint(n_ps, n_dc, n_cr),
+            n_blocks=self.n_blocks,
+        )
+
+    def summary(self, pdk: Optional[FoundryPDK] = None) -> str:
+        n_ps, n_dc, n_cr = self.device_counts()
+        s = (
+            f"PTCTopology {self.name!r}: K={self.k}, "
+            f"#Blk={self.n_blocks} (U:{len(self.blocks_u)} V:{len(self.blocks_v)}), "
+            f"#PS={n_ps}, #DC={n_dc}, #CR={n_cr}"
+        )
+        if pdk is not None:
+            s += f", footprint={self.footprint(pdk).in_paper_units():.1f}k um^2 [{pdk.name}]"
+        return s
+
+    # -- serialization ------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "k": self.k,
+                "name": self.name,
+                "pdk_name": self.pdk_name,
+                "footprint_constraint": list(self.footprint_constraint),
+                "blocks_u": [b.to_dict() for b in self.blocks_u],
+                "blocks_v": [b.to_dict() for b in self.blocks_v],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PTCTopology":
+        d = json.loads(text)
+        return cls(
+            k=int(d["k"]),
+            name=d.get("name", "adept"),
+            pdk_name=d.get("pdk_name", ""),
+            footprint_constraint=tuple(d.get("footprint_constraint", (0.0, float("inf")))),
+            blocks_u=[BlockSpec.from_dict(b) for b in d["blocks_u"]],
+            blocks_v=[BlockSpec.from_dict(b) for b in d["blocks_v"]],
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "PTCTopology":
+        return cls.from_json(Path(path).read_text())
+
+
+def random_topology(
+    k: int,
+    n_blocks_u: int,
+    n_blocks_v: int,
+    rng: np.random.Generator,
+    coupler_density: float = 0.7,
+    permute_prob: float = 0.5,
+    name: str = "random",
+) -> PTCTopology:
+    """A random topology in ADEPT's search space (baseline / testing)."""
+
+    def make_block(b: int) -> BlockSpec:
+        offset = b % 2
+        slots = (k - offset) // 2
+        mask = rng.random(slots) < coupler_density
+        if not mask.any():
+            mask[int(rng.integers(0, slots))] = True
+        perm = rng.permutation(k) if rng.random() < permute_prob else None
+        return BlockSpec(coupler_mask=mask, offset=offset, perm=perm)
+
+    return PTCTopology(
+        k=k,
+        blocks_u=[make_block(b) for b in range(n_blocks_u)],
+        blocks_v=[make_block(b) for b in range(n_blocks_v)],
+        name=name,
+    )

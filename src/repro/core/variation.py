@@ -1,0 +1,115 @@
+"""Variation-aware training and noise-robustness evaluation (paper
+section 4.1-4.2, Fig. 4).
+
+After the topology search, target ONNs are retrained with Gaussian
+phase noise Delta-phi ~ N(0, sigma^2) injected into every phase shifter
+(sigma = 0.02 in the paper), which makes the deployed circuit robust to
+thermal crosstalk and control quantization.  Robustness is then
+evaluated by sweeping the inference-time noise intensity and averaging
+over repeated noisy runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data import Dataset
+from ..nn import Module
+from ..onn.layers import set_model_phase_noise
+from ..onn.trainer import TrainConfig, TrainResult, evaluate, train
+from ..utils.rng import spawn_rng
+from .supermesh import SuperMeshCore
+
+
+def _set_any_phase_noise(model: Module, std: float) -> int:
+    """Set phase noise on PTC cores and SuperMesh cores alike."""
+    count = set_model_phase_noise(model, std)
+    for m in model.modules():
+        if isinstance(m, SuperMeshCore):
+            m.noise_std = std
+            count += 1
+    return count
+
+
+def variation_aware_train(
+    model: Module,
+    train_set: Dataset,
+    test_set: Optional[Dataset] = None,
+    noise_std: float = 0.02,
+    config: Optional[TrainConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> TrainResult:
+    """Train ``model`` with phase-noise injection enabled.
+
+    Noise is active during training batches and disabled for the test
+    evaluations inside the loop (clean accuracy is reported; noisy
+    accuracy comes from :func:`noise_robustness_curve`).
+    """
+    n_cores = _set_any_phase_noise(model, noise_std)
+    if n_cores == 0:
+        raise ValueError("model has no photonic cores to inject noise into")
+    try:
+        result = train(model, train_set, test_set, config=config, rng=rng)
+    finally:
+        _set_any_phase_noise(model, 0.0)
+    return result
+
+
+@dataclass
+class RobustnessPoint:
+    """Accuracy statistics at one phase-noise intensity."""
+
+    noise_std: float
+    mean_acc: float
+    std_acc: float
+    runs: List[float]
+
+
+def noise_robustness_curve(
+    model: Module,
+    test_set: Dataset,
+    noise_stds: Sequence[float] = (0.02, 0.04, 0.06, 0.08, 0.10),
+    n_runs: int = 20,
+    seed: int = 0,
+) -> List[RobustnessPoint]:
+    """Accuracy-vs-noise curve (paper Fig. 4; +-3 sigma over n_runs).
+
+    Each run draws fresh phase noise in every photonic core, evaluates
+    clean-labels accuracy on ``test_set``, and restores the model.
+    """
+    points: List[RobustnessPoint] = []
+    for std in noise_stds:
+        accs: List[float] = []
+        for run in range(n_runs):
+            # Reseed core RNGs per run for independent noise draws.
+            rng = spawn_rng(hash((seed, float(std), run)) % (2**31))
+            _seed_core_rngs(model, rng)
+            _set_any_phase_noise(model, std)
+            try:
+                accs.append(evaluate(model, test_set))
+            finally:
+                _set_any_phase_noise(model, 0.0)
+        arr = np.asarray(accs)
+        points.append(
+            RobustnessPoint(
+                noise_std=float(std),
+                mean_acc=float(arr.mean()),
+                std_acc=float(arr.std()),
+                runs=accs,
+            )
+        )
+    return points
+
+
+def _seed_core_rngs(model: Module, rng: np.random.Generator) -> None:
+    from ..onn.layers import BlockUSV
+
+    for m in model.modules():
+        if isinstance(m, BlockUSV):
+            m.u_factory._rng = rng
+            m.v_factory._rng = rng
+        elif isinstance(m, SuperMeshCore):
+            m._rng = rng

@@ -1,0 +1,26 @@
+"""Synthetic datasets and loaders (offline stand-ins for the paper's
+MNIST / FashionMNIST / SVHN / CIFAR-10; see DESIGN.md section 1)."""
+
+from .loader import DataLoader
+from .transforms import (
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandomHorizontalFlip,
+    RandomShift,
+)
+from .synthetic import SPECS, Dataset, SyntheticSpec, make_dataset, train_test_split
+
+__all__ = [
+    "Compose",
+    "DataLoader",
+    "GaussianNoise",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomShift",
+    "Dataset",
+    "SPECS",
+    "SyntheticSpec",
+    "make_dataset",
+    "train_test_split",
+]

@@ -1,0 +1,55 @@
+"""Mini-batch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..utils.rng import get_rng
+from .synthetic import Dataset
+
+
+class DataLoader:
+    """Iterate a :class:`Dataset` in shuffled mini-batches.
+
+    Yields ``(images, labels)`` numpy pairs; images are converted to
+    tensors by the training loop so evaluation code can stay in numpy.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: np.random.Generator | None = None,
+        transform=None,
+    ):
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        #: Optional per-batch augmentation ``(images, rng) -> images``
+        #: (see :mod:`repro.data.transforms`).
+        self.transform = transform
+        self._rng = get_rng(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        idx = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(idx)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            sel = idx[start : start + self.batch_size]
+            images = self.dataset.images[sel]
+            if self.transform is not None:
+                images = self.transform(images, self._rng)
+            yield images, self.dataset.labels[sel]

@@ -1,0 +1,119 @@
+"""Training-time data augmentation for the synthetic datasets.
+
+The paper's full-scale training uses the standard light augmentation
+recipe for small image benchmarks (random shifts and flips).  These
+transforms operate on (N, C, H, W) float arrays and compose; the
+:class:`~repro.data.loader.DataLoader` applies an optional transform
+per batch, so augmentation costs nothing when disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..utils.rng import get_rng
+
+__all__ = [
+    "Compose",
+    "GaussianNoise",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomShift",
+]
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class Compose:
+    """Apply transforms in sequence: ``Compose([A, B])(x) = B(A(x))``."""
+
+    def __init__(self, transforms: Sequence[Transform]):
+        self.transforms = list(transforms)
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        rng = get_rng(rng)
+        out = images
+        for t in self.transforms:
+            out = t(out, rng)
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(type(t).__name__ for t in self.transforms)
+        return f"Compose([{inner}])"
+
+
+class RandomShift:
+    """Shift each image by up to ``max_shift`` pixels per axis
+    (zero-padded), drawn independently per image."""
+
+    def __init__(self, max_shift: int = 2):
+        if max_shift < 0:
+            raise ValueError("max_shift must be >= 0")
+        self.max_shift = max_shift
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        rng = get_rng(rng)
+        if self.max_shift == 0:
+            return images
+        n = images.shape[0]
+        out = np.zeros_like(images)
+        shifts = rng.integers(-self.max_shift, self.max_shift + 1, size=(n, 2))
+        h, w = images.shape[2], images.shape[3]
+        for i in range(n):
+            dy, dx = int(shifts[i, 0]), int(shifts[i, 1])
+            src_y = slice(max(0, -dy), min(h, h - dy))
+            src_x = slice(max(0, -dx), min(w, w - dx))
+            dst_y = slice(max(0, dy), min(h, h + dy))
+            dst_x = slice(max(0, dx), min(w, w + dx))
+            out[i, :, dst_y, dst_x] = images[i, :, src_y, src_x]
+        return out
+
+
+class RandomHorizontalFlip:
+    """Mirror each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self.p = p
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        rng = get_rng(rng)
+        flip = rng.random(images.shape[0]) < self.p
+        out = images.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class GaussianNoise:
+    """Add zero-mean Gaussian pixel noise (regularizer)."""
+
+    def __init__(self, std: float = 0.05):
+        if std < 0:
+            raise ValueError("std must be >= 0")
+        self.std = std
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        rng = get_rng(rng)
+        if self.std == 0.0:
+            return images
+        return images + rng.normal(0.0, self.std, size=images.shape)
+
+
+class Normalize:
+    """Per-channel standardization with fixed statistics."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        self.mean = np.asarray(mean, dtype=float).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=float).reshape(1, -1, 1, 1)
+        if (self.std <= 0).any():
+            raise ValueError("std entries must be > 0")
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        if images.shape[1] != self.mean.shape[1]:
+            raise ValueError(
+                f"expected {self.mean.shape[1]} channels, got {images.shape[1]}"
+            )
+        return (images - self.mean) / self.std

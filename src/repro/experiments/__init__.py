@@ -1,0 +1,103 @@
+"""Paper-reproduction experiments: one module per table/figure.
+
+See DESIGN.md section 3 for the experiment index and shape targets.
+"""
+
+from .ablations import (
+    run_alm_variant_ablation,
+    run_crossing_cost_sweep,
+    run_normalization_ablation,
+    run_perm_init_ablation,
+)
+from .common import (
+    ExperimentScale,
+    MeshResult,
+    TABLE1_WINDOWS,
+    TABLE2_WINDOWS,
+    baseline_results,
+    full_scale,
+    get_data,
+    run_search,
+    train_eval_mesh,
+)
+from .extensions import (
+    ExpressivityComparison,
+    NonidealityStudy,
+    PowerComparison,
+    QuantizationStudy,
+    SearchMethodAblation,
+    run_expressivity_comparison,
+    run_nonideality_study,
+    run_power_comparison,
+    run_quantization_study,
+    run_search_method_ablation,
+)
+from .fig4 import NOISE_STDS, RobustnessCurves, check_fig4_shape, run_fig4_part
+from .fig5 import (
+    BETA_VALUES,
+    RHO0_VALUES,
+    check_fig5a_shape,
+    check_fig5b_shape,
+    run_fig5a,
+    run_fig5b,
+)
+from .report import mesh_results_csv, mesh_results_markdown, robustness_csv
+from .table1 import Table1Result, check_table1_shape, run_table1
+from .table2 import Table2Result, check_table2_shape, run_table2
+from .table3 import (
+    PAPER_TABLE3,
+    Table3Result,
+    check_table3_shape,
+    run_table3,
+    search_transfer_topologies,
+)
+
+__all__ = [
+    "ExpressivityComparison",
+    "NonidealityStudy",
+    "PowerComparison",
+    "QuantizationStudy",
+    "SearchMethodAblation",
+    "run_expressivity_comparison",
+    "run_nonideality_study",
+    "run_power_comparison",
+    "run_quantization_study",
+    "run_search_method_ablation",
+    "mesh_results_csv",
+    "mesh_results_markdown",
+    "robustness_csv",
+    "BETA_VALUES",
+    "ExperimentScale",
+    "MeshResult",
+    "NOISE_STDS",
+    "PAPER_TABLE3",
+    "RHO0_VALUES",
+    "RobustnessCurves",
+    "TABLE1_WINDOWS",
+    "TABLE2_WINDOWS",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "baseline_results",
+    "check_fig4_shape",
+    "check_fig5a_shape",
+    "check_fig5b_shape",
+    "check_table1_shape",
+    "check_table2_shape",
+    "check_table3_shape",
+    "full_scale",
+    "get_data",
+    "run_alm_variant_ablation",
+    "run_crossing_cost_sweep",
+    "run_fig4_part",
+    "run_fig5a",
+    "run_fig5b",
+    "run_normalization_ablation",
+    "run_perm_init_ablation",
+    "run_search",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "search_transfer_topologies",
+    "train_eval_mesh",
+]

@@ -1,0 +1,68 @@
+"""Markdown / CSV report generation from experiment results.
+
+The benches print human-readable tables; downstream tooling (paper
+drafts, dashboards, regression tracking) wants structured artifacts.
+This module renders the experiment result dataclasses to GitHub
+markdown and CSV without any formatting logic leaking into the
+experiment code.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Sequence
+
+from .common import MeshResult
+
+__all__ = ["mesh_results_csv", "mesh_results_markdown", "robustness_csv"]
+
+
+def _window_str(r: MeshResult) -> str:
+    if r.window is None:
+        return "-"
+    return f"[{r.window[0]:.0f}, {r.window[1]:.0f}]"
+
+
+def mesh_results_markdown(rows: Sequence[MeshResult], title: str = "") -> str:
+    """GitHub-markdown table of one Table-1/2 style result set."""
+    lines: List[str] = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| design | #CR | #DC | #Blk | window (k µm²) "
+                  "| footprint (k µm²) | accuracy (%) |")
+    lines.append("|---|---:|---:|---:|---|---:|---:|")
+    for r in rows:
+        fb = r.footprint
+        lines.append(
+            f"| {r.name} | {fb.n_cr} | {fb.n_dc} | {fb.n_blocks} "
+            f"| {_window_str(r)} | {fb.in_paper_units():.1f} "
+            f"| {r.accuracy:.2f} |"
+        )
+    return "\n".join(lines)
+
+
+def mesh_results_csv(rows: Sequence[MeshResult]) -> str:
+    """CSV (header + one line per design) of a result set."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["design", "n_cr", "n_dc", "n_blocks", "window_lo_kum2",
+                     "window_hi_kum2", "footprint_kum2", "accuracy_percent"])
+    for r in rows:
+        fb = r.footprint
+        lo, hi = r.window if r.window is not None else ("", "")
+        writer.writerow([r.name, fb.n_cr, fb.n_dc, fb.n_blocks, lo, hi,
+                         f"{fb.in_paper_units():.3f}", f"{r.accuracy:.3f}"])
+    return buf.getvalue()
+
+
+def robustness_csv(curves: Dict[str, List[tuple]]) -> str:
+    """CSV of Fig. 4-style noise curves: design, sigma, mean, std."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["design", "noise_std", "accuracy_mean", "accuracy_std"])
+    for name, points in curves.items():
+        for sigma, mean, std in points:
+            writer.writerow([name, sigma, f"{mean:.4f}", f"{std:.4f}"])
+    return buf.getvalue()

@@ -1,0 +1,96 @@
+"""Table 2: PDK adaptation — 16x16 PTCs on AIM Photonics PDKs.
+
+AIM crossings (4900 um^2) are larger than couplers (4000 um^2), so the
+searched topologies must avoid CR-heavy routing to honor the same
+footprint windows.  The paper's headline: ADEPT-a0 matches FFT-ONN
+accuracy at 2.4x smaller footprint; ADEPT-a5 is 2.9x more compact than
+MZI-ONN with similar expressiveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..photonics import AIM, butterfly_footprint, mzi_onn_footprint
+from .common import (
+    ExperimentScale,
+    MeshResult,
+    TABLE2_WINDOWS,
+    baseline_results,
+    print_table,
+    run_search,
+    train_eval_mesh,
+)
+
+
+@dataclass
+class Table2Result:
+    rows: List[MeshResult] = field(default_factory=list)
+
+    @property
+    def baselines(self) -> List[MeshResult]:
+        return [r for r in self.rows if r.window is None]
+
+    @property
+    def searched(self) -> List[MeshResult]:
+        return [r for r in self.rows if r.window is not None]
+
+
+def run_table2(
+    k: int = 16,
+    n_targets: int = 6,
+    scale: Optional[ExperimentScale] = None,
+    with_accuracy: bool = True,
+) -> Table2Result:
+    scale = scale or ExperimentScale.from_env()
+    result = Table2Result()
+    result.rows.extend(baseline_results(k, AIM, scale, with_accuracy))
+    for i, window in enumerate(TABLE2_WINDOWS[:n_targets]):
+        name = f"ADEPT-a{i}"
+        search = run_search(k, AIM, window, scale, name=name, seed=scale.seed + 100 + i)
+        topo = search.topology
+        acc = (
+            train_eval_mesh(topo, k, scale, seed=scale.seed + 100 + i)[0]
+            if with_accuracy
+            else float("nan")
+        )
+        result.rows.append(
+            MeshResult(
+                name=name,
+                footprint=topo.footprint(AIM),
+                accuracy=acc,
+                window=window,
+                topology=topo,
+            )
+        )
+    print_table(f"Table 2 - {k}x{k} PTCs on AIM", result.rows)
+    return result
+
+
+def check_table2_shape(result: Table2Result, k: int = 16) -> List[str]:
+    """AIM-specific shape targets: constraint satisfaction plus
+    crossing-avoidance versus the butterfly baseline."""
+    problems: List[str] = []
+    bf = butterfly_footprint(AIM, k)
+    mzi = mzi_onn_footprint(AIM, k)
+    for r in result.searched:
+        f = r.footprint.in_paper_units()
+        lo, hi = r.window
+        if not (lo <= f <= hi):
+            problems.append(f"{r.name}: footprint {f:.1f}k outside [{lo}, {hi}]")
+        # Under *tight* windows the search must learn that AIM crossings
+        # are expensive and stay below the butterfly's crossing rate
+        # (the paper's adaptation claim); loose windows leave routing
+        # headroom, so only constraint satisfaction is required there.
+        tight = hi <= 700
+        if tight and r.footprint.n_blocks and (
+            r.footprint.n_cr / r.footprint.n_blocks
+            > bf.n_cr / bf.n_blocks
+        ):
+            problems.append(f"{r.name}: crossing-heavier than butterfly on AIM")
+    if result.searched:
+        smallest = min(r.footprint.total for r in result.searched)
+        if mzi.total < 2.5 * smallest:
+            problems.append("smallest ADEPT not >2.5x more compact than MZI-ONN")
+    return problems

@@ -1,0 +1,18 @@
+"""Netlist extraction, floorplan estimation, and schematic rendering."""
+
+from .netlist import Device, Netlist, build_netlist
+from .placement import DeviceGeometry, PlacementReport, place
+from .render import render_netlist, render_topology
+from .svg import floorplan_svg
+
+__all__ = [
+    "Device",
+    "DeviceGeometry",
+    "Netlist",
+    "PlacementReport",
+    "build_netlist",
+    "floorplan_svg",
+    "place",
+    "render_netlist",
+    "render_topology",
+]

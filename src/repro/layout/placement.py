@@ -1,0 +1,137 @@
+"""Column-based physical placement estimation.
+
+Footprint accounting (Tables 1-2) sums device areas; an actual chip
+also pays *packing* overhead: devices sit on a waveguide pitch grid
+and a column is as wide as its widest device.  This module turns a
+netlist into a simple column-per-column floorplan and reports chip
+dimensions, so designs with identical summed-area footprints but
+different column structures can be compared physically.
+
+Device geometries are derived from the PDK areas with per-kind aspect
+ratios (phase shifters are long and thin; crossings are square), and
+can be overridden per foundry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..photonics.pdk import FoundryPDK
+from .netlist import Netlist
+
+__all__ = ["DeviceGeometry", "PlacementReport", "place"]
+
+#: Default length/width aspect ratio per device kind.  Thermo-optic
+#: phase shifters are dominated by a long heater; couplers by their
+#: interaction length; crossings are roughly square.
+DEFAULT_ASPECT: Dict[str, float] = {"ps": 10.0, "dc": 4.0, "cr": 1.0}
+
+#: Lateral spacing between adjacent columns (um).
+COLUMN_GAP_UM = 10.0
+
+#: Minimum waveguide pitch (um) — lower bound on row spacing.
+MIN_PITCH_UM = 25.0
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Rectangular outline of one device kind: length along the light
+    direction, width across waveguides."""
+
+    kind: str
+    length_um: float
+    width_um: float
+
+    @property
+    def area_um2(self) -> float:
+        return self.length_um * self.width_um
+
+    @classmethod
+    def from_pdk(cls, kind: str, pdk: FoundryPDK,
+                 aspect: Optional[float] = None) -> "DeviceGeometry":
+        area = {"ps": pdk.ps_area, "dc": pdk.dc_area, "cr": pdk.cr_area}[kind]
+        a = DEFAULT_ASPECT[kind] if aspect is None else aspect
+        width = math.sqrt(area / a)
+        return cls(kind=kind, length_um=a * width, width_um=width)
+
+
+@dataclass
+class PlacementReport:
+    """Estimated floorplan of a netlist on a given PDK."""
+
+    pdk_name: str
+    n_columns: int
+    chip_length_um: float  # along light propagation
+    chip_height_um: float  # across the K waveguides
+    active_area_um2: float  # sum of device areas
+    pitch_um: float
+    column_lengths_um: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def chip_area_um2(self) -> float:
+        return self.chip_length_um * self.chip_height_um
+
+    @property
+    def utilization(self) -> float:
+        """Active device area / floorplan area, in (0, 1]."""
+        if self.chip_area_um2 <= 0:
+            return 0.0
+        return self.active_area_um2 / self.chip_area_um2
+
+    def summary(self) -> str:
+        return (
+            f"floorplan [{self.pdk_name}]: "
+            f"{self.chip_length_um:.0f} x {self.chip_height_um:.0f} um "
+            f"({self.chip_area_um2 / 1e6:.3f} mm^2), "
+            f"{self.n_columns} columns, "
+            f"utilization {100 * self.utilization:.1f}%"
+        )
+
+
+def place(
+    netlist: Netlist,
+    pdk: FoundryPDK,
+    aspect: Optional[Dict[str, float]] = None,
+    column_gap_um: float = COLUMN_GAP_UM,
+    min_pitch_um: float = MIN_PITCH_UM,
+) -> PlacementReport:
+    """Column-per-column floorplan of ``netlist`` on ``pdk``.
+
+    * chip length = sum over columns of the longest device in the
+      column, plus inter-column gaps;
+    * waveguide pitch = the widest device on the chip (devices in one
+      column must not overlap laterally), floored at ``min_pitch_um``;
+    * chip height = K * pitch.
+    """
+    aspects = dict(DEFAULT_ASPECT)
+    if aspect:
+        aspects.update(aspect)
+    geom = {kind: DeviceGeometry.from_pdk(kind, pdk, aspects[kind])
+            for kind in ("ps", "dc", "cr")}
+
+    column_lengths: Dict[int, float] = {}
+    active = 0.0
+    pitch = min_pitch_um
+    for device in netlist.devices:
+        g = geom[device.kind]
+        active += g.area_um2
+        pitch = max(pitch, g.width_um)
+        column_lengths[device.column] = max(
+            column_lengths.get(device.column, 0.0), g.length_um
+        )
+    n_columns = netlist.n_columns
+    length = sum(column_lengths.values())
+    if n_columns > 1:
+        length += column_gap_um * (n_columns - 1)
+    height = netlist.k * pitch
+    return PlacementReport(
+        pdk_name=pdk.name,
+        n_columns=n_columns,
+        chip_length_um=length,
+        chip_height_um=height,
+        active_area_um2=active,
+        pitch_um=pitch,
+        column_lengths_um=column_lengths,
+    )

@@ -1,0 +1,95 @@
+"""ASCII schematic rendering of PTC netlists.
+
+A quick visual check of a searched design: one text row per
+waveguide, one 3-character cell per column.  Glyphs:
+
+* ``[P]`` — phase shifter;
+* ``(D`` / ``D)`` — top/bottom port of a directional coupler;
+* ``\\ /`` rendered as ``\\X/`` pairs — a waveguide crossing
+  (``>X<`` top row, ``>X<`` bottom row are joined as ``\\`` over
+  ``/``);
+* ``---`` — plain waveguide pass-through.
+
+The rendering is intentionally dependency-free (plain ``str``) so it
+can be printed from examples and embedded in experiment logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.topology import PTCTopology
+from .netlist import Netlist, build_netlist
+
+__all__ = ["render_netlist", "render_topology"]
+
+_CELL = {
+    "pass": "---",
+    "ps": "[P]",
+    "dc_top": "(D~",
+    "dc_bot": "~D)",
+    "cr_top": r"-\-",
+    "cr_bot": "-/-",
+}
+
+
+def render_netlist(netlist: Netlist, max_columns: Optional[int] = None) -> str:
+    """Render a netlist as K waveguide rows of 3-char cells.
+
+    ``max_columns`` truncates wide meshes (an ellipsis column is
+    appended when truncation happens).
+    """
+    k = netlist.k
+    n_cols = netlist.n_columns
+    shown = n_cols if max_columns is None else min(n_cols, max_columns)
+    grid: List[List[str]] = [[_CELL["pass"]] * shown for _ in range(k)]
+    for device in netlist.devices:
+        if device.column >= shown:
+            continue
+        if device.kind == "ps":
+            grid[device.wires[0]][device.column] = _CELL["ps"]
+        elif device.kind == "dc":
+            top, bot = sorted(device.wires)
+            grid[top][device.column] = _CELL["dc_top"]
+            grid[bot][device.column] = _CELL["dc_bot"]
+        elif device.kind == "cr":
+            top, bot = sorted(device.wires)
+            grid[top][device.column] = _CELL["cr_top"]
+            grid[bot][device.column] = _CELL["cr_bot"]
+    lines = []
+    for w in range(k):
+        row = "".join(grid[w])
+        if shown < n_cols:
+            row += " .."
+        lines.append(f"{w:>2} >{row}> {w:>2}")
+    return "\n".join(lines)
+
+
+def render_topology(
+    topology: PTCTopology,
+    mesh: str = "both",
+    max_columns: Optional[int] = None,
+) -> str:
+    """Render a topology's U mesh, V mesh, or both, with headers.
+
+    ``mesh`` is ``"U"``, ``"V"``, or ``"both"``.
+    """
+    if mesh not in ("U", "V", "both"):
+        raise ValueError(f"mesh must be 'U', 'V', or 'both', got {mesh!r}")
+    sections: List[str] = []
+    selected = {
+        "U": [("U", topology.blocks_u)],
+        "V": [("V", topology.blocks_v)],
+        "both": [("U", topology.blocks_u), ("V", topology.blocks_v)],
+    }[mesh]
+    for label, blocks in selected:
+        sub = PTCTopology(k=topology.k, blocks_u=list(blocks), blocks_v=[],
+                          name=topology.name)
+        netlist = build_netlist(sub, name=f"{topology.name}.{label}")
+        header = (
+            f"{label} mesh of {topology.name!r} "
+            f"({len(blocks)} blocks, {netlist.n_columns} columns)"
+        )
+        sections.append(header + "\n" + render_netlist(netlist, max_columns))
+    legend = "legend: [P] phase shifter  (D~/~D) coupler  -\\-/-/- crossing"
+    return ("\n\n".join(sections)) + "\n" + legend

@@ -1,0 +1,89 @@
+"""SVG floorplan export — a visual, to-scale chip plot.
+
+Renders the column floorplan of :func:`repro.layout.placement.place`
+as standalone SVG: one rectangle per device, placed at its column's
+x-offset and its wire's y-pitch, colored by device kind.  No drawing
+dependency; output is plain XML that any browser opens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+from xml.sax.saxutils import escape
+
+from ..photonics.pdk import FoundryPDK
+from .netlist import Netlist
+from .placement import DeviceGeometry, PlacementReport, place
+
+__all__ = ["floorplan_svg"]
+
+_FILL = {"ps": "#e4572e", "dc": "#17bebb", "cr": "#76b041"}
+_MARGIN = 20.0
+
+
+def floorplan_svg(
+    netlist: Netlist,
+    pdk: FoundryPDK,
+    scale: float = 0.25,
+    title: str = "",
+) -> str:
+    """Standalone SVG of the column floorplan (1 px = ``1/scale`` um).
+
+    Devices are drawn to their PDK dimensions on the placement grid;
+    waveguides appear as thin horizontal lines spanning the chip.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be > 0")
+    report: PlacementReport = place(netlist, pdk)
+    geom = {kind: DeviceGeometry.from_pdk(kind, pdk)
+            for kind in ("ps", "dc", "cr")}
+
+    # x-offset of each column = running sum of column lengths + gaps.
+    x_off: Dict[int, float] = {}
+    x = 0.0
+    for col in range(report.n_columns):
+        x_off[col] = x
+        x += report.column_lengths_um.get(col, 0.0) + 10.0
+
+    pitch = report.pitch_um
+    width = (report.chip_length_um + 2 * _MARGIN) * scale
+    height = (report.chip_height_um + 2 * _MARGIN) * scale
+
+    def sx(v: float) -> float:
+        return (v + _MARGIN) * scale
+
+    def sy(v: float) -> float:
+        return (v + _MARGIN) * scale
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width:.0f}" height="{height:.0f}" '
+        f'viewBox="0 0 {width:.0f} {height:.0f}">',
+        f'<rect width="100%" height="100%" fill="#fafafa"/>',
+    ]
+    if title:
+        parts.append(
+            f'<title>{escape(title)}</title>')
+    # Waveguides.
+    for w in range(netlist.k):
+        y = sy((w + 0.5) * pitch)
+        parts.append(
+            f'<line x1="{sx(0):.1f}" y1="{y:.1f}" '
+            f'x2="{sx(report.chip_length_um):.1f}" y2="{y:.1f}" '
+            f'stroke="#888" stroke-width="1"/>')
+    # Devices.
+    for device in netlist.devices:
+        g = geom[device.kind]
+        x0 = sx(x_off[device.column])
+        top_wire = min(device.wires)
+        span = len(device.wires)
+        y0 = sy(top_wire * pitch + (pitch - g.width_um) / 2.0)
+        h = (g.width_um + (span - 1) * pitch) * scale
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{y0:.1f}" '
+            f'width="{g.length_um * scale:.1f}" height="{h:.1f}" '
+            f'fill="{_FILL[device.kind]}" fill-opacity="0.85" '
+            f'stroke="#333" stroke-width="0.5">'
+            f'<title>{escape(device.device_id)}</title></rect>')
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,39 @@
+"""Neural-network layer library over :mod:`repro.autograd`."""
+
+from . import functional
+from .layers import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from .loss import CrossEntropyLoss, MSELoss, accuracy
+from .module import Module, ModuleList, Parameter, Sequential
+from .norm import BatchNorm1d, BatchNorm2d
+
+__all__ = [
+    "AdaptiveAvgPool2d",
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Conv2d",
+    "CrossEntropyLoss",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "Linear",
+    "MSELoss",
+    "MaxPool2d",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "accuracy",
+    "functional",
+]

@@ -1,0 +1,148 @@
+"""Functional NN operations built on the autograd engine.
+
+The convolution path uses an im2col transform implemented as a custom
+autograd op (forward: ``sliding_window_view``; backward: col2im
+scatter-add), after which convolution reduces to a matrix product —
+the same lowering the paper's ONN layers use to map convolutions onto
+photonic tensor cores.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, custom_grad, ensure_tensor
+from ..autograd import tensor as T
+
+
+def _pair(v) -> Tuple[int, int]:
+    if isinstance(v, (tuple, list)):
+        return int(v[0]), int(v[1])
+    return int(v), int(v)
+
+
+def _im2col_array(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """(N, C, H, W) -> (N, OH, OW, C, kh, kw) patch view (copied)."""
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    # windows: (N, C, H-kh+1, W-kw+1, kh, kw)
+    windows = windows[:, :, ::sh, ::sw, :, :]
+    return np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5))
+
+
+def _col2im_array(
+    gcol: np.ndarray,
+    x_shape: Tuple[int, ...],
+    kh: int,
+    kw: int,
+    sh: int,
+    sw: int,
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col_array` (scatter-add patches back)."""
+    n, c, h, w = x_shape
+    gx = np.zeros(x_shape, dtype=gcol.dtype)
+    # gcol: (N, OH, OW, C, kh, kw)
+    oh, ow = gcol.shape[1], gcol.shape[2]
+    g = gcol.transpose(0, 3, 4, 5, 1, 2)  # (N, C, kh, kw, OH, OW)
+    for i in range(kh):
+        h_end = i + sh * oh
+        for j in range(kw):
+            w_end = j + sw * ow
+            gx[:, :, i:h_end:sh, j:w_end:sw] += g[:, :, i, j]
+    return gx
+
+
+def im2col(x: Tensor, kernel_size, stride=1) -> Tensor:
+    """Differentiable im2col: (N,C,H,W) -> (N,OH,OW,C,kh,kw)."""
+    x = ensure_tensor(x)
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride)
+    col = _im2col_array(x.data, kh, kw, sh, sw)
+    x_shape = x.shape
+
+    def backward(g: np.ndarray):
+        return (_col2im_array(g, x_shape, kh, kw, sh, sw),)
+
+    return custom_grad(col, (x,), backward)
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride=1,
+    padding=0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) via im2col + matmul.
+
+    ``x``: (N, C, H, W); ``weight``: (O, C, kh, kw); ``bias``: (O,).
+    """
+    x = ensure_tensor(x)
+    ph, pw = _pair(padding)
+    if ph or pw:
+        x = T.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    o, c, kh, kw = weight.shape
+    col = im2col(x, (kh, kw), stride)  # (N, OH, OW, C, kh, kw)
+    n, oh, ow = col.shape[0], col.shape[1], col.shape[2]
+    col2 = col.reshape((n * oh * ow, c * kh * kw))
+    w2 = weight.reshape((o, c * kh * kw))
+    out = col2 @ w2.T  # (N*OH*OW, O)
+    if bias is not None:
+        out = out + bias
+    out = out.reshape((n, oh, ow, o))
+    return out.transpose((0, 3, 1, 2))
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias``; ``weight``: (out, in)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel_size) -> Tensor:
+    """Non-overlapping average pooling (kernel == stride)."""
+    kh, kw = _pair(kernel_size)
+    n, c, h, w = x.shape
+    if h % kh or w % kw:
+        # Crop the ragged border (matches "valid" pooling behaviour).
+        x = x[:, :, : (h // kh) * kh, : (w // kw) * kw]
+        n, c, h, w = x.shape
+    x = x.reshape((n, c, h // kh, kh, w // kw, kw))
+    return x.mean(axis=(3, 5))
+
+
+def max_pool2d(x: Tensor, kernel_size) -> Tensor:
+    """Non-overlapping max pooling (kernel == stride)."""
+    kh, kw = _pair(kernel_size)
+    n, c, h, w = x.shape
+    if h % kh or w % kw:
+        x = x[:, :, : (h // kh) * kh, : (w // kw) * kw]
+        n, c, h, w = x.shape
+    x = x.reshape((n, c, h // kh, kh, w // kw, kw))
+    return x.max(axis=(3, 5))
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size) -> Tensor:
+    """Adaptive average pooling for sizes that evenly divide the input."""
+    oh, ow = _pair(output_size)
+    n, c, h, w = x.shape
+    if h % oh or w % ow:
+        raise ValueError(
+            f"adaptive_avg_pool2d requires divisible sizes, got {h}x{w} -> {oh}x{ow}"
+        )
+    return avg_pool2d(x, (h // oh, w // ow))
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: scale kept activations by 1/(1-p) at train time."""
+    if not training or p <= 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def flatten(x: Tensor, start_dim: int = 1) -> Tensor:
+    return x.flatten(start_dim)

@@ -1,0 +1,53 @@
+"""Parameter initialization schemes (Kaiming / Xavier / uniform)."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..utils.rng import get_rng
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        o, c, kh, kw = shape
+        fan_in = c * kh * kw
+        fan_out = o * kh * kw
+    else:
+        n = int(np.prod(shape))
+        fan_in = fan_out = max(1, n)
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape, a: float = math.sqrt(5), rng=None) -> np.ndarray:
+    """He-uniform init (PyTorch's default for Conv/Linear weights)."""
+    rng = get_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape, gain: float = 1.0, rng=None) -> np.ndarray:
+    rng = get_rng(rng)
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform_bias(shape, weight_shape, rng=None) -> np.ndarray:
+    """PyTorch-style bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    rng = get_rng(rng)
+    fan_in, _ = _fan_in_out(weight_shape)
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform_phases(shape, low: float = 0.0, high: float = 2 * math.pi, rng=None) -> np.ndarray:
+    """Uniform phase init for photonic phase shifters."""
+    rng = get_rng(rng)
+    return rng.uniform(low, high, size=shape)

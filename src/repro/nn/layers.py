@@ -1,0 +1,132 @@
+"""Standard neural-network layers (electronic baseline building blocks).
+
+The photonic counterparts (PTC-backed linear/conv) live in
+:mod:`repro.onn.layers`; both share this module system so models can mix
+electronic and photonic layers freely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..utils.rng import get_rng
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng=rng))
+        if bias:
+            self.bias = Parameter(init.uniform_bias((out_features,), self.weight.shape, rng=rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv2d(Module):
+    """2-D convolution layer (im2col lowering)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias: bool = True,
+        rng=None,
+    ):
+        super().__init__()
+        kh, kw = F._pair(kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kh, kw), rng=rng)
+        )
+        if bias:
+            self.bias = Parameter(init.uniform_bias((out_channels,), self.weight.shape, rng=rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+        )
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Flatten(Module):
+    def __init__(self, start_dim: int = 1):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(self.start_dim)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size)
+
+
+class AdaptiveAvgPool2d(Module):
+    def __init__(self, output_size):
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng=None):
+        super().__init__()
+        self.p = p
+        self._rng = get_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self._rng)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,60 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, log_softmax
+from .module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy with integer class targets.
+
+    ``logits``: (N, C) real tensor; ``target``: (N,) int array.
+    """
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, target) -> Tensor:
+        target = np.asarray(target, dtype=np.int64)
+        logp = log_softmax(logits, axis=-1)
+        n = logits.shape[0]
+        picked = logp[np.arange(n), target]
+        nll = -picked
+        if self.reduction == "mean":
+            return nll.mean()
+        if self.reduction == "sum":
+            return nll.sum()
+        return nll
+
+
+class MSELoss(Module):
+    """Mean squared error; for complex inputs uses |a - b|^2."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, pred: Tensor, target: Tensor) -> Tensor:
+        diff = pred - target
+        if diff.is_complex:
+            sq = (diff * diff.conj()).real()
+        else:
+            sq = diff * diff
+        if self.reduction == "mean":
+            return sq.mean()
+        if self.reduction == "sum":
+            return sq.sum()
+        return sq
+
+
+def accuracy(logits: Tensor, target) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    pred = np.argmax(logits.data, axis=-1)
+    target = np.asarray(target)
+    return float((pred == target).mean())

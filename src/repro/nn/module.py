@@ -1,0 +1,194 @@
+"""Minimal PyTorch-style module system.
+
+Provides :class:`Parameter`, :class:`Module` (with recursive parameter
+discovery, train/eval mode, and state-dict serialization),
+:class:`Sequential`, and :class:`ModuleList`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` registered as a trainable leaf of a module."""
+
+    def __init__(self, data, requires_grad: bool = True, name: Optional[str] = None):
+        super().__init__(np.asarray(data), requires_grad=requires_grad, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses define parameters/submodules as attributes in
+    ``__init__`` and implement :meth:`forward`.  Attribute assignment
+    auto-registers :class:`Parameter` and :class:`Module` instances.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- registration ---------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._modules.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state saved in the state dict
+        (e.g., BatchNorm running statistics)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def _set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a registered buffer in place of re-registering."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal -------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters, depth-first, deduplicated."""
+        out: List[Parameter] = []
+        seen = set()
+        for _, p in self.named_parameters():
+            if id(p) not in seen:
+                seen.add(id(p))
+                out.append(p)
+        return out
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield (prefix + name, p)
+        for name, m in self._modules.items():
+            yield from m.named_parameters(prefix + name + ".")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            yield (prefix + name, getattr(self, name))
+        for name, m in self._modules.items():
+            yield from m.named_buffers(prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for m in self._modules.values():
+            yield from m.modules()
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    # -- mode ------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for m in self._modules.values():
+            m.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # -- serialization ----------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, p in self.named_parameters():
+            state[name] = p.data.copy()
+        for name, b in self.named_buffers():
+            state[name] = np.array(b, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own_params = dict(self.named_parameters())
+        for name, val in state.items():
+            if name in own_params:
+                np.copyto(own_params[name].data, val)
+        # Buffers must be re-bound on the owning module.
+        self._load_buffers(state, prefix="")
+
+    def _load_buffers(self, state: Dict[str, np.ndarray], prefix: str) -> None:
+        for name in list(self._buffers):
+            full = prefix + name
+            if full in state:
+                self._set_buffer(name, np.array(state[full], copy=True))
+        for name, m in self._modules.items():
+            m._load_buffers(state, prefix + name + ".")
+
+    # -- call --------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+
+class Sequential(Module):
+    """Chain modules, applying them in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: List[str] = []
+        for i, m in enumerate(modules):
+            setattr(self, f"m{i}", m)
+            self._order.append(f"m{i}")
+
+    def append(self, module: Module) -> "Sequential":
+        name = f"m{len(self._order)}"
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return (getattr(self, n) for n in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, i: int) -> Module:
+        return getattr(self, self._order[i])
+
+    def forward(self, x):
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+
+class ModuleList(Module):
+    """Hold submodules in a list (registered for parameter discovery)."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._order: List[str] = []
+        for m in modules:
+            self.append(m)
+
+    def append(self, module: Module) -> "ModuleList":
+        name = f"m{len(self._order)}"
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return (getattr(self, n) for n in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, i: int) -> Module:
+        return getattr(self, self._order[i])

@@ -1,0 +1,88 @@
+"""Batch normalization layers.
+
+BatchNorm is load-bearing in the paper's proxy model
+(C32K5-BN-ReLU-C32K5-BN-ReLU-Pool5-FC10): without it the complex-valued
+photonic layers' output statistics drift during SuperMesh relaxation,
+which is exactly why the paper adds row/column L2 normalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .module import Module, Parameter
+
+
+class _BatchNorm(Module):
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1, affine: bool = True):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones(num_features))
+            self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def _stats_axes(self, x: Tensor):
+        raise NotImplementedError
+
+    def _reshape_param(self, p, x: Tensor):
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = self._stats_axes(x)
+        if self.training:
+            mu = x.mean(axis=axes, keepdims=True)
+            centered = x - mu
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            # Update running stats with unbiased variance.
+            n = int(np.prod([x.shape[i] for i in axes]))
+            unbiased = var.data * (n / max(1, n - 1))
+            m = self.momentum
+            self._set_buffer(
+                "running_mean",
+                (1 - m) * self.running_mean + m * mu.data.reshape(-1),
+            )
+            self._set_buffer(
+                "running_var",
+                (1 - m) * self.running_var + m * unbiased.reshape(-1),
+            )
+            x_hat = centered / (var + self.eps).sqrt()
+        else:
+            mu = self._reshape_param(self.running_mean, x)
+            var = self._reshape_param(self.running_var, x)
+            x_hat = (x - Tensor(mu)) / Tensor(np.sqrt(var + self.eps))
+        if self.affine:
+            shape = self._param_shape(x)
+            return x_hat * self.weight.reshape(shape) + self.bias.reshape(shape)
+        return x_hat
+
+
+class BatchNorm1d(_BatchNorm):
+    """BatchNorm over (N, C) activations."""
+
+    def _stats_axes(self, x: Tensor):
+        return (0,)
+
+    def _param_shape(self, x: Tensor):
+        return (1, self.num_features)
+
+    def _reshape_param(self, p, x: Tensor):
+        return p.reshape(1, self.num_features)
+
+
+class BatchNorm2d(_BatchNorm):
+    """BatchNorm over (N, C, H, W) activations."""
+
+    def _stats_axes(self, x: Tensor):
+        return (0, 2, 3)
+
+    def _param_shape(self, x: Tensor):
+        return (1, self.num_features, 1, 1)
+
+    def _reshape_param(self, p, x: Tensor):
+        return p.reshape(1, self.num_features, 1, 1)

@@ -1,0 +1,32 @@
+"""Photonic ONN layers, model zoo, and training engine."""
+
+from .calibration import CalibrationResult, calibrate_adjoint, calibrate_spsa
+from .layers import (
+    BlockUSV,
+    PTCConv2d,
+    PTCLinear,
+    model_ptc_footprint,
+    set_model_phase_noise,
+)
+from .models import MODEL_BUILDERS, build_cnn2, build_lenet5, build_model, build_vgg8
+from .trainer import TrainConfig, TrainResult, evaluate, train
+
+__all__ = [
+    "BlockUSV",
+    "CalibrationResult",
+    "calibrate_adjoint",
+    "calibrate_spsa",
+    "MODEL_BUILDERS",
+    "PTCConv2d",
+    "PTCLinear",
+    "TrainConfig",
+    "TrainResult",
+    "build_cnn2",
+    "build_lenet5",
+    "build_model",
+    "build_vgg8",
+    "evaluate",
+    "model_ptc_footprint",
+    "set_model_phase_noise",
+    "train",
+]

@@ -1,0 +1,167 @@
+"""On-chip calibration: programming a fabricated mesh to a target.
+
+After fabrication, a PTC's passive errors (coupler imbalance, loss —
+see :mod:`repro.photonics.nonideality`) are frozen; only the phase
+shifters remain programmable.  Deploying a weight matrix therefore
+means *calibrating*: finding phase settings that realize the target as
+closely as the nonideal hardware allows.  Two regimes:
+
+* :func:`calibrate_adjoint` — gradient descent on a *digital twin*
+  (the chip model is differentiable in software).  Fast, but only as
+  good as the model.
+* :func:`calibrate_spsa` — simultaneous-perturbation stochastic
+  approximation: forward evaluations only, two per step, regardless
+  of parameter count.  This is the standard hardware-in-the-loop
+  protocol when the physical chip itself is the evaluator and no
+  gradients exist.
+
+Both minimize the relative Frobenius error to the target and report
+the measurement count, the quantity that costs wall-clock time on a
+real chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..optim import Adam
+from ..ptc.unitary import UnitaryFactory
+from ..utils.rng import get_rng
+
+__all__ = ["CalibrationResult", "calibrate_adjoint", "calibrate_spsa"]
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of a calibration run.
+
+    ``n_measurements`` counts forward evaluations of the chip (the
+    scarce resource in hardware-in-the-loop operation); ``history``
+    records the relative error every few steps.
+    """
+
+    method: str
+    initial_error: float
+    final_error: float
+    n_measurements: int
+    history: List[float] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """Fraction of the initial error removed, in [0, 1]."""
+        if self.initial_error <= 0:
+            return 0.0
+        return 1.0 - self.final_error / self.initial_error
+
+
+def _relative_error(factory: UnitaryFactory, target: np.ndarray) -> float:
+    with no_grad():
+        u = factory.build().data[0]
+    return float(np.linalg.norm(u - target) / np.linalg.norm(target))
+
+
+def _check(factory: UnitaryFactory, target: np.ndarray) -> np.ndarray:
+    if factory.n_units != 1:
+        raise ValueError("calibration requires a factory with n_units == 1")
+    target = np.asarray(target, dtype=complex)
+    if target.shape != (factory.k, factory.k):
+        raise ValueError(
+            f"target must be {factory.k} x {factory.k}, got {target.shape}")
+    return target
+
+
+def calibrate_adjoint(
+    factory: UnitaryFactory,
+    target: np.ndarray,
+    steps: int = 200,
+    lr: float = 0.02,
+    record_every: int = 10,
+) -> CalibrationResult:
+    """Digital-twin calibration: Adam on the differentiable chip model.
+
+    One 'measurement' per step (the forward pass of the twin).
+    """
+    target = _check(factory, target)
+    t = Tensor(target.reshape(1, factory.k, factory.k))
+    initial = _relative_error(factory, target)
+    opt = Adam(factory.parameters(), lr=lr)
+    history: List[float] = [initial]
+    for step in range(steps):
+        opt.zero_grad()
+        u = factory.build()
+        loss = ((u - t) * (u - t).conj()).real().sum()
+        loss.backward()
+        opt.step()
+        if (step + 1) % record_every == 0:
+            history.append(_relative_error(factory, target))
+    final = _relative_error(factory, target)
+    return CalibrationResult(method="adjoint", initial_error=initial,
+                             final_error=final, n_measurements=steps,
+                             history=history)
+
+
+def calibrate_spsa(
+    factory: UnitaryFactory,
+    target: np.ndarray,
+    steps: int = 800,
+    a0: float = 3.0,
+    c0: float = 0.2,
+    stability: float = 20.0,
+    record_every: int = 20,
+    rng=None,
+) -> CalibrationResult:
+    """Hardware-in-the-loop calibration with SPSA (Spall 1992).
+
+    Each step perturbs *all* phases simultaneously by a Rademacher
+    vector and estimates the gradient from two chip measurements —
+    the measurement cost is independent of the parameter count, which
+    is what makes SPSA practical on real photonic hardware.
+
+    The best-seen parameter vector is kept (SPSA iterates are noisy).
+    """
+    target = _check(factory, target)
+    rng = get_rng(rng)
+    params = list(factory.parameters())
+    initial = _relative_error(factory, target)
+    best_err = initial
+    best_state = [p.data.copy() for p in params]
+    history: List[float] = [initial]
+    n_meas = 0
+
+    def loss_at(offset_sign: float, deltas) -> float:
+        for p, d in zip(params, deltas):
+            p.data = p.data + offset_sign * d
+        err = _relative_error(factory, target)
+        for p, d in zip(params, deltas):
+            p.data = p.data - offset_sign * d
+        return err
+
+    for k in range(steps):
+        a_k = a0 / (k + 1 + stability) ** 0.602
+        c_k = c0 / (k + 1) ** 0.101
+        deltas = [c_k * rng.choice([-1.0, 1.0], size=p.data.shape)
+                  for p in params]
+        loss_plus = loss_at(+1.0, deltas)
+        loss_minus = loss_at(-1.0, deltas)
+        n_meas += 2
+        g_scale = (loss_plus - loss_minus) / (2.0 * c_k)
+        for p, d in zip(params, deltas):
+            # delta entries are +-c_k, so d / c_k is the Rademacher sign.
+            p.data = p.data - a_k * g_scale * (d / c_k)
+        err = _relative_error(factory, target)
+        n_meas += 1
+        if err < best_err:
+            best_err = err
+            best_state = [p.data.copy() for p in params]
+        if (k + 1) % record_every == 0:
+            history.append(best_err)
+
+    for p, data in zip(params, best_state):
+        p.data = data
+    return CalibrationResult(method="spsa", initial_error=initial,
+                             final_error=best_err, n_measurements=n_meas,
+                             history=history)

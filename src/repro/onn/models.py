@@ -1,0 +1,137 @@
+"""ONN model zoo (paper section 4.1).
+
+* ``build_cnn2`` — the search-proxy model:
+  C32K5-BN-ReLU-C32K5-BN-ReLU-Pool5-FC10.
+* ``build_lenet5`` — LeNet-5 used for transfer evaluation (Table 3).
+* ``build_vgg8`` — VGG-8 used for transfer evaluation (Table 3).
+
+All convolution / linear layers are photonic (:class:`PTCConv2d` /
+:class:`PTCLinear`) built on a shared mesh specification: ``"mzi"``,
+``"butterfly"``, or a searched :class:`~repro.core.topology.PTCTopology`.
+``width_mult`` scales channel counts so the CPU-only test environment
+can run the same architectures at reduced width (the paper trains the
+full-width models on GPU); channel ratios between layers are preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .. import nn
+from .layers import MeshSpec, PTCConv2d, PTCLinear
+
+
+def _ch(base: int, width_mult: float) -> int:
+    return max(2, int(round(base * width_mult)))
+
+
+def build_cnn2(
+    mesh: MeshSpec,
+    k: int = 8,
+    in_channels: int = 1,
+    image_size: int = 28,
+    n_classes: int = 10,
+    width_mult: float = 1.0,
+    rng=None,
+) -> nn.Module:
+    """The paper's 2-layer proxy CNN: C32K5-BN-ReLU-C32K5-BN-ReLU-Pool5-FC10."""
+    c = _ch(32, width_mult)
+    feat = image_size - 4 - 4  # two valid 5x5 convolutions
+    pooled = feat // 5
+    return nn.Sequential(
+        PTCConv2d(in_channels, c, 5, k=k, mesh=mesh, rng=rng),
+        nn.BatchNorm2d(c),
+        nn.ReLU(),
+        PTCConv2d(c, c, 5, k=k, mesh=mesh, rng=rng),
+        nn.BatchNorm2d(c),
+        nn.ReLU(),
+        nn.AvgPool2d(5),
+        nn.Flatten(),
+        PTCLinear(c * pooled * pooled, n_classes, k=k, mesh=mesh, rng=rng),
+    )
+
+
+def build_lenet5(
+    mesh: MeshSpec,
+    k: int = 8,
+    in_channels: int = 1,
+    image_size: int = 28,
+    n_classes: int = 10,
+    width_mult: float = 1.0,
+    rng=None,
+) -> nn.Module:
+    """LeNet-5: C6K5-Pool2-C16K5-Pool2-FC120-FC84-FC10 (photonic layers)."""
+    c1 = _ch(6, width_mult)
+    c2 = _ch(16, width_mult)
+    f1 = _ch(120, width_mult)
+    f2 = _ch(84, width_mult)
+    s = (image_size - 4) // 2
+    s = (s - 4) // 2
+    return nn.Sequential(
+        PTCConv2d(in_channels, c1, 5, k=k, mesh=mesh, rng=rng),
+        nn.BatchNorm2d(c1),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        PTCConv2d(c1, c2, 5, k=k, mesh=mesh, rng=rng),
+        nn.BatchNorm2d(c2),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        PTCLinear(c2 * s * s, f1, k=k, mesh=mesh, rng=rng),
+        nn.ReLU(),
+        PTCLinear(f1, f2, k=k, mesh=mesh, rng=rng),
+        nn.ReLU(),
+        PTCLinear(f2, n_classes, k=k, mesh=mesh, rng=rng),
+    )
+
+
+def build_vgg8(
+    mesh: MeshSpec,
+    k: int = 8,
+    in_channels: int = 3,
+    image_size: int = 32,
+    n_classes: int = 10,
+    width_mult: float = 1.0,
+    rng=None,
+) -> nn.Module:
+    """VGG-8: three conv stages (64-128-256 base width) + two FC layers."""
+    c1 = _ch(64, width_mult)
+    c2 = _ch(128, width_mult)
+    c3 = _ch(256, width_mult)
+    fc = _ch(256, width_mult)
+    s = image_size // 8  # three 2x pools
+
+    def stage(cin: int, cout: int) -> list:
+        return [
+            PTCConv2d(cin, cout, 3, k=k, mesh=mesh, padding=1, rng=rng),
+            nn.BatchNorm2d(cout),
+            nn.ReLU(),
+            PTCConv2d(cout, cout, 3, k=k, mesh=mesh, padding=1, rng=rng),
+            nn.BatchNorm2d(cout),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+        ]
+
+    layers = stage(in_channels, c1) + stage(c1, c2) + stage(c2, c3)
+    layers += [
+        nn.Flatten(),
+        PTCLinear(c3 * s * s, fc, k=k, mesh=mesh, rng=rng),
+        nn.ReLU(),
+        PTCLinear(fc, n_classes, k=k, mesh=mesh, rng=rng),
+    ]
+    return nn.Sequential(*layers)
+
+
+MODEL_BUILDERS = {
+    "cnn2": build_cnn2,
+    "lenet5": build_lenet5,
+    "vgg8": build_vgg8,
+}
+
+
+def build_model(name: str, mesh: MeshSpec, **kwargs) -> nn.Module:
+    """Build a model from the zoo by name."""
+    if name not in MODEL_BUILDERS:
+        raise KeyError(f"unknown model {name!r}; choose from {sorted(MODEL_BUILDERS)}")
+    return MODEL_BUILDERS[name](mesh, **kwargs)

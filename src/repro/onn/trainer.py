@@ -1,0 +1,122 @@
+"""Generic supervised training/evaluation loops for ONN models.
+
+The same engine drives baseline training, ADEPT retraining, and
+variation-aware training (by setting phase-noise injection on the
+model's photonic cores before calling :func:`train`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..data import DataLoader, Dataset
+from ..nn import CrossEntropyLoss, Module, accuracy
+from ..optim import Adam, CosineAnnealingLR, clip_grad_norm_
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of a supervised training run."""
+
+    epochs: int = 5
+    batch_size: int = 64
+    lr: float = 1e-3
+    weight_decay: float = 1e-4
+    grad_clip: float = 5.0
+    cosine_lr: bool = True
+    log_every: int = 0  # batches; 0 silences per-batch logs
+    verbose: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    train_losses: List[float] = field(default_factory=list)
+    train_accs: List[float] = field(default_factory=list)
+    test_accs: List[float] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def final_test_acc(self) -> float:
+        return self.test_accs[-1] if self.test_accs else float("nan")
+
+    @property
+    def best_test_acc(self) -> float:
+        return max(self.test_accs) if self.test_accs else float("nan")
+
+
+def evaluate(model: Module, dataset: Dataset, batch_size: int = 256) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset`` (eval mode, no grad)."""
+    model.eval()
+    correct = 0
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            xb = dataset.images[start : start + batch_size]
+            yb = dataset.labels[start : start + batch_size]
+            logits = model(Tensor(xb))
+            correct += int((np.argmax(logits.data, axis=-1) == yb).sum())
+    model.train()
+    return correct / len(dataset)
+
+
+def train(
+    model: Module,
+    train_set: Dataset,
+    test_set: Optional[Dataset] = None,
+    config: Optional[TrainConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    epoch_hook: Optional[Callable[[int, Module], None]] = None,
+) -> TrainResult:
+    """Train ``model`` with Adam + (optional) cosine LR.
+
+    ``epoch_hook(epoch, model)`` runs after every epoch — used by the
+    search flow to interleave architecture updates and by tests to
+    inject assertions mid-training.
+    """
+    cfg = config or TrainConfig()
+    loader = DataLoader(train_set, batch_size=cfg.batch_size, shuffle=True, rng=rng)
+    opt = Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+    sched = CosineAnnealingLR(opt, t_max=cfg.epochs) if cfg.cosine_lr else None
+    loss_fn = CrossEntropyLoss()
+    result = TrainResult()
+    t0 = time.time()
+    model.train()
+
+    for epoch in range(cfg.epochs):
+        epoch_loss, epoch_correct, n_seen = 0.0, 0, 0
+        for i, (xb, yb) in enumerate(loader):
+            logits = model(Tensor(xb))
+            loss = loss_fn(logits, yb)
+            model.zero_grad()
+            loss.backward()
+            if cfg.grad_clip:
+                clip_grad_norm_(model.parameters(), cfg.grad_clip)
+            opt.step()
+            epoch_loss += float(loss.item()) * len(yb)
+            epoch_correct += int((np.argmax(logits.data, axis=-1) == yb).sum())
+            n_seen += len(yb)
+            if cfg.log_every and (i + 1) % cfg.log_every == 0 and cfg.verbose:
+                print(f"  epoch {epoch} batch {i + 1}: loss {loss.item():.4f}")
+        result.train_losses.append(epoch_loss / n_seen)
+        result.train_accs.append(epoch_correct / n_seen)
+        if test_set is not None:
+            result.test_accs.append(evaluate(model, test_set))
+        if cfg.verbose:
+            acc = result.test_accs[-1] if test_set is not None else float("nan")
+            print(
+                f"epoch {epoch}: loss {result.train_losses[-1]:.4f} "
+                f"train_acc {result.train_accs[-1]:.4f} test_acc {acc:.4f}"
+            )
+        if sched is not None:
+            sched.step()
+        if epoch_hook is not None:
+            epoch_hook(epoch, model)
+
+    result.seconds = time.time() - t0
+    return result

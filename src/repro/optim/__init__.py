@@ -1,0 +1,17 @@
+"""Optimizers and LR schedulers."""
+
+from .adam import Adam
+from .lr_scheduler import CosineAnnealingLR, ExponentialLR, LRScheduler, StepLR
+from .optimizer import Optimizer, clip_grad_norm_
+from .sgd import SGD
+
+__all__ = [
+    "Adam",
+    "CosineAnnealingLR",
+    "ExponentialLR",
+    "LRScheduler",
+    "Optimizer",
+    "SGD",
+    "StepLR",
+    "clip_grad_norm_",
+]

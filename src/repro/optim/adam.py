@@ -1,0 +1,46 @@
+"""Adam optimizer (Kingma & Ba), with complex-parameter support.
+
+For complex parameters the second moment uses |g|^2 so that the update
+remains a steepest-descent step under the Wirtinger gradient convention
+of :mod:`repro.autograd`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import Optimizer, ParamsLike
+
+
+class Adam(Optimizer):
+    def __init__(
+        self,
+        params: ParamsLike,
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(
+            params,
+            dict(lr=lr, betas=betas, eps=eps, weight_decay=weight_decay),
+        )
+
+    def step(self) -> None:
+        for group, p in self._iter_params():
+            grad = p.grad
+            wd = group["weight_decay"]
+            if wd:
+                grad = grad + wd * p.data
+            st = self.state.setdefault(id(p), {})
+            if not st:
+                st["step"] = 0
+                st["m"] = np.zeros_like(p.data)
+                st["v"] = np.zeros_like(np.abs(p.data))
+            st["step"] += 1
+            b1, b2 = group["betas"]
+            st["m"] = b1 * st["m"] + (1 - b1) * grad
+            st["v"] = b2 * st["v"] + (1 - b2) * np.abs(grad) ** 2
+            m_hat = st["m"] / (1 - b1 ** st["step"])
+            v_hat = st["v"] / (1 - b2 ** st["step"])
+            p.data -= group["lr"] * m_hat / (np.sqrt(v_hat) + group["eps"])

@@ -1,0 +1,67 @@
+"""Learning-rate schedulers (cosine annealing, step decay).
+
+The paper trains the SuperMesh with Adam + cosine LR over 90 epochs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optimizer import Optimizer
+
+
+class LRScheduler:
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lrs = [g["lr"] for g in optimizer.param_groups]
+        self.last_epoch = -1
+
+    def get_lr(self, base_lr: float) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.last_epoch += 1
+        for group, base in zip(self.optimizer.param_groups, self.base_lrs):
+            group["lr"] = self.get_lr(base)
+
+    @property
+    def current_lrs(self):
+        return [g["lr"] for g in self.optimizer.param_groups]
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        self.t_max = max(1, t_max)
+        self.eta_min = eta_min
+        super().__init__(optimizer)
+
+    def get_lr(self, base_lr: float) -> float:
+        t = min(self.last_epoch, self.t_max)
+        return self.eta_min + 0.5 * (base_lr - self.eta_min) * (
+            1 + math.cos(math.pi * t / self.t_max)
+        )
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        self.step_size = step_size
+        self.gamma = gamma
+        super().__init__(optimizer)
+
+    def get_lr(self, base_lr: float) -> float:
+        return base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float):
+        self.gamma = gamma
+        super().__init__(optimizer)
+
+    def get_lr(self, base_lr: float) -> float:
+        return base_lr * self.gamma ** max(0, self.last_epoch)

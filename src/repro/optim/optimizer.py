@@ -1,0 +1,69 @@
+"""Optimizer base class with parameter groups and weight decay.
+
+Parameter groups mirror the paper's training recipe, which uses
+different weight-decay rates for the phase/sigma weights (1e-4) and the
+architecture sampling coefficients theta (5e-4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Union
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+ParamsLike = Union[Iterable[Parameter], Iterable[Dict]]
+
+
+class Optimizer:
+    def __init__(self, params: ParamsLike, defaults: Dict):
+        self.defaults = dict(defaults)
+        self.param_groups: List[Dict] = []
+        params = list(params)
+        if params and isinstance(params[0], dict):
+            for group in params:
+                g = dict(self.defaults)
+                g.update(group)
+                g["params"] = list(g["params"])
+                self.param_groups.append(g)
+        else:
+            g = dict(self.defaults)
+            g["params"] = params
+            self.param_groups.append(g)
+        self.state: Dict[int, Dict] = {}
+
+    def zero_grad(self) -> None:
+        for group in self.param_groups:
+            for p in group["params"]:
+                p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _iter_params(self):
+        for group in self.param_groups:
+            for p in group["params"]:
+                if p.grad is not None:
+                    yield group, p
+
+    @property
+    def lr(self) -> float:
+        return self.param_groups[0]["lr"]
+
+    def set_lr(self, lr: float) -> None:
+        for group in self.param_groups:
+            group["lr"] = lr
+
+
+def clip_grad_norm_(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``."""
+    params = [p for p in params if p.grad is not None]
+    total = float(
+        np.sqrt(sum(float(np.sum(np.abs(p.grad) ** 2)) for p in params))
+    )
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total

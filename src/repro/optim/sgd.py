@@ -1,0 +1,35 @@
+"""Plain SGD with optional momentum and weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import Optimizer, ParamsLike
+
+
+class SGD(Optimizer):
+    def __init__(
+        self,
+        params: ParamsLike,
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, dict(lr=lr, momentum=momentum, weight_decay=weight_decay))
+
+    def step(self) -> None:
+        for group, p in self._iter_params():
+            grad = p.grad
+            if group["weight_decay"]:
+                grad = grad + group["weight_decay"] * p.data
+            mom = group["momentum"]
+            if mom:
+                st = self.state.setdefault(id(p), {})
+                buf = st.get("momentum_buffer")
+                if buf is None:
+                    buf = np.array(grad, copy=True)
+                else:
+                    buf = mom * buf + grad
+                st["momentum_buffer"] = buf
+                grad = buf
+            p.data -= group["lr"] * grad

@@ -1,0 +1,109 @@
+"""Waveguide-crossing analysis for permutation layers.
+
+The paper counts the crossings needed to realize a permutation layer as
+the **minimum number of adjacent swaps** that sorts the permutation —
+i.e., its inversion count (section 3.4, "Footprint of CR").  This module
+provides an O(n log n) inversion counter, a routing schedule (the
+actual list of adjacent swaps, bubble-sort order), and legality checks
+for (relaxed) permutation matrices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def count_inversions(perm: Sequence[int]) -> int:
+    """Minimum number of adjacent transpositions to sort ``perm``.
+
+    Implemented by merge-sort inversion counting, O(n log n).
+    """
+    arr = list(perm)
+
+    def sort_count(a: List[int]) -> Tuple[List[int], int]:
+        if len(a) <= 1:
+            return a, 0
+        mid = len(a) // 2
+        left, cl = sort_count(a[:mid])
+        right, cr = sort_count(a[mid:])
+        merged: List[int] = []
+        inv = cl + cr
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i] <= right[j]:
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                inv += len(left) - i
+                j += 1
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged, inv
+
+    _, inv = sort_count(arr)
+    return inv
+
+
+def crossings_of_matrix(p: np.ndarray) -> int:
+    """Crossing count of a (legal) permutation matrix."""
+    perm = matrix_to_perm(p)
+    return count_inversions(perm)
+
+
+def matrix_to_perm(p: np.ndarray) -> np.ndarray:
+    """Convert a permutation matrix (P[i, j] = 1 means output i reads
+    input j) to the index vector ``perm`` with ``perm[i] = j``."""
+    p = np.asarray(p)
+    if not is_permutation_matrix(p):
+        raise ValueError("matrix is not a legal permutation matrix")
+    return np.argmax(p, axis=1)
+
+
+def perm_to_matrix(perm: Sequence[int]) -> np.ndarray:
+    k = len(perm)
+    m = np.zeros((k, k))
+    m[np.arange(k), np.asarray(perm)] = 1.0
+    return m
+
+
+def is_permutation_matrix(p: np.ndarray, atol: float = 1e-6) -> bool:
+    """Legality check: square, binary, one 1 per row and per column."""
+    p = np.asarray(p)
+    if p.ndim != 2 or p.shape[0] != p.shape[1]:
+        return False
+    binary = np.all(np.abs(p - np.round(p)) <= atol) and np.all(
+        (np.round(p) == 0) | (np.round(p) == 1)
+    )
+    if not binary:
+        return False
+    r = np.round(p)
+    return bool(np.all(r.sum(axis=0) == 1) and np.all(r.sum(axis=1) == 1))
+
+
+def routing_schedule(perm: Sequence[int]) -> List[Tuple[int, int]]:
+    """Adjacent-swap schedule realizing ``perm`` with the minimum number
+    of crossings (bubble-sort order).
+
+    Returns a list of waveguide index pairs ``(i, i+1)``; its length
+    equals :func:`count_inversions`.
+    """
+    arr = list(perm)
+    swaps: List[Tuple[int, int]] = []
+    n = len(arr)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1):
+            if arr[i] > arr[i + 1]:
+                arr[i], arr[i + 1] = arr[i + 1], arr[i]
+                swaps.append((i, i + 1))
+                changed = True
+    return swaps
+
+
+def random_permutation(k: int, rng: np.random.Generator) -> np.ndarray:
+    """A uniformly random permutation index vector of size ``k``."""
+    return rng.permutation(k)

@@ -1,0 +1,368 @@
+"""Device-level nonideality models beyond Gaussian phase noise.
+
+The paper's robustness study (Fig. 4) injects Gaussian phase drifts
+``delta phi ~ N(0, sigma^2)`` into every phase shifter.  Real photonic
+circuits suffer additional, *passive* nonidealities that are frozen at
+fabrication time and cannot be trimmed away by reprogramming phases:
+
+* **Insertion loss** — every device attenuates the optical signal.
+  Loss is quoted in dB per device; amplitudes multiply along a path,
+  so deep meshes (MZI-ONN) accumulate much more loss than shallow
+  ones (FFT-ONN, ADEPT).  This is the physical mechanism behind the
+  depth-robustness trade-off the paper observes.
+* **Coupler imbalance** — a nominal 50:50 DC is fabricated with a
+  transmission error ``t = t0 + delta t``, fixed for the life of the
+  chip.
+* **Thermal crosstalk** — heating one phase shifter leaks into its
+  neighbours: the effective phase vector is ``phi_eff = C @ phi``
+  with a banded coupling matrix ``C``.
+
+:class:`NonidealitySpec` bundles the magnitudes;
+:class:`FabricationSample` holds one frozen draw of the passive
+errors; :class:`NonidealTopologyFactory` bakes a fabrication sample
+into a trainable :class:`~repro.ptc.unitary.FixedTopologyFactory`, so
+variation-aware *training* can run on a nonideal chip model, not only
+nonideal inference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.topology import BlockSpec, PTCTopology
+from ..utils.rng import get_rng
+from .devices import T_5050, dc_layer_matrix_np, ps_matrix
+from ..photonics.crossings import perm_to_matrix
+
+__all__ = [
+    "FabricationSample",
+    "NonidealitySpec",
+    "NonidealTopologyFactory",
+    "crossings_per_wire",
+    "db_to_amplitude",
+    "fidelity",
+    "noisy_block_matrix",
+    "noisy_unitary",
+    "sample_fabrication",
+    "thermal_crosstalk_matrix",
+    "unitary_fidelity_under_noise",
+]
+
+
+def db_to_amplitude(loss_db: float) -> float:
+    """Field-amplitude factor of a ``loss_db`` dB insertion loss.
+
+    Power loss of x dB scales power by 10^(-x/10), hence amplitude by
+    10^(-x/20).  ``db_to_amplitude(0) == 1``; 3 dB gives ~0.708.
+    """
+    if loss_db < 0:
+        raise ValueError(f"insertion loss must be >= 0 dB, got {loss_db}")
+    return 10.0 ** (-loss_db / 20.0)
+
+
+@dataclass(frozen=True)
+class NonidealitySpec:
+    """Magnitudes of all modelled nonidealities.
+
+    Attributes
+    ----------
+    phase_noise_std: runtime Gaussian phase drift, radians (paper's
+        Fig. 4 sigma).
+    dc_t_std: fabrication-time std-dev of the DC transmission
+        coefficient around its nominal value.
+    loss_ps_db / loss_dc_db / loss_cr_db: insertion loss per device
+        traversal, in dB.  Typical foundry numbers are ~0.1-0.3 dB
+        per PS/DC and ~0.1-0.2 dB per crossing.
+    crosstalk_gamma: nearest-neighbour thermal crosstalk coefficient;
+        0 disables.  The coupling decays as gamma / distance within
+        ``crosstalk_radius``.
+    crosstalk_radius: how many neighbours each heater leaks into.
+    """
+
+    phase_noise_std: float = 0.0
+    dc_t_std: float = 0.0
+    loss_ps_db: float = 0.0
+    loss_dc_db: float = 0.0
+    loss_cr_db: float = 0.0
+    crosstalk_gamma: float = 0.0
+    crosstalk_radius: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("phase_noise_std", "dc_t_std", "loss_ps_db",
+                     "loss_dc_db", "loss_cr_db"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if not 0.0 <= self.crosstalk_gamma < 1.0:
+            raise ValueError("crosstalk_gamma must be in [0, 1)")
+        if self.crosstalk_radius < 0:
+            raise ValueError("crosstalk_radius must be >= 0")
+
+    @property
+    def is_ideal(self) -> bool:
+        return (
+            self.phase_noise_std == 0.0
+            and self.dc_t_std == 0.0
+            and self.loss_ps_db == 0.0
+            and self.loss_dc_db == 0.0
+            and self.loss_cr_db == 0.0
+            and self.crosstalk_gamma == 0.0
+        )
+
+
+def thermal_crosstalk_matrix(k: int, gamma: float, radius: int = 1) -> np.ndarray:
+    """Banded phase-coupling matrix C: ``phi_eff = C @ phi``.
+
+    ``C[i, i] = 1`` and ``C[i, j] = gamma / |i - j|`` for
+    ``0 < |i - j| <= radius`` — each heater leaks a fraction of its
+    drive into nearby waveguides, decaying with distance.
+    """
+    if not 0.0 <= gamma < 1.0:
+        raise ValueError("gamma must be in [0, 1)")
+    c = np.eye(k)
+    for d in range(1, radius + 1):
+        if d >= k:
+            break
+        off = np.full(k - d, gamma / d)
+        c += np.diag(off, k=d) + np.diag(off, k=-d)
+    return c
+
+
+def crossings_per_wire(perm: Sequence[int]) -> np.ndarray:
+    """Number of crossings each *input* wire traverses when the
+    permutation is routed as a minimal adjacent-swap network.
+
+    Wire carrying value v participates in every inversion that
+    involves v, so ``sum(crossings_per_wire) == 2 * count_inversions``.
+    """
+    p = list(perm)
+    k = len(p)
+    counts = np.zeros(k, dtype=int)
+    for i in range(k):
+        for j in range(i + 1, k):
+            if p[i] > p[j]:
+                counts[p[i]] += 1
+                counts[p[j]] += 1
+    return counts
+
+
+@dataclass
+class FabricationSample:
+    """One frozen draw of the passive (fabrication-time) errors of a
+    topology: the realized DC transmissions and the per-block loss
+    diagonals.  Runtime phase noise is *not* part of a sample — it is
+    redrawn on every inference."""
+
+    k: int
+    dc_t: List[np.ndarray]  # realized transmission per coupler slot, per block
+    loss_diag: List[np.ndarray]  # per-wire amplitude factor, per block
+    crosstalk: Optional[np.ndarray] = None  # K x K phase-coupling matrix
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.dc_t)
+
+
+def _block_loss_diag(block: BlockSpec, k: int, spec: NonidealitySpec) -> np.ndarray:
+    """Per-wire amplitude attenuation of one block (PS + DC + CR)."""
+    a = np.full(k, db_to_amplitude(spec.loss_ps_db))
+    a_dc = db_to_amplitude(spec.loss_dc_db)
+    mask = np.asarray(block.coupler_mask, dtype=bool)
+    for i, placed in enumerate(mask):
+        if not placed:
+            continue
+        p = block.offset + 2 * i
+        if p + 1 < k:
+            a[p] *= a_dc
+            a[p + 1] *= a_dc
+    if block.perm is not None and spec.loss_cr_db > 0.0:
+        per_wire = crossings_per_wire(list(block.perm))
+        a *= db_to_amplitude(spec.loss_cr_db) ** per_wire
+    return a
+
+
+def sample_fabrication(
+    topology: PTCTopology,
+    spec: NonidealitySpec,
+    rng=None,
+) -> Tuple[FabricationSample, FabricationSample]:
+    """Draw one fabrication outcome for the U and V meshes.
+
+    Returns ``(sample_u, sample_v)``.  Coupler transmissions are
+    ``clip(t0 + N(0, dc_t_std), 0, 1)`` on placed couplers and exactly
+    1 on pass-through slots; loss diagonals are deterministic given
+    the spec.
+    """
+    rng = get_rng(rng)
+    k = topology.k
+
+    def draw(blocks: Sequence[BlockSpec]) -> FabricationSample:
+        dc_t: List[np.ndarray] = []
+        loss: List[np.ndarray] = []
+        for block in blocks:
+            mask = np.asarray(block.coupler_mask, dtype=bool)
+            t = np.where(mask, T_5050, 1.0).astype(float)
+            if spec.dc_t_std > 0.0:
+                err = rng.normal(0.0, spec.dc_t_std, size=t.shape)
+                t = np.clip(t + np.where(mask, err, 0.0), 0.0, 1.0)
+            dc_t.append(t)
+            loss.append(_block_loss_diag(block, k, spec))
+        xtalk = None
+        if spec.crosstalk_gamma > 0.0:
+            xtalk = thermal_crosstalk_matrix(k, spec.crosstalk_gamma, spec.crosstalk_radius)
+        return FabricationSample(k=k, dc_t=dc_t, loss_diag=loss, crosstalk=xtalk)
+
+    return draw(topology.blocks_u), draw(topology.blocks_v)
+
+
+def noisy_block_matrix(
+    block: BlockSpec,
+    phases: np.ndarray,
+    k: int,
+    spec: NonidealitySpec,
+    dc_t: Optional[np.ndarray] = None,
+    loss_diag: Optional[np.ndarray] = None,
+    crosstalk: Optional[np.ndarray] = None,
+    rng=None,
+) -> np.ndarray:
+    """K x K transfer of one block under the given nonidealities.
+
+    Light traverses PS -> DC -> CR, so the matrix is
+    ``L @ P @ T(t) @ R(C phi + noise)`` where ``L`` is the per-wire
+    loss diagonal.  Passive errors (``dc_t``, ``loss_diag``,
+    ``crosstalk``) normally come from a :class:`FabricationSample`;
+    when omitted they are derived fresh from the spec (loss) or left
+    nominal (couplers).
+    """
+    rng = get_rng(rng)
+    phi = np.asarray(phases, dtype=float)
+    if crosstalk is not None:
+        phi = crosstalk @ phi
+    if spec.phase_noise_std > 0.0:
+        phi = phi + rng.normal(0.0, spec.phase_noise_std, size=phi.shape)
+    r = ps_matrix(phi)
+    mask = np.asarray(block.coupler_mask, dtype=bool)
+    if dc_t is None:
+        dc_t = np.where(mask, T_5050, 1.0).astype(float)
+    t_mat = dc_layer_matrix_np(list(dc_t), k, block.offset)
+    p_mat = np.eye(k) if block.perm is None else perm_to_matrix(block.perm)
+    if loss_diag is None:
+        loss_diag = _block_loss_diag(block, k, spec)
+    return np.diag(loss_diag) @ p_mat @ t_mat @ r
+
+
+def noisy_unitary(
+    blocks: Sequence[BlockSpec],
+    phases: np.ndarray,
+    k: int,
+    spec: NonidealitySpec,
+    sample: Optional[FabricationSample] = None,
+    rng=None,
+) -> np.ndarray:
+    """Cascade all blocks of one mesh: ``U = M_B ... M_2 M_1``.
+
+    ``phases`` has shape (n_blocks, K).  With an all-zero spec and no
+    sample this returns the exact ideal mesh transfer.
+    """
+    rng = get_rng(rng)
+    phases = np.asarray(phases, dtype=float)
+    if phases.shape != (len(blocks), k):
+        raise ValueError(
+            f"phases must have shape ({len(blocks)}, {k}), got {phases.shape}"
+        )
+    u = np.eye(k, dtype=complex)
+    for b, block in enumerate(blocks):
+        m = noisy_block_matrix(
+            block,
+            phases[b],
+            k,
+            spec,
+            dc_t=None if sample is None else sample.dc_t[b],
+            loss_diag=None if sample is None else sample.loss_diag[b],
+            crosstalk=None if sample is None else sample.crosstalk,
+            rng=rng,
+        )
+        u = m @ u
+    return u
+
+
+def fidelity(u: np.ndarray, v: np.ndarray) -> float:
+    """Normalized overlap ``|tr(U V^H)| / K`` in [0, 1] for unitaries;
+    below 1 also captures amplitude lost to attenuation."""
+    u = np.asarray(u)
+    k = u.shape[0]
+    return float(abs(np.trace(u @ v.conj().T)) / k)
+
+
+def unitary_fidelity_under_noise(
+    topology: PTCTopology,
+    spec: NonidealitySpec,
+    n_trials: int = 10,
+    rng=None,
+) -> Tuple[float, float]:
+    """Mean and std of the fidelity between the ideal and nonideal U
+    mesh over ``n_trials`` independent (fabrication + runtime) draws.
+
+    Phases are drawn once, uniformly in [0, 2 pi); each trial redraws
+    the fabrication sample and the runtime phase noise.
+    """
+    rng = get_rng(rng)
+    k = topology.k
+    phases = rng.uniform(0.0, 2.0 * math.pi, size=(len(topology.blocks_u), k))
+    ideal = noisy_unitary(topology.blocks_u, phases, k, NonidealitySpec())
+    scores = []
+    for _ in range(n_trials):
+        sample_u, _ = sample_fabrication(topology, spec, rng=rng)
+        noisy = noisy_unitary(topology.blocks_u, phases, k, spec, sample=sample_u, rng=rng)
+        scores.append(fidelity(noisy, ideal))
+    arr = np.asarray(scores)
+    return float(arr.mean()), float(arr.std())
+
+
+class NonidealTopologyFactory:
+    """A trainable searched-topology mesh on a *nonideal chip model*.
+
+    Wraps :class:`repro.ptc.unitary.FixedTopologyFactory`, replacing
+    its nominal constant (P @ T) block matrices with ones built from a
+    frozen :class:`FabricationSample` (realized coupler transmissions
+    + loss diagonals) and routing runtime phase noise through the
+    factory's ``noise_std``.  The returned object *is* a
+    ``FixedTopologyFactory`` subclass instance, so it drops into any
+    ONN layer that accepts a mesh factory.
+    """
+
+    def __new__(
+        cls,
+        k: int,
+        n_units: int,
+        blocks: Sequence[BlockSpec],
+        spec: NonidealitySpec,
+        sample: Optional[FabricationSample] = None,
+        rng=None,
+    ):
+        from ..ptc.unitary import FixedTopologyFactory
+
+        rng = get_rng(rng)
+        if sample is None:
+            topo = PTCTopology(k=k, blocks_u=list(blocks), blocks_v=[])
+            sample, _ = sample_fabrication(topo, spec, rng=rng)
+        factory = FixedTopologyFactory(
+            k,
+            n_units,
+            [(b.perm, b.coupler_mask, b.offset) for b in blocks],
+            rng=rng,
+        )
+        # Rebuild the constant per-block matrices with realized devices.
+        const: List[np.ndarray] = []
+        for b, block in enumerate(blocks):
+            t_mat = dc_layer_matrix_np(list(sample.dc_t[b]), k, block.offset)
+            p_mat = np.eye(k) if block.perm is None else perm_to_matrix(block.perm)
+            const.append(np.diag(sample.loss_diag[b]) @ p_mat @ t_mat)
+        factory._const = const
+        factory.noise_std = spec.phase_noise_std
+        factory.fabrication_sample = sample
+        factory.nonideality_spec = spec
+        return factory

@@ -1,0 +1,152 @@
+"""Power, latency, and energy-per-MAC estimation for PTC designs.
+
+The paper motivates photonic tensor cores with "sub-nanosecond latency
+and near-zero energy" matrix multiplication.  This module makes those
+claims quantitative for any design this library produces, with a
+standard link-budget model:
+
+* **Heaters** — thermo-optic phase shifters draw static power; the
+  average setting is half a pi-shift, so each PS is billed half its
+  P_pi.  Deep meshes (MZI-ONN) carry many more heaters.
+* **Laser** — the input laser must deliver the detector sensitivity
+  *after* the worst-case insertion-loss path through the mesh; loss
+  compounds per device, so depth costs laser power exponentially (in
+  dB, linearly).
+* **Converters** — one DAC per phase shifter, one photodetector +
+  ADC per output waveguide, billed per device.
+* **Latency** — optical propagation over the floorplan length at the
+  silicon group velocity; independent of K for fixed depth.
+
+Energy per MAC divides total power by the K^2 MACs delivered per
+modulation cycle.  All constants are configurable via
+:class:`PowerConfig` and documented with typical silicon-photonics
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.topology import PTCTopology
+from .nonideality import NonidealitySpec
+from .pdk import FoundryPDK
+
+__all__ = ["PowerConfig", "PowerReport", "estimate_power"]
+
+#: Speed of light, um / ps.
+_C_UM_PER_PS = 299.792458
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Electrical/optical constants of the accelerator platform.
+
+    Defaults are representative silicon-photonics numbers:
+    thermo-optic P_pi ~ 25 mW; 8-bit current-steering DACs at a few
+    mW; 10 GS/s ADC ~ 10 mW; -25 dBm detector sensitivity at 10 GHz;
+    10 % laser wall-plug efficiency; group index 4.3 (silicon
+    waveguide).
+    """
+
+    heater_p_pi_mw: float = 25.0
+    dac_power_mw: float = 2.0
+    adc_power_mw: float = 10.0
+    detector_sensitivity_dbm: float = -25.0
+    laser_wall_plug_efficiency: float = 0.10
+    modulation_rate_ghz: float = 10.0
+    group_index: float = 4.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.laser_wall_plug_efficiency <= 1.0:
+            raise ValueError("laser_wall_plug_efficiency must be in (0, 1]")
+        if self.modulation_rate_ghz <= 0:
+            raise ValueError("modulation_rate_ghz must be > 0")
+        if self.group_index < 1.0:
+            raise ValueError("group_index must be >= 1")
+
+
+@dataclass
+class PowerReport:
+    """Estimated electrical power, optical latency, and efficiency."""
+
+    k: int
+    heater_power_mw: float
+    dac_power_mw: float
+    adc_power_mw: float
+    laser_power_mw: float
+    worst_path_loss_db: float
+    latency_ps: float
+    macs_per_second: float
+
+    @property
+    def total_power_mw(self) -> float:
+        return (self.heater_power_mw + self.dac_power_mw
+                + self.adc_power_mw + self.laser_power_mw)
+
+    @property
+    def energy_per_mac_fj(self) -> float:
+        """Total power divided by MAC throughput, in femtojoules."""
+        if self.macs_per_second <= 0:
+            return float("inf")
+        return self.total_power_mw * 1e-3 / self.macs_per_second * 1e15
+
+    def summary(self) -> str:
+        return (
+            f"power: {self.total_power_mw:.1f} mW "
+            f"(heaters {self.heater_power_mw:.1f}, laser "
+            f"{self.laser_power_mw:.2f}, DAC {self.dac_power_mw:.1f}, "
+            f"ADC {self.adc_power_mw:.1f}); "
+            f"latency {self.latency_ps:.1f} ps; "
+            f"{self.energy_per_mac_fj:.1f} fJ/MAC "
+            f"(worst path loss {self.worst_path_loss_db:.2f} dB)"
+        )
+
+
+def estimate_power(
+    topology: PTCTopology,
+    pdk: FoundryPDK,
+    loss_spec: Optional[NonidealitySpec] = None,
+    config: Optional[PowerConfig] = None,
+) -> PowerReport:
+    """Link-budget power/latency estimate for one PTC design.
+
+    ``loss_spec`` supplies per-device insertion losses (defaults to
+    0.2 / 0.15 / 0.1 dB for PS / DC / CR); the laser budget covers the
+    worst positional path.  Latency uses the column floorplan of
+    :func:`repro.layout.place` on ``pdk``.
+    """
+    from ..layout import build_netlist, place
+
+    config = config or PowerConfig()
+    if loss_spec is None:
+        loss_spec = NonidealitySpec(loss_ps_db=0.2, loss_dc_db=0.15,
+                                    loss_cr_db=0.1)
+    netlist = build_netlist(topology)
+    n_ps, _n_dc, _n_cr = netlist.device_counts()
+    k = topology.k
+
+    heater = n_ps * config.heater_p_pi_mw / 2.0  # mean setting: pi/2
+    dac = n_ps * config.dac_power_mw
+    adc = k * config.adc_power_mw  # one receiver chain per output port
+
+    worst_loss_db = float(netlist.path_loss_db(loss_spec).max())
+    # Laser must deliver sensitivity + loss at each of the K inputs.
+    per_input_dbm = config.detector_sensitivity_dbm + worst_loss_db
+    per_input_mw = 10.0 ** (per_input_dbm / 10.0)
+    laser = k * per_input_mw / config.laser_wall_plug_efficiency
+
+    chip_length_um = place(netlist, pdk).chip_length_um
+    latency_ps = chip_length_um * config.group_index / _C_UM_PER_PS
+
+    macs_per_second = k * k * config.modulation_rate_ghz * 1e9
+    return PowerReport(
+        k=k,
+        heater_power_mw=heater,
+        dac_power_mw=dac,
+        adc_power_mw=adc,
+        laser_power_mw=laser,
+        worst_path_loss_db=worst_loss_db,
+        latency_ps=latency_ps,
+        macs_per_second=macs_per_second,
+    )

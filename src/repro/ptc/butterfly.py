@@ -1,0 +1,72 @@
+"""Butterfly (FFT-ONN) mesh analysis helpers.
+
+The FFT-ONN baseline [Gu et al., ASP-DAC 2020 / TCAD 2020] restricts
+the transform to a log-depth butterfly.  The trainable-transform
+variant used in the paper's comparison keeps the butterfly *structure*
+(stride-2^s coupler stages) but trains all phase shifters freely.
+
+This module provides numpy mirrors of the differentiable
+:class:`repro.ptc.unitary.ButterflyFactory` for verification, plus the
+restriction analysis used in tests: a butterfly mesh spans only a
+measure-zero subgroup of U(K), which is why the paper observes reduced
+expressivity at larger K (Table 1, 32x32).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..photonics.devices import T_5050
+
+
+def butterfly_stage_matrix(k: int, stage: int) -> np.ndarray:
+    """Constant 50:50 coupling matrix of stage ``stage`` (stride 2^stage)."""
+    stride = 2 ** stage
+    if 2 * stride > k:
+        raise ValueError(f"stage {stage} invalid for size {k}")
+    mat = np.zeros((k, k), dtype=complex)
+    t = T_5050
+    js = 1j * math.sqrt(1.0 - t * t)
+    for base in range(0, k, 2 * stride):
+        for i in range(base, base + stride):
+            j = i + stride
+            mat[i, i] = t
+            mat[j, j] = t
+            mat[i, j] = js
+            mat[j, i] = js
+    return mat
+
+
+def butterfly_transfer_np(phases: np.ndarray) -> np.ndarray:
+    """Numpy reference transfer of a butterfly mesh.
+
+    ``phases`` has shape (stages, K); stage s applies diag(e^{-j phi_s})
+    then the stride-2^s coupling, mirroring ``ButterflyFactory.build``.
+    """
+    stages, k = phases.shape
+    if 2 ** stages != k:
+        raise ValueError("phases must have shape (log2(K), K)")
+    u = np.eye(k, dtype=complex)
+    for s in range(stages):
+        u = butterfly_stage_matrix(k, s) @ (np.exp(-1j * phases[s])[:, None] * u)
+    return u
+
+
+def n_free_parameters(k: int) -> int:
+    """Trainable phases of one butterfly mesh: K log2(K)."""
+    return k * int(math.log2(k))
+
+
+def unitary_dim(k: int) -> int:
+    """Real dimension of U(K): K^2 (the butterfly spans far fewer)."""
+    return k * k
+
+
+def dft_matrix(k: int) -> np.ndarray:
+    """Unitary DFT matrix (the namesake transform of FFT-ONN)."""
+    idx = np.arange(k)
+    w = np.exp(-2j * math.pi * np.outer(idx, idx) / k)
+    return w / math.sqrt(k)

@@ -1,0 +1,263 @@
+"""Clements rectangular decomposition of unitaries into MZI meshes.
+
+The MZI-ONN baseline uses a *rectangular* (Clements et al., Optica
+2016 — the paper's reference [3]) arrangement of K(K-1)/2 MZIs.  This
+module provides the constructive decomposition of an arbitrary K x K
+unitary into that mesh, in the exact MZI parametrization used by
+:class:`repro.ptc.unitary.MZIMeshFactory` and
+:func:`repro.ptc.mzi.mzi_2x2`:
+
+    M(theta, phi) = 1/2 [[(a-1) e^{-j phi},   j (a+1)      ],
+                         [j (a+1) e^{-j phi}, (1 - a)      ]],   a = e^{-j theta}.
+
+Compared with the Reck triangle (:func:`repro.ptc.mzi.reck_decompose`),
+the rectangle halves the optical depth (K instead of 2K-3 MZI
+columns), which is why it is the standard choice for the MZI-ONN
+baseline: optical loss and phase-noise accumulation scale with depth.
+
+Three entry points:
+
+* :func:`clements_decompose` — the two-sided nulling sweep.  Returns a
+  :class:`ClementsDecomposition` holding the left ops, right ops, and
+  residual diagonal, with ``reconstruct()`` inverting it exactly.
+* :func:`to_output_phase_form` — commutes the residual diagonal
+  through the left operations so the whole unitary becomes a single
+  *output phase screen* followed by a pure MZI product:
+  ``U = diag(d) @ T_1 @ T_2 @ ... @ T_n``.  This is the form that maps
+  one-to-one onto a physical rectangular mesh with a trailing PS
+  column.
+* :func:`schedule_layers` — greedy packing of MZI ops into mesh
+  columns; for a Clements decomposition the depth is at most K.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .mzi import MZIOp, _embed, _null_theta_phi, mzi_2x2
+
+__all__ = [
+    "ClementsDecomposition",
+    "clements_decompose",
+    "factor_two_by_two",
+    "mesh_depth",
+    "schedule_layers",
+    "to_output_phase_form",
+]
+
+_ATOL = 1e-8
+
+
+@dataclass
+class ClementsDecomposition:
+    """Result of the two-sided Clements nulling sweep.
+
+    The sweep establishes ``L_n ... L_1 @ U @ R_1^H ... R_m^H = diag``
+    where each ``L`` is a left (row-mixing) MZI and each ``R^H`` is the
+    inverse of a right (column-mixing) MZI, so
+
+        ``U = L_1^H ... L_n^H @ diag @ R_m ... R_1``.
+
+    ``left_ops`` stores the L's in application order (L_1 first);
+    ``right_ops`` stores the R's in the order they appear in the
+    reconstruction product above (R_m first).
+    """
+
+    k: int
+    left_ops: List[MZIOp]
+    right_ops: List[MZIOp]
+    diag: np.ndarray
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.left_ops) + len(self.right_ops)
+
+    def reconstruct(self) -> np.ndarray:
+        """Rebuild the original unitary from the factorization."""
+        u = np.diag(self.diag).astype(complex)
+        # The sweep applies L_1 first, so diag = L_n .. L_1 U (..) and the
+        # innermost inverse adjacent to diag is L_n^H: replay newest-first.
+        for op in reversed(self.left_ops):
+            u = _embed(op, self.k).conj().T @ u
+        for op in self.right_ops:
+            u = u @ _embed(op, self.k)
+        return u
+
+
+def _null_right(u: complex, v: complex) -> Tuple[float, float]:
+    """Phases (theta, phi) such that right-multiplying by
+    ``M(theta, phi)^H`` on columns (c, c+1) annihilates the ``c``
+    entry of the row ``[u, v]`` (u = row[c], v = row[c+1]).
+
+    The condition is ``u * conj(m00) + v * conj(m01) = 0`` which
+    reduces to ``tan(theta/2) e^{j phi} = v / u``.
+    """
+    if abs(u) < 1e-300:
+        # Row already has a zero at c when v == 0; otherwise the full
+        # cross state (theta = pi) swaps the entries: m01 = 0 kills
+        # the contribution of v, and u = 0 kills the rest.
+        return math.pi, 0.0
+    ratio = v / u
+    theta = 2.0 * math.atan2(abs(ratio), 1.0)
+    phi = float(np.angle(ratio)) if abs(ratio) > 0 else 0.0
+    return float(theta), phi
+
+
+def clements_decompose(unitary: np.ndarray) -> ClementsDecomposition:
+    """Decompose a unitary with the rectangular two-sided sweep.
+
+    Diagonals of the matrix are eliminated alternately from the right
+    (even diagonals, column mixing) and from the left (odd diagonals,
+    row mixing), which is what folds the triangle of Reck into a
+    rectangle of depth <= K.
+
+    Raises ``ValueError`` if the input is not square or not unitary.
+    """
+    u = np.array(unitary, dtype=complex)
+    k = u.shape[0]
+    if u.ndim != 2 or u.shape != (k, k):
+        raise ValueError("input must be a square matrix")
+    if not np.allclose(u.conj().T @ u, np.eye(k), atol=_ATOL):
+        raise ValueError("input must be unitary")
+
+    left: List[MZIOp] = []
+    right: List[MZIOp] = []
+    for d in range(k - 1):
+        for j in range(d + 1):
+            if d % 2 == 0:
+                # Null u[k-1-j, d-j] with a column op on (c, c+1).
+                row, col = k - 1 - j, d - j
+                if abs(u[row, col]) < 1e-12:
+                    continue
+                theta, phi = _null_right(u[row, col], u[row, col + 1])
+                op = MZIOp(p=col, theta=theta, phi=phi)
+                u = u @ _embed(op, k).conj().T
+                right.append(op)
+            else:
+                # Null u[k-1-d+j, j] with a row op on (p, p+1).
+                row, col = k - 1 - d + j, j
+                if abs(u[row, col]) < 1e-12:
+                    continue
+                p = row - 1
+                theta, phi = _null_theta_phi(u[p, col], u[row, col])
+                op = MZIOp(p=p, theta=theta, phi=phi)
+                u = _embed(op, k) @ u
+                left.append(op)
+            assert abs(u[row, col]) < _ATOL, (row, col, abs(u[row, col]))
+
+    diag = np.diag(u).copy()
+    off = u - np.diag(diag)
+    if not np.allclose(off, 0.0, atol=1e-6):
+        raise AssertionError("sweep did not reduce the unitary to a diagonal")
+    # Reconstruction order: U = L_1^H .. L_n^H diag R_m .. R_1, so the
+    # right ops must be replayed newest-first.
+    return ClementsDecomposition(k=k, left_ops=left, right_ops=right[::-1], diag=diag)
+
+
+def factor_two_by_two(a: np.ndarray) -> Tuple[np.ndarray, float, float]:
+    """Factor a 2x2 unitary as ``diag(d) @ M(theta, phi)``.
+
+    Returns ``(d, theta, phi)`` with ``|d| = 1`` elementwise.  Used to
+    push residual phase screens through MZIs (Clements' main lemma):
+    any 2x2 unitary admits this form because ``diag + M`` covers all
+    four real degrees of freedom of U(2).
+    """
+    a = np.asarray(a, dtype=complex)
+    if a.shape != (2, 2):
+        raise ValueError("expected a 2x2 matrix")
+    if not np.allclose(a.conj().T @ a, np.eye(2), atol=_ATOL):
+        raise ValueError("expected a unitary matrix")
+    # |m00| = |sin(theta/2)|, |m01| = |cos(theta/2)| fixes theta.
+    theta = 2.0 * math.atan2(abs(a[0, 0]), abs(a[0, 1]))
+    m = mzi_2x2(theta, 0.0)
+    # Output phases from whichever entries are nonzero; phi from the
+    # ratio of the first column to its M counterpart.
+    if abs(m[0, 1]) > 1e-12:
+        d0 = cmath.phase(a[0, 1]) - cmath.phase(m[0, 1])
+    else:
+        d0 = cmath.phase(a[0, 0]) - cmath.phase(m[0, 0])
+    if abs(m[1, 1]) > 1e-12:
+        d1 = cmath.phase(a[1, 1]) - cmath.phase(m[1, 1])
+    else:
+        d1 = cmath.phase(a[1, 0]) - cmath.phase(m[1, 0])
+    d = np.exp(1j * np.array([d0, d1]))
+    # phi is the remaining column-0 phase common to both rows.
+    if abs(m[0, 0]) > 1e-12:
+        phi = -(cmath.phase(a[0, 0]) - d0 - cmath.phase(m[0, 0]))
+    elif abs(m[1, 0]) > 1e-12:
+        phi = -(cmath.phase(a[1, 0]) - d1 - cmath.phase(m[1, 0]))
+    else:
+        phi = 0.0
+    # Normalize phi into (-pi, pi] for reproducibility.
+    phi = math.remainder(phi, 2.0 * math.pi)
+    check = np.diag(d) @ mzi_2x2(theta, phi)
+    if not np.allclose(check, a, atol=1e-6):
+        raise AssertionError("2x2 refactorization failed")
+    return d, float(theta), float(phi)
+
+
+def to_output_phase_form(
+    dec: ClementsDecomposition,
+) -> Tuple[np.ndarray, List[MZIOp]]:
+    """Rewrite the decomposition as ``U = diag(d) @ T_1 @ ... @ T_n``.
+
+    Each left inverse ``L_i^H`` is pushed through the running diagonal
+    using :func:`factor_two_by_two`; the right ops are already on the
+    correct side.  The result is the physical form of a rectangular
+    mesh: all MZIs first (in matrix-product order: ``T_n`` is applied
+    to the input first), then a single column of output phase
+    shifters.
+    """
+    k = dec.k
+    d = dec.diag.copy()
+    ops: List[MZIOp] = []
+    # U = L_1^H .. L_n^H @ diag @ R_m .. R_1; push from L_n^H outwards.
+    for op in reversed(dec.left_ops):
+        block = _embed(op, k).conj().T[op.p : op.p + 2, op.p : op.p + 2]
+        local = block @ np.diag(d[op.p : op.p + 2])
+        d2, theta, phi = factor_two_by_two(local)
+        d[op.p : op.p + 2] = d2
+        ops.insert(0, MZIOp(p=op.p, theta=theta, phi=phi))
+    ops.extend(dec.right_ops)
+    return d, ops
+
+
+def reconstruct_output_phase_form(
+    k: int, diag: np.ndarray, ops: Sequence[MZIOp]
+) -> np.ndarray:
+    """Rebuild ``U = diag @ T_1 @ ... @ T_n`` (inverse of
+    :func:`to_output_phase_form`)."""
+    u = np.diag(diag).astype(complex)
+    for op in ops:
+        u = u @ _embed(op, k)
+    return u
+
+
+def schedule_layers(ops: Sequence[MZIOp], k: int) -> List[List[MZIOp]]:
+    """Greedy ASAP packing of MZI ops into mesh columns.
+
+    Ops are placed in the order they act on the *input* (i.e. reversed
+    matrix-product order).  An op lands in the earliest column after
+    every previously-placed op that shares one of its two waveguides.
+    For a Clements rectangle the resulting depth is <= K; for a Reck
+    triangle it is up to 2K - 3.
+    """
+    ready = np.zeros(k, dtype=int)  # first free column per waveguide
+    layers: List[List[MZIOp]] = []
+    for op in reversed(list(ops)):
+        col = int(max(ready[op.p], ready[op.p + 1]))
+        while len(layers) <= col:
+            layers.append([])
+        layers[col].append(op)
+        ready[op.p] = ready[op.p + 1] = col + 1
+    return layers
+
+
+def mesh_depth(ops: Sequence[MZIOp], k: int) -> int:
+    """Number of MZI columns after ASAP scheduling."""
+    return len(schedule_layers(ops, k))

@@ -1,0 +1,109 @@
+"""MZI mesh analysis: Reck-style nulling decomposition.
+
+The MZI-ONN baseline [Shen et al. 2017] relies on the fact that a mesh
+of K(K-1)/2 MZIs realizes *any* K x K unitary.  This module provides a
+constructive proof used by the test suite: a nulling decomposition that
+reduces an arbitrary unitary to a diagonal phase screen by a sequence
+of two-waveguide MZI operations, exactly in the parametrization of
+:func:`repro.photonics.devices.mzi_matrix` /
+:class:`repro.ptc.unitary.MZIMeshFactory`:
+
+    M(theta, phi) = 1/2 [[(a-1) e^{-j phi},   j (a+1)      ],
+                         [j (a+1) e^{-j phi}, (1 - a)      ]],   a = e^{-j theta}.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MZIOp:
+    """One MZI applied to waveguides (p, p+1) with phases (theta, phi)."""
+
+    p: int
+    theta: float
+    phi: float
+
+
+def mzi_2x2(theta: float, phi: float) -> np.ndarray:
+    """Closed-form MZI transfer (matches devices.mzi_matrix)."""
+    a = np.exp(-1j * theta)
+    e = np.exp(-1j * phi)
+    return 0.5 * np.array(
+        [[(a - 1) * e, 1j * (a + 1)], [1j * (a + 1) * e, (1 - a)]]
+    )
+
+
+def _embed(op: MZIOp, k: int) -> np.ndarray:
+    m = np.eye(k, dtype=complex)
+    m[op.p : op.p + 2, op.p : op.p + 2] = mzi_2x2(op.theta, op.phi)
+    return m
+
+
+def _null_theta_phi(u: complex, v: complex) -> Tuple[float, float]:
+    """Phases (theta, phi) such that row 1 of M @ [u, v]^T vanishes.
+
+    Uses m10/m11 = e^{-j phi} * cot(theta/2): choose
+    theta = 2*atan2(|u|, |v|) and phi = -angle(-v/u).  For u == 0 any
+    phi works because theta = 0 is the full-cross state with m11 = 0.
+    """
+    theta = 2.0 * math.atan2(abs(u), abs(v))
+    if abs(u) < 1e-300:
+        return 0.0, 0.0
+    phi = float(-np.angle(-v / u))
+    return float(theta), phi
+
+
+def reck_decompose(unitary: np.ndarray) -> Tuple[List[MZIOp], np.ndarray]:
+    """Null ``unitary`` to a diagonal phase screen with adjacent MZIs.
+
+    Returns ``(ops, diag)`` such that applying the ops in order to the
+    input unitary yields a diagonal matrix of unit-modulus entries:
+
+        T_n @ ... @ T_1 @ U = diag
+
+    The constructive existence of this sequence (n = K(K-1)/2) is the
+    universality property of the MZI mesh.
+    """
+    u = np.array(unitary, dtype=complex)
+    k = u.shape[0]
+    if u.shape != (k, k):
+        raise ValueError("input must be square")
+    if not np.allclose(u.conj().T @ u, np.eye(k), atol=1e-8):
+        raise ValueError("input must be unitary")
+    ops: List[MZIOp] = []
+    # Null column by column below the diagonal, bubbling entries up with
+    # adjacent-pair operations (Reck triangle, adjacent-only variant).
+    for col in range(k):
+        for row in range(k - 1, col, -1):
+            p = row - 1
+            a_val = u[p, col]
+            b_val = u[row, col]
+            if abs(b_val) < 1e-12:
+                continue
+            theta, phi = _null_theta_phi(a_val, b_val)
+            op = MZIOp(p=p, theta=theta, phi=phi)
+            t = _embed(op, k)
+            u = t @ u
+            ops.append(op)
+            assert abs(u[row, col]) < 1e-8, (row, col, abs(u[row, col]))
+    return ops, u
+
+
+def reconstruct_from_ops(ops: List[MZIOp], diag: np.ndarray) -> np.ndarray:
+    """Invert :func:`reck_decompose`: rebuild U = T_1^H ... T_n^H @ diag."""
+    k = diag.shape[0]
+    u = np.array(diag, dtype=complex)
+    for op in reversed(ops):
+        u = _embed(op, k).conj().T @ u
+    return u
+
+
+def max_mzi_count(k: int) -> int:
+    """MZIs needed for a universal K x K mesh: K(K-1)/2."""
+    return k * (k - 1) // 2

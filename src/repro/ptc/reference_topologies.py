@@ -1,0 +1,106 @@
+"""The manual baselines expressed as explicit block topologies.
+
+The MZI-ONN and FFT-ONN baselines are normally handled analytically
+(:func:`repro.photonics.footprint.mzi_onn_footprint` /
+``butterfly_footprint``) and through their trainable factories.  For
+physical-design analyses — netlist export, floorplanning, power and
+latency estimation — it is useful to have them as concrete
+:class:`~repro.core.topology.PTCTopology` objects with the exact
+device counts of the paper's accounting.  That is what this module
+builds:
+
+* :func:`mzi_topology` — the rectangular MZI mesh as 2K blocks per
+  unitary: each MZI column contributes an *internal* and an
+  *external* phase-shifter block, both carrying the column's
+  couplers.  Counts: #Blk = 4K, #PS = 4K^2, #DC = 2K(K-1), #CR = 0.
+* :func:`butterfly_topology` — the FFT butterfly as log2(K) blocks
+  per unitary; stage s couples stride-2^s pairs, realized by an
+  interleaving crossing network before each non-adjacent stage.
+  Counts: #Blk = 2 log2 K, #DC = K/2 per block, #CR matching the
+  analytic butterfly crossing count.
+
+Both reproduce the corresponding Table 1 footprints exactly (verified
+in the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..core.topology import BlockSpec, PTCTopology
+
+__all__ = ["butterfly_topology", "mzi_topology", "stride_interleave_perm"]
+
+
+def mzi_topology(k: int, name: str = "mzi-onn") -> PTCTopology:
+    """The rectangular (Clements) MZI mesh in block form.
+
+    MZI column ``l`` holds ``(K - l % 2) // 2`` MZIs at offset
+    ``l % 2``.  Each MZI is two couplers and two phase screens, so the
+    column expands into two blocks that share the same coupler
+    pattern.  No crossings anywhere — MZI meshes are planar.
+    """
+    if k < 2:
+        raise ValueError(f"mesh size must be >= 2, got {k}")
+
+    def one_mesh() -> List[BlockSpec]:
+        blocks: List[BlockSpec] = []
+        for layer in range(k):
+            offset = layer % 2
+            slots = (k - offset) // 2
+            mask = np.ones(slots, dtype=bool)
+            for _half in range(2):  # internal + external phase stage
+                blocks.append(BlockSpec(coupler_mask=mask.copy(),
+                                        offset=offset, perm=None))
+        return blocks
+
+    return PTCTopology(k=k, blocks_u=one_mesh(), blocks_v=one_mesh(),
+                       name=name)
+
+
+def stride_interleave_perm(k: int, stride: int) -> np.ndarray:
+    """Permutation that makes stride-``stride`` pairs adjacent.
+
+    Within each group of ``2 * stride`` waveguides, the two
+    stride-halves are interleaved: ``[0, stride, 1, stride+1, ...]``.
+    Its inversion count per group is ``stride * (stride - 1) / 2`` —
+    the butterfly crossing formula.
+    """
+    if stride < 1 or k % (2 * stride) != 0:
+        raise ValueError(f"stride {stride} incompatible with size {k}")
+    perm: List[int] = []
+    group = 2 * stride
+    for base in range(0, k, group):
+        for i in range(stride):
+            perm.extend([base + i, base + i + stride])
+    return np.asarray(perm, dtype=int)
+
+
+def butterfly_topology(k: int, name: str = "fft-onn") -> PTCTopology:
+    """The FFT butterfly mesh in block form.
+
+    Stage ``s`` (s = 0 .. log2(K)-1) couples pairs at stride 2^s.
+    Stage 0 needs no routing; each later stage is preceded by the
+    stride-interleave crossing network, which in the P @ T @ R block
+    convention is carried by the *previous* block's CR layer.
+    """
+    stages = int(math.log2(k))
+    if 2 ** stages != k:
+        raise ValueError(f"butterfly mesh requires power-of-two K, got {k}")
+
+    def one_mesh() -> List[BlockSpec]:
+        blocks: List[BlockSpec] = []
+        full = np.ones(k // 2, dtype=bool)
+        for s in range(stages):
+            perm = None
+            if s + 1 < stages:
+                perm = stride_interleave_perm(k, 2 ** (s + 1))
+            blocks.append(BlockSpec(coupler_mask=full.copy(), offset=0,
+                                    perm=perm))
+        return blocks
+
+    return PTCTopology(k=k, blocks_u=one_mesh(), blocks_v=one_mesh(),
+                       name=name)

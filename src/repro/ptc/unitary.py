@@ -1,0 +1,303 @@
+"""Trainable unitary factories for photonic tensor cores.
+
+A *unitary factory* owns the trainable phases of a photonic mesh and
+builds, on every forward pass, a batch of K x K transfer matrices — one
+per (p, q) weight block of an ONN layer (the paper's Eq. (2): the
+*topology* is shared across blocks, the *phases* are per-block).
+
+Three concrete factories implement the three PTC families compared in
+the paper:
+
+* :class:`MZIMeshFactory` — rectangular (Clements-style) mesh of MZIs;
+  universal but large (the MZI-ONN baseline [Shen et al. 2017]).
+* :class:`ButterflyFactory` — log-depth butterfly mesh with trainable
+  phases (the FFT-ONN baseline [Gu et al. 2020], in its general
+  trainable-transform form).
+* :class:`FixedTopologyFactory` — an ADEPT-searched topology: a fixed
+  sequence of (CR permutation, DC column, PS column) blocks with
+  trainable phases.
+
+All factories support Gaussian phase-noise injection (``noise_std``)
+used for variation-aware training and robustness evaluation (paper
+Fig. 4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, custom_grad, ensure_tensor
+from ..autograd import tensor as T
+from ..nn.module import Module, Parameter
+from ..photonics.crossings import perm_to_matrix
+from ..photonics.devices import T_5050, dc_layer_matrix_np
+from ..utils.rng import get_rng
+
+
+def batched_scatter(
+    values: Tensor,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    k: int,
+) -> Tensor:
+    """Build (..., K, K) matrices with ``out[..., rows[i], cols[i]] =
+    values[..., i]`` (indices unique; all other entries zero)."""
+    values = ensure_tensor(values)
+    batch = values.shape[:-1]
+    out = np.zeros(batch + (k, k), dtype=values.data.dtype)
+    out[..., rows, cols] = values.data
+
+    def backward(g: np.ndarray):
+        return (g[..., rows, cols],)
+
+    return custom_grad(out, (values,), backward)
+
+
+def _phase_factor(phases: Tensor) -> Tensor:
+    """exp(-j * phi) elementwise (phases real)."""
+    return T.exp(T.mul(Tensor(np.array(-1j)), phases))
+
+
+class UnitaryFactory(Module):
+    """Base class: builds ``n_units`` trainable K x K transfer matrices.
+
+    Attributes
+    ----------
+    k: mesh size (number of waveguides).
+    n_units: number of independent phase configurations (one per
+        weight block of the owning ONN layer).
+    noise_std: std-dev of Gaussian phase noise added at build time
+        (0 disables).  Used by variation-aware training / Fig. 4.
+    """
+
+    def __init__(self, k: int, n_units: int, rng=None):
+        super().__init__()
+        self.k = k
+        self.n_units = n_units
+        self.noise_std = 0.0
+        #: Optional Tensor -> Tensor hook applied to phases before
+        #: noise injection — e.g. an STE quantizer modelling a low-bit
+        #: phase-control DAC (:mod:`repro.core.quantization`).
+        self.phase_transform = None
+        self._rng = get_rng(rng)
+
+    def _noisy(self, phases: Tensor) -> Tensor:
+        if self.phase_transform is not None:
+            phases = self.phase_transform(phases)
+        if self.noise_std > 0.0:
+            noise = self._rng.normal(0.0, self.noise_std, size=phases.shape)
+            return phases + Tensor(noise)
+        return phases
+
+    def build(self) -> Tensor:
+        """Return transfer matrices of shape (n_units, K, K), complex."""
+        raise NotImplementedError
+
+    def forward(self) -> Tensor:
+        return self.build()
+
+    # Subclasses report their own device usage for footprint accounting.
+    def device_counts(self) -> Tuple[int, int, int]:
+        """(n_ps, n_dc, n_cr) of ONE mesh instance (topology-level)."""
+        raise NotImplementedError
+
+
+class MZIMeshFactory(UnitaryFactory):
+    """Rectangular MZI mesh (Clements arrangement), universal at size K.
+
+    Layer ``l`` (l = 0..K-1) holds MZIs on waveguide pairs starting at
+    offset ``l % 2``; a full mesh has K(K-1)/2 MZIs.  Each MZI
+    contributes an internal phase ``theta`` and an external phase
+    ``phi``; its 2x2 transfer (50:50 couplers) is
+
+        M(theta, phi) = 1/2 * [[ (a-1) e^{-j phi},  j (a+1)        ],
+                               [ j (a+1) e^{-j phi}, (1-a)         ]],
+        a = exp(-j theta)
+
+    which is the closed form of DC @ PS(theta) @ DC @ PS(phi).
+    """
+
+    def __init__(self, k: int, n_units: int, rng=None):
+        super().__init__(k, n_units, rng=rng)
+        self.n_layers = k
+        layout = []
+        for layer in range(self.n_layers):
+            offset = layer % 2
+            m = (k - offset) // 2
+            layout.append((offset, m))
+        self._layout = layout
+        rng_ = get_rng(rng)
+        max_m = max(m for _, m in layout) if layout else 0
+        self.theta = Parameter(rng_.uniform(0, 2 * math.pi, size=(n_units, self.n_layers, max_m)))
+        self.phi = Parameter(rng_.uniform(0, 2 * math.pi, size=(n_units, self.n_layers, max_m)))
+
+    def build(self) -> Tensor:
+        theta = self._noisy(self.theta)
+        phi = self._noisy(self.phi)
+        u: Optional[Tensor] = None
+        for layer, (offset, m) in enumerate(self._layout):
+            if m == 0:
+                continue
+            th = theta[:, layer, :m]
+            ph = phi[:, layer, :m]
+            a = _phase_factor(th)
+            e = _phase_factor(ph)
+            half = Tensor(np.array(0.5))
+            jj = Tensor(np.array(1j))
+            m00 = (a - 1.0) * e * half
+            m01 = jj * (a + 1.0) * half
+            m10 = jj * (a + 1.0) * e * half
+            m11 = (1.0 - a) * half
+            pos = offset + 2 * np.arange(m)
+            rows = np.concatenate([pos, pos, pos + 1, pos + 1])
+            cols = np.concatenate([pos, pos + 1, pos, pos + 1])
+            vals = T.concat([m00, m01, m10, m11], axis=-1)
+            mat = batched_scatter(vals, rows, cols, self.k)
+            covered = np.zeros(self.k, dtype=bool)
+            covered[pos] = True
+            covered[pos + 1] = True
+            mat = mat + Tensor(np.diag((~covered).astype(complex)))
+            u = mat if u is None else mat @ u
+        assert u is not None
+        return u
+
+    def device_counts(self) -> Tuple[int, int, int]:
+        # Paper accounting (Table 1): each MZI column is two blocks, and
+        # every block is billed a full K-wide PS column, so one mesh has
+        # #PS = K * 2K; each of the K(K-1)/2 MZIs has two couplers.
+        n_mzi = sum(m for _, m in self._layout)
+        return 2 * self.k * self.k, 2 * n_mzi, 0
+
+
+class ButterflyFactory(UnitaryFactory):
+    """Log-depth butterfly mesh with trainable phases (FFT-ONN family).
+
+    Stage ``s`` (s = 0..log2(K)-1) applies a full PS column followed by
+    50:50 couplers on waveguide pairs at stride 2^s.  The stride
+    pairing is realized on chip with waveguide crossings, whose count
+    is accounted analytically in
+    :func:`repro.photonics.footprint.butterfly_footprint`.
+    """
+
+    def __init__(self, k: int, n_units: int, rng=None):
+        super().__init__(k, n_units, rng=rng)
+        stages = int(math.log2(k))
+        if 2 ** stages != k:
+            raise ValueError(f"butterfly mesh requires power-of-two K, got {k}")
+        self.stages = stages
+        rng_ = get_rng(rng)
+        self.phases = Parameter(rng_.uniform(0, 2 * math.pi, size=(n_units, stages, k)))
+        # Precompute constant coupler matrices per stage.
+        self._stage_dc: List[np.ndarray] = []
+        for s in range(stages):
+            stride = 2 ** s
+            mat = np.zeros((k, k), dtype=complex)
+            t = T_5050
+            js = 1j * math.sqrt(1 - t * t)
+            paired = np.zeros(k, dtype=bool)
+            for base in range(0, k, 2 * stride):
+                for i in range(base, base + stride):
+                    jdx = i + stride
+                    mat[i, i] = t
+                    mat[jdx, jdx] = t
+                    mat[i, jdx] = js
+                    mat[jdx, i] = js
+                    paired[i] = paired[jdx] = True
+            assert paired.all()
+            self._stage_dc.append(mat)
+
+    def build(self) -> Tensor:
+        phases = self._noisy(self.phases)
+        u: Optional[Tensor] = None
+        for s in range(self.stages):
+            ps = _phase_factor(phases[:, s, :])  # (n_units, K)
+            dc = Tensor(self._stage_dc[s])
+            if u is None:
+                # dc @ diag(ps): scale columns of dc per unit.
+                u = dc * ps.reshape((self.n_units, 1, self.k))
+            else:
+                u = dc @ (ps.reshape((self.n_units, self.k, 1)) * u)
+        assert u is not None
+        return u
+
+    def device_counts(self) -> Tuple[int, int, int]:
+        from ..photonics.footprint import _butterfly_crossings
+
+        n_ps = self.stages * self.k
+        n_dc = self.stages * (self.k // 2)
+        n_cr = _butterfly_crossings(self.k)
+        return n_ps, n_dc, n_cr
+
+
+class FixedTopologyFactory(UnitaryFactory):
+    """A searched (or hand-specified) ADEPT block topology.
+
+    Each block b applies, in light-propagation order,
+    ``P_b @ T_b @ R(Phi_b)``: a PS column (trainable phases), a DC
+    column (fixed coupler placement), and a crossing network (fixed
+    permutation).  ``blocks`` is a sequence of
+    ``(perm, coupler_mask, offset)`` with
+
+    * ``perm``: index vector (output i reads input perm[i]) or None
+      for identity routing;
+    * ``coupler_mask``: boolean array, one entry per coupler *slot*
+      (slot i couples waveguides offset+2i, offset+2i+1); True means a
+      50:50 DC is placed, False means pass-through;
+    * ``offset``: 0 or 1, the interleaving of the DC column.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        n_units: int,
+        blocks: Sequence[Tuple[Optional[Sequence[int]], np.ndarray, int]],
+        rng=None,
+    ):
+        super().__init__(k, n_units, rng=rng)
+        self.blocks_spec = [
+            (None if perm is None else np.asarray(perm, dtype=int),
+             np.asarray(mask, dtype=bool),
+             int(offset))
+            for perm, mask, offset in blocks
+        ]
+        self.n_blocks = len(self.blocks_spec)
+        rng_ = get_rng(rng)
+        self.phases = Parameter(
+            rng_.uniform(0, 2 * math.pi, size=(n_units, self.n_blocks, k))
+        )
+        # Precompute the constant (P_b @ T_b) matrix of each block.
+        self._const: List[np.ndarray] = []
+        for perm, mask, offset in self.blocks_spec:
+            ts = [T_5050 if placed else 1.0 for placed in mask]
+            t_mat = dc_layer_matrix_np(ts, k, offset)
+            p_mat = np.eye(k) if perm is None else perm_to_matrix(perm)
+            self._const.append(p_mat @ t_mat)
+
+    def build(self) -> Tensor:
+        phases = self._noisy(self.phases)
+        u: Optional[Tensor] = None
+        for b in range(self.n_blocks):
+            ps = _phase_factor(phases[:, b, :])  # (n_units, K)
+            cb = Tensor(self._const[b])
+            if u is None:
+                u = cb * ps.reshape((self.n_units, 1, self.k))
+            else:
+                u = cb @ (ps.reshape((self.n_units, self.k, 1)) * u)
+        if u is None:
+            eye = np.broadcast_to(np.eye(self.k, dtype=complex), (self.n_units, self.k, self.k))
+            return Tensor(eye.copy())
+        return u
+
+    def device_counts(self) -> Tuple[int, int, int]:
+        from ..photonics.crossings import count_inversions
+
+        n_ps = self.n_blocks * self.k
+        n_dc = sum(int(mask.sum()) for _, mask, _ in self.blocks_spec)
+        n_cr = sum(
+            0 if perm is None else count_inversions(list(perm))
+            for perm, _, _ in self.blocks_spec
+        )
+        return n_ps, n_dc, n_cr

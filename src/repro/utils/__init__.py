@@ -1,0 +1,18 @@
+"""Shared utilities: RNG management, logging, serialization, plotting."""
+
+from .ascii_plot import bar_chart, line_plot, sparkline
+from .logging import TraceLogger
+from .rng import get_rng, set_seed, spawn_rng
+from .serialization import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "TraceLogger",
+    "bar_chart",
+    "line_plot",
+    "sparkline",
+    "get_rng",
+    "load_checkpoint",
+    "save_checkpoint",
+    "set_seed",
+    "spawn_rng",
+]

@@ -1,0 +1,120 @@
+"""Terminal plotting for experiment outputs.
+
+The benchmark harness and the examples run in headless environments,
+so every figure of the paper is rendered as text: multi-series line
+plots (Fig. 4/5 curves), horizontal bar charts (footprint
+comparisons), and sparklines (training traces).  Pure string
+manipulation — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["bar_chart", "line_plot", "sparkline"]
+
+_GLYPHS = "ox+*#@%&"
+_BLOCKS = " .:-=+*#%@"
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    return f"{v:.3g}"
+
+
+def line_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    ``series`` maps a legend label to ``(xs, ys)``.  Each series gets
+    its own glyph; the legend, axis ranges, and optional labels are
+    appended below the grid.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: xs and ys lengths differ")
+        if len(xs) == 0:
+            raise ValueError(f"series {name!r} is empty")
+    all_x = [float(x) for xs, _ in series.values() for x in xs]
+    all_y = [float(y) for _, ys in series.values() for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for x, y in zip(xs, ys):
+            col = int(round((float(x) - x_lo) / x_span * (width - 1)))
+            row = int(round((float(y) - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"{y_label[:10]:>10}")
+    lines.append(f"{_fmt(y_hi):>10} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{_fmt(y_lo):>10} +" + "-" * width + "+")
+    lines.append(" " * 12 + f"{_fmt(x_lo)}" + " " * max(1, width - len(_fmt(x_lo)) - len(_fmt(x_hi))) + f"{_fmt(x_hi)}")
+    if x_label:
+        lines.append(" " * 12 + x_label)
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; bar lengths proportional to values."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        raise ValueError("need at least one bar")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    v_max = max(values) or 1.0
+    name_w = max(len(str(label)) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, v in zip(labels, values):
+        n = int(round(v / v_max * width))
+        lines.append(f"{str(label):>{name_w}} |{'#' * n:<{width}}| "
+                     f"{_fmt(v)}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trace using density glyphs (min -> ' ', max -> '@')."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("need at least one value")
+    lo, hi = min(vals), max(vals)
+    span = hi - lo or 1.0
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)

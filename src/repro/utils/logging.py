@@ -1,0 +1,83 @@
+"""Lightweight experiment trace logging.
+
+The search flow records per-step scalar traces (loss, permutation
+error, expected footprint...).  :class:`TraceLogger` accumulates named
+scalar series and serializes them to CSV or JSON so experiments can be
+post-processed without re-running.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+
+class TraceLogger:
+    """Accumulate named scalar series of equal or unequal lengths."""
+
+    def __init__(self):
+        self._series: Dict[str, List[float]] = {}
+
+    def log(self, **values: float) -> None:
+        """Append one value per named series."""
+        for name, value in values.items():
+            self._series.setdefault(name, []).append(float(value))
+
+    def series(self, name: str) -> List[float]:
+        return list(self._series.get(name, []))
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __len__(self) -> int:
+        return max((len(s) for s in self._series.values()), default=0)
+
+    # -- serialization ---------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(self._series, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceLogger":
+        logger = cls()
+        logger._series = {k: [float(x) for x in v] for k, v in json.loads(text).items()}
+        return logger
+
+    def save(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        if path.suffix == ".csv":
+            self._save_csv(path)
+        else:
+            path.write_text(self.to_json())
+
+    def _save_csv(self, path: Path) -> None:
+        names = self.names
+        rows = max((len(self._series[n]) for n in names), default=0)
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["step"] + names)
+            for i in range(rows):
+                writer.writerow(
+                    [i]
+                    + [
+                        self._series[n][i] if i < len(self._series[n]) else ""
+                        for n in names
+                    ]
+                )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TraceLogger":
+        path = Path(path)
+        if path.suffix == ".csv":
+            logger = cls()
+            with open(path, newline="") as f:
+                reader = csv.reader(f)
+                header = next(reader)[1:]
+                for row in reader:
+                    for name, cell in zip(header, row[1:]):
+                        if cell != "":
+                            logger._series.setdefault(name, []).append(float(cell))
+            return logger
+        return cls.from_json(path.read_text())

@@ -1,0 +1,31 @@
+"""Centralized random-number management.
+
+All stochastic components (parameter init, Gumbel noise, dropout,
+dataset synthesis, phase-noise injection) draw from explicit
+``numpy.random.Generator`` objects so that every experiment is
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GLOBAL_RNG = np.random.default_rng(0)
+
+
+def set_seed(seed: int) -> None:
+    """Re-seed the library-wide default generator."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(seed)
+
+
+def get_rng(rng: np.random.Generator | None = None) -> np.random.Generator:
+    """Return ``rng`` if given, else the library-wide default generator."""
+    return rng if rng is not None else _GLOBAL_RNG
+
+
+def spawn_rng(seed: int | None = None) -> np.random.Generator:
+    """Create an independent generator (seeded from the default if None)."""
+    if seed is None:
+        seed = int(get_rng().integers(0, 2**31 - 1))
+    return np.random.default_rng(seed)

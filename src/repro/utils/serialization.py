@@ -1,0 +1,53 @@
+"""Model checkpointing: save/load state dicts with shape validation.
+
+State dicts map parameter/buffer names to numpy arrays (complex arrays
+included — photonic phases are real but intermediate buffers may not
+be).  The format is a single ``.npz`` file plus a JSON manifest of
+shapes/dtypes for validation on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..nn.module import Module
+
+
+def save_checkpoint(model: Module, path: Union[str, Path]) -> None:
+    """Serialize a model's state dict to ``path`` (.npz)."""
+    path = Path(path)
+    state = model.state_dict()
+    manifest = {
+        name: {"shape": list(arr.shape), "dtype": str(arr.dtype)}
+        for name, arr in state.items()
+    }
+    np.savez(path, __manifest__=json.dumps(manifest), **state)
+
+
+def load_checkpoint(model: Module, path: Union[str, Path], strict: bool = True) -> None:
+    """Load a checkpoint into ``model``.
+
+    With ``strict=True`` every model parameter must be present in the
+    checkpoint with a matching shape.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        manifest = json.loads(str(data["__manifest__"]))
+        state = {name: data[name] for name in data.files if name != "__manifest__"}
+    if strict:
+        own = dict(model.named_parameters())
+        missing = [n for n in own if n not in state]
+        if missing:
+            raise KeyError(f"checkpoint missing parameters: {missing}")
+        for name, p in own.items():
+            want = tuple(manifest[name]["shape"])
+            if tuple(p.shape) != want:
+                raise ValueError(
+                    f"shape mismatch for {name}: model {tuple(p.shape)} vs "
+                    f"checkpoint {want}"
+                )
+    model.load_state_dict(state)

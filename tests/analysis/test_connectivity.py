@@ -1,0 +1,100 @@
+"""Tests for structural mixing (light-cone) analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.connectivity import (
+    block_adjacency,
+    light_cone_sizes,
+    mixing_depth,
+    reachability,
+    topology_mixing_report,
+)
+from repro.core.topology import BlockSpec, PTCTopology, random_topology
+from repro.ptc.reference_topologies import butterfly_topology, mzi_topology
+
+
+def full_block(b, k):
+    offset = b % 2
+    return BlockSpec(coupler_mask=np.ones((k - offset) // 2, dtype=bool),
+                     offset=offset, perm=None)
+
+
+class TestBlockAdjacency:
+    def test_no_couplers_is_identity(self):
+        block = BlockSpec(coupler_mask=np.zeros(4, dtype=bool), offset=0,
+                          perm=None)
+        np.testing.assert_array_equal(block_adjacency(block, 8), np.eye(8, dtype=bool))
+
+    def test_coupler_links_pair(self):
+        mask = np.zeros(4, dtype=bool)
+        mask[1] = True  # wires 2, 3
+        block = BlockSpec(coupler_mask=mask, offset=0, perm=None)
+        a = block_adjacency(block, 8)
+        assert a[2, 3] and a[3, 2]
+        assert not a[0, 1]
+
+    def test_perm_relabels_rows(self):
+        block = BlockSpec(coupler_mask=np.zeros(4, dtype=bool), offset=0,
+                          perm=np.array([1, 0, 2, 3, 4, 5, 6, 7]))
+        a = block_adjacency(block, 8)
+        assert a[0, 1] and a[1, 0]
+        assert not a[0, 0]
+
+
+class TestReachabilityAndMixing:
+    def test_butterfly_mixes_in_log2k_stages(self):
+        for k in (4, 8, 16):
+            topo = butterfly_topology(k)
+            assert mixing_depth(topo.blocks_u, k) == int(math.log2(k))
+
+    def test_mzi_rectangle_mixes(self):
+        topo = mzi_topology(8)
+        depth = mixing_depth(topo.blocks_u, 8)
+        assert depth is not None
+        # Adjacent-pair mixing needs ~K columns = 2K blocks to span.
+        assert depth <= 2 * 8
+
+    def test_couplerless_cascade_never_mixes(self):
+        blocks = [BlockSpec(coupler_mask=np.zeros(4, dtype=bool), offset=0,
+                            perm=None)] * 5
+        assert mixing_depth(blocks, 8) is None
+
+    def test_light_cone_growth_monotone(self):
+        k = 8
+        blocks = [full_block(b, k) for b in range(6)]
+        prev = np.ones(k)
+        for d in range(1, len(blocks) + 1):
+            cones = light_cone_sizes(blocks[:d], k)
+            assert (cones >= prev).all()
+            prev = cones
+
+    def test_adjacent_mixing_cone_bound(self):
+        # Without permutations, one block extends a cone by at most
+        # two wires in each direction.
+        k = 8
+        blocks = [full_block(b, k) for b in range(2)]
+        cones = light_cone_sizes(blocks, k)
+        assert cones.max() <= 5
+
+    def test_reachability_shape_and_diagonal(self):
+        topo = random_topology(8, 3, 3, np.random.default_rng(0))
+        r = reachability(topo.blocks_u, 8)
+        assert r.shape == (8, 8)
+        # Light always reaches the wire it stays on (perms relabel).
+        assert r.sum() >= 8
+
+
+class TestReport:
+    def test_mixed_report(self):
+        topo = butterfly_topology(8)
+        assert "fully mixed" in topology_mixing_report(topo)
+
+    def test_unmixed_report(self):
+        blocks = [BlockSpec(coupler_mask=np.zeros(4, dtype=bool), offset=0,
+                            perm=None)]
+        topo = PTCTopology(k=8, blocks_u=blocks, blocks_v=[], name="bare")
+        report = topology_mixing_report(topo)
+        assert "NOT fully mixed" in report

@@ -1,0 +1,123 @@
+"""Tests for expressivity measurement (unitary/matrix fitting)."""
+
+import numpy as np
+import pytest
+from scipy.stats import unitary_group
+
+from repro.analysis import (
+    FitResult,
+    build_factory,
+    fit_unitary,
+    matrix_expressivity,
+    unitary_expressivity,
+)
+from repro.core.topology import random_topology
+from repro.ptc.unitary import ButterflyFactory, FixedTopologyFactory, MZIMeshFactory
+
+
+class TestBuildFactory:
+    def test_mzi(self):
+        assert isinstance(build_factory("mzi", 4), MZIMeshFactory)
+
+    def test_fft_alias(self):
+        assert isinstance(build_factory("fft", 8), ButterflyFactory)
+        assert isinstance(build_factory("butterfly", 8), ButterflyFactory)
+
+    def test_topology(self):
+        topo = random_topology(8, 3, 3, np.random.default_rng(0))
+        f = build_factory("topology", 8, topology=topo)
+        assert isinstance(f, FixedTopologyFactory)
+        assert f.n_blocks == 3
+
+    def test_topology_requires_topology(self):
+        with pytest.raises(ValueError, match="requires a topology"):
+            build_factory("topology", 8)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown"):
+            build_factory("quantum", 8)
+
+
+class TestFitUnitary:
+    def test_mzi_is_universal(self):
+        f = build_factory("mzi", 4, rng=np.random.default_rng(0))
+        target = unitary_group.rvs(4, random_state=1)
+        res = fit_unitary(f, target, steps=500, lr=0.05,
+                          rng=np.random.default_rng(2))
+        assert res.error < 0.02
+        assert res.fidelity > 0.999
+        assert res.converged or res.error < 0.02
+
+    def test_butterfly_is_restricted(self):
+        f = build_factory("fft", 8, rng=np.random.default_rng(0))
+        target = unitary_group.rvs(8, random_state=1)
+        res = fit_unitary(f, target, steps=300, lr=0.05,
+                          rng=np.random.default_rng(2))
+        assert res.error > 0.3  # log-depth mesh cannot reach a Haar unitary
+
+    def test_identity_target_trivial_for_topology(self):
+        # A topology can always realize *some* matrices well: fitting
+        # its own realization must give ~zero error.
+        topo = random_topology(8, 2, 2, np.random.default_rng(3))
+        f = build_factory("topology", 8, topology=topo, rng=np.random.default_rng(4))
+        self_target = f.build().data[0]
+        res = fit_unitary(f, self_target, steps=50, lr=0.02,
+                          output_phases=False, rng=np.random.default_rng(5))
+        assert res.error < 1e-6
+
+    def test_rejects_multi_unit_factory(self):
+        f = MZIMeshFactory(4, n_units=2)
+        with pytest.raises(ValueError, match="n_units"):
+            fit_unitary(f, np.eye(4))
+
+    def test_rejects_wrong_target_shape(self):
+        f = MZIMeshFactory(4, n_units=1)
+        with pytest.raises(ValueError, match="target"):
+            fit_unitary(f, np.eye(5))
+
+    def test_history_recorded(self):
+        f = build_factory("fft", 8, rng=np.random.default_rng(0))
+        res = fit_unitary(f, unitary_group.rvs(8, random_state=0),
+                          steps=50, record_every=10)
+        assert len(res.history) >= 5
+        assert res.history[-1] == pytest.approx(res.error)
+
+
+class TestUnitaryExpressivity:
+    def test_mzi_beats_butterfly(self):
+        k = 8
+        mzi = unitary_expressivity(
+            lambda: build_factory("mzi", k, rng=np.random.default_rng(0)),
+            n_targets=1, steps=400, lr=0.05, rng=np.random.default_rng(1))
+        fft = unitary_expressivity(
+            lambda: build_factory("fft", k, rng=np.random.default_rng(0)),
+            n_targets=1, steps=400, lr=0.05, rng=np.random.default_rng(1))
+        assert mzi.error < fft.error
+        assert mzi.fidelity > fft.fidelity
+
+    def test_deeper_topology_more_expressive(self):
+        k = 8
+        rng = np.random.default_rng(0)
+        shallow = random_topology(k, 2, 2, rng, coupler_density=1.0)
+        deep = random_topology(k, 8, 8, rng, coupler_density=1.0)
+        results = {}
+        for name, topo in (("shallow", shallow), ("deep", deep)):
+            results[name] = unitary_expressivity(
+                lambda t=topo: build_factory("topology", k, topology=t,
+                                             rng=np.random.default_rng(1)),
+                n_targets=1, steps=400, lr=0.05, rng=np.random.default_rng(2))
+        assert results["deep"].error < results["shallow"].error
+
+
+class TestMatrixExpressivity:
+    def test_mzi_fits_general_matrices(self):
+        res = matrix_expressivity("mzi", 4, n_targets=1, steps=500, lr=0.05,
+                                  rng=np.random.default_rng(0))
+        assert res.error < 0.05
+        assert res.fidelity > 0.99
+
+    def test_result_type(self):
+        res = matrix_expressivity("fft", 8, n_targets=1, steps=30,
+                                  rng=np.random.default_rng(1))
+        assert isinstance(res, FitResult)
+        assert len(res.history) == 1

@@ -1,0 +1,95 @@
+"""Tests for Pareto-front utilities."""
+
+import pytest
+
+from repro.analysis import ParetoPoint, dominates, hypervolume_2d, pareto_front
+
+
+def pt(f, s, label=""):
+    return ParetoPoint(footprint=f, score=s, label=label)
+
+
+class TestDominates:
+    def test_strictly_better(self):
+        assert dominates(pt(1, 9), pt(2, 8))
+
+    def test_better_on_one_axis(self):
+        assert dominates(pt(1, 9), pt(2, 9))
+        assert dominates(pt(1, 9), pt(1, 8))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(pt(1, 9), pt(1, 9))
+
+    def test_trade_off_no_domination(self):
+        assert not dominates(pt(1, 5), pt(2, 9))
+        assert not dominates(pt(2, 9), pt(1, 5))
+
+    def test_rejects_negative_footprint(self):
+        with pytest.raises(ValueError):
+            pt(-1, 5)
+
+
+class TestParetoFront:
+    def test_removes_dominated(self):
+        points = [pt(1, 5), pt(2, 9), pt(3, 7), pt(2.5, 9.5)]
+        front = pareto_front(points)
+        assert pt(3, 7) not in front
+        assert pt(2, 9) in front
+
+    def test_sorted_by_footprint(self):
+        points = [pt(5, 10), pt(1, 2), pt(3, 6)]
+        front = pareto_front(points)
+        fps = [p.footprint for p in front]
+        assert fps == sorted(fps)
+
+    def test_scores_ascend_along_front(self):
+        points = [pt(1, 3), pt(2, 7), pt(4, 9), pt(3, 1), pt(5, 8)]
+        front = pareto_front(points)
+        scores = [p.score for p in front]
+        assert scores == sorted(scores)
+
+    def test_single_point(self):
+        assert pareto_front([pt(2, 2)]) == [pt(2, 2)]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_duplicate_footprint_keeps_best(self):
+        front = pareto_front([pt(1, 5, "a"), pt(1, 9, "b")])
+        assert len(front) == 1
+        assert front[0].score == 9
+
+    def test_all_on_front(self):
+        points = [pt(1, 1), pt(2, 2), pt(3, 3)]
+        assert pareto_front(points) == points
+
+
+class TestHypervolume:
+    def test_single_point_rectangle(self):
+        hv = hypervolume_2d([pt(2, 5)], ref_footprint=10, ref_score=0)
+        assert hv == pytest.approx((10 - 2) * 5)
+
+    def test_staircase(self):
+        front = [pt(1, 1), pt(2, 2)]
+        hv = hypervolume_2d(front, ref_footprint=4, ref_score=0)
+        # [1,2) x [0,1) + [2,4) x [0,2)
+        assert hv == pytest.approx(1 * 1 + 2 * 2)
+
+    def test_dominated_points_ignored(self):
+        with_dom = hypervolume_2d([pt(1, 1), pt(2, 2), pt(3, 1.5)],
+                                  ref_footprint=4)
+        without = hypervolume_2d([pt(1, 1), pt(2, 2)], ref_footprint=4)
+        assert with_dom == pytest.approx(without)
+
+    def test_points_outside_ref_box_ignored(self):
+        hv = hypervolume_2d([pt(20, 5)], ref_footprint=10)
+        assert hv == 0.0
+
+    def test_empty_front(self):
+        assert hypervolume_2d([], ref_footprint=10) == 0.0
+
+    def test_more_points_more_volume(self):
+        base = [pt(5, 5)]
+        richer = [pt(5, 5), pt(2, 3)]
+        assert (hypervolume_2d(richer, ref_footprint=10)
+                > hypervolume_2d(base, ref_footprint=10))

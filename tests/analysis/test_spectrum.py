@@ -1,0 +1,105 @@
+"""Tests for singular-spectrum statistics."""
+
+import numpy as np
+import pytest
+from scipy.stats import unitary_group
+
+from repro.analysis import (
+    SpectrumStats,
+    condition_number,
+    effective_rank,
+    factory_spectrum_stats,
+    singular_spectrum,
+    unitarity_error,
+)
+from repro.core.topology import random_topology
+from repro.photonics.nonideality import NonidealitySpec, NonidealTopologyFactory
+from repro.ptc.unitary import ButterflyFactory, MZIMeshFactory
+
+
+class TestSingularSpectrum:
+    def test_unitary_flat_spectrum(self):
+        u = unitary_group.rvs(6, random_state=0)
+        np.testing.assert_allclose(singular_spectrum(u), 1.0, atol=1e-10)
+
+    def test_descending(self):
+        m = np.random.default_rng(0).normal(size=(5, 5))
+        s = singular_spectrum(m)
+        assert (np.diff(s) <= 1e-12).all()
+
+
+class TestEffectiveRank:
+    def test_flat_spectrum_full_rank(self):
+        assert effective_rank(np.ones(7)) == pytest.approx(7.0)
+
+    def test_single_mode_rank_one(self):
+        assert effective_rank([5.0, 0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_empty_or_zero(self):
+        assert effective_rank([]) == 0.0
+        assert effective_rank([0.0, 0.0]) == 0.0
+
+    def test_between_one_and_n(self):
+        rng = np.random.default_rng(1)
+        s = rng.uniform(0.1, 1.0, size=9)
+        er = effective_rank(s)
+        assert 1.0 <= er <= 9.0
+
+    def test_decay_reduces_rank(self):
+        flat = effective_rank(np.ones(8))
+        decayed = effective_rank(0.5 ** np.arange(8))
+        assert decayed < flat
+
+
+class TestConditionAndUnitarity:
+    def test_unitary_condition_one(self):
+        u = unitary_group.rvs(5, random_state=2)
+        assert condition_number(u) == pytest.approx(1.0, abs=1e-9)
+
+    def test_singular_matrix_inf(self):
+        m = np.zeros((3, 3))
+        m[0, 0] = 1.0
+        assert condition_number(m) == float("inf")
+
+    def test_unitarity_error_zero_for_unitary(self):
+        u = unitary_group.rvs(6, random_state=3)
+        assert unitarity_error(u) == pytest.approx(0.0, abs=1e-10)
+
+    def test_unitarity_error_positive_for_contraction(self):
+        assert unitarity_error(0.5 * np.eye(4)) > 0.1
+
+
+class TestFactoryStats:
+    def test_mzi_mesh_is_unitary_ensemble(self):
+        f = MZIMeshFactory(8, n_units=1, rng=np.random.default_rng(0))
+        stats = factory_spectrum_stats(f, n_samples=3, rng=np.random.default_rng(1))
+        assert isinstance(stats, SpectrumStats)
+        assert stats.mean_effective_rank == pytest.approx(8.0, abs=1e-6)
+        assert stats.mean_condition_number == pytest.approx(1.0, abs=1e-6)
+        assert stats.mean_unitarity_error < 1e-10
+
+    def test_butterfly_mesh_is_unitary_ensemble(self):
+        f = ButterflyFactory(8, n_units=1, rng=np.random.default_rng(0))
+        stats = factory_spectrum_stats(f, n_samples=3, rng=np.random.default_rng(1))
+        assert stats.mean_unitarity_error < 1e-10
+
+    def test_lossy_factory_spectrum_decays(self):
+        topo = random_topology(8, 4, 4, np.random.default_rng(0))
+        spec = NonidealitySpec(loss_ps_db=0.5, loss_dc_db=0.5)
+        f = NonidealTopologyFactory(8, 1, topo.blocks_u, spec,
+                                    rng=np.random.default_rng(1))
+        stats = factory_spectrum_stats(f, n_samples=3, rng=np.random.default_rng(2))
+        assert stats.mean_smax < 1.0
+        assert stats.mean_unitarity_error > 0.01
+
+    def test_parameters_restored_after_sampling(self):
+        f = MZIMeshFactory(4, n_units=1, rng=np.random.default_rng(0))
+        before = [p.data.copy() for p in f.parameters()]
+        factory_spectrum_stats(f, n_samples=2, rng=np.random.default_rng(1))
+        for p, saved in zip(f.parameters(), before):
+            np.testing.assert_array_equal(p.data, saved)
+
+    def test_n_samples_counts_units(self):
+        f = ButterflyFactory(8, n_units=3, rng=np.random.default_rng(0))
+        stats = factory_spectrum_stats(f, n_samples=2, rng=np.random.default_rng(1))
+        assert stats.n_samples == 6

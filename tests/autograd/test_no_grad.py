@@ -1,0 +1,65 @@
+"""Graph construction control (no_grad, straight-through, custom_grad)."""
+
+import numpy as np
+
+from repro.autograd import (
+    Tensor,
+    custom_grad,
+    is_grad_enabled,
+    no_grad,
+    straight_through,
+)
+
+
+class TestNoGrad:
+    def test_no_graph_inside_context(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            b = a * 2
+        assert b.is_leaf
+        assert b._backward is None
+
+    def test_flag_restored_after_exception(self):
+        try:
+            with no_grad():
+                assert not is_grad_enabled()
+                raise ValueError
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+    def test_nested(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_constants_never_build_graph(self):
+        a = Tensor(np.ones(3))
+        b = a * 2 + 1
+        assert b.is_leaf
+
+
+class TestStraightThrough:
+    def test_forward_replaced_backward_passthrough(self):
+        a = Tensor(np.array([0.3, -0.2]), requires_grad=True)
+        hard = np.sign(a.data)
+        out = straight_through(hard, a)
+        assert np.allclose(out.data, [1.0, -1.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+
+    def test_grad_scale(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        out = straight_through(np.array([5.0]), a, grad_scale=0.25)
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.25])
+
+
+class TestCustomGrad:
+    def test_custom_backward_rule(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = custom_grad(a.data * 10, (a,), lambda g: (g * 7.0,))
+        (out * 2).sum().backward()
+        assert np.allclose(a.grad, [14.0])

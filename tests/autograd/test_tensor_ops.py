@@ -1,0 +1,193 @@
+"""Forward-value correctness of every autograd op against numpy."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    concat,
+    log_softmax,
+    pad,
+    softmax,
+    stack,
+    where,
+)
+
+
+class TestArithmetic:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.arange(3.0))
+        assert np.allclose((a + b).data, 1.0 + np.arange(3.0))
+
+    def test_scalar_radd(self):
+        a = Tensor(np.array([1.0, 2.0]))
+        assert np.allclose((3.0 + a).data, [4.0, 5.0])
+
+    def test_sub_rsub(self):
+        a = Tensor(np.array([1.0, 2.0]))
+        assert np.allclose((a - 1.0).data, [0.0, 1.0])
+        assert np.allclose((1.0 - a).data, [0.0, -1.0])
+
+    def test_mul_div(self):
+        a = Tensor(np.array([2.0, 4.0]))
+        assert np.allclose((a * 3).data, [6.0, 12.0])
+        assert np.allclose((a / 2).data, [1.0, 2.0])
+        assert np.allclose((8.0 / a).data, [4.0, 2.0])
+
+    def test_neg_pow(self):
+        a = Tensor(np.array([1.0, 2.0]))
+        assert np.allclose((-a).data, [-1.0, -2.0])
+        assert np.allclose((a ** 2).data, [1.0, 4.0])
+
+    def test_matmul_2d(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 5))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_batched(self, rng):
+        a = rng.normal(size=(7, 3, 4))
+        b = rng.normal(size=(7, 4, 5))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_broadcast(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(7, 4, 5))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_complex_mul(self):
+        a = Tensor(np.array([1 + 2j]))
+        b = Tensor(np.array([3 - 1j]))
+        assert np.allclose((a * b).data, (1 + 2j) * (3 - 1j))
+
+
+class TestElementwise:
+    def test_exp_log_sqrt(self, rng):
+        x = np.abs(rng.normal(size=5)) + 0.1
+        t = Tensor(x)
+        assert np.allclose(t.exp().data, np.exp(x))
+        assert np.allclose(t.log().data, np.log(x))
+        assert np.allclose(t.sqrt().data, np.sqrt(x))
+
+    def test_abs_real_and_complex(self):
+        assert np.allclose(Tensor(np.array([-2.0, 3.0])).abs().data, [2.0, 3.0])
+        assert np.allclose(Tensor(np.array([3 + 4j])).abs().data, [5.0])
+
+    def test_conj_real_imag(self):
+        z = Tensor(np.array([1 + 2j]))
+        assert np.allclose(z.conj().data, [1 - 2j])
+        assert np.allclose(z.real().data, [1.0])
+        assert np.allclose(z.imag().data, [2.0])
+        assert not np.iscomplexobj(z.real().data)
+
+    def test_relu_sigmoid_tanh(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        t = Tensor(x)
+        assert np.allclose(t.relu().data, [0.0, 0.0, 2.0])
+        assert np.allclose(t.sigmoid().data, 1 / (1 + np.exp(-x)))
+        assert np.allclose(t.tanh().data, np.tanh(x))
+
+    def test_clip(self):
+        t = Tensor(np.array([-2.0, 0.5, 3.0]))
+        assert np.allclose(t.clip(-1.0, 1.0).data, [-1.0, 0.5, 1.0])
+
+
+class TestReductions:
+    def test_sum_axes(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        t = Tensor(x)
+        assert np.allclose(t.sum().data, x.sum())
+        assert np.allclose(t.sum(axis=1).data, x.sum(axis=1))
+        assert np.allclose(t.sum(axis=(0, 2), keepdims=True).data, x.sum(axis=(0, 2), keepdims=True))
+
+    def test_mean(self, rng):
+        x = rng.normal(size=(4, 5))
+        assert np.allclose(Tensor(x).mean().data, x.mean())
+        assert np.allclose(Tensor(x).mean(axis=0).data, x.mean(axis=0))
+
+    def test_max_min(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(Tensor(x).max().data, x.max())
+        assert np.allclose(Tensor(x).max(axis=1).data, x.max(axis=1))
+        assert np.allclose(Tensor(x).min(axis=0).data, x.min(axis=0))
+
+
+class TestShapes:
+    def test_reshape_transpose(self, rng):
+        x = rng.normal(size=(2, 6))
+        t = Tensor(x)
+        assert t.reshape((3, 4)).shape == (3, 4)
+        assert t.reshape(3, 4).shape == (3, 4)
+        assert np.allclose(t.T.data, x.T)
+        y = rng.normal(size=(2, 3, 4))
+        assert np.allclose(Tensor(y).transpose((2, 0, 1)).data, y.transpose(2, 0, 1))
+
+    def test_getitem(self, rng):
+        x = rng.normal(size=(4, 5))
+        t = Tensor(x)
+        assert np.allclose(t[1].data, x[1])
+        assert np.allclose(t[:, 2].data, x[:, 2])
+        assert np.allclose(t[np.array([0, 2]), np.array([1, 3])].data, x[[0, 2], [1, 3]])
+
+    def test_concat_stack(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(4, 3))
+        assert concat([Tensor(a), Tensor(b)], axis=0).shape == (6, 3)
+        c = stack([Tensor(a[0]), Tensor(a[1])], axis=0)
+        assert np.allclose(c.data, a)
+
+    def test_pad(self):
+        t = Tensor(np.ones((2, 2)))
+        p = pad(t, ((1, 1), (0, 2)))
+        assert p.shape == (4, 4)
+        assert p.data[0, 0] == 0 and p.data[1, 0] == 1
+
+    def test_flatten(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        assert Tensor(x).flatten(1).shape == (2, 12)
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(5, 7)) * 10
+        s = softmax(Tensor(x), axis=-1)
+        assert np.allclose(s.data.sum(-1), 1.0)
+
+    def test_softmax_stability_large_logits(self):
+        s = softmax(Tensor(np.array([1000.0, 1000.0, -1000.0])))
+        assert np.isfinite(s.data).all()
+        assert np.allclose(s.data[:2], 0.5)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(
+            log_softmax(Tensor(x)).data, np.log(softmax(Tensor(x)).data)
+        )
+
+
+class TestWhere:
+    def test_where_select(self):
+        cond = np.array([True, False, True])
+        out = where(cond, Tensor(np.ones(3)), Tensor(np.zeros(3)))
+        assert np.allclose(out.data, [1.0, 0.0, 1.0])
+
+
+class TestMisc:
+    def test_repr_and_item(self):
+        t = Tensor(np.array(2.5), requires_grad=True)
+        assert "requires_grad" in repr(t)
+        assert t.item() == 2.5
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = (a * 2).detach()
+        assert b.is_leaf and not b.requires_grad
+
+    def test_backward_nonscalar_raises(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_comparisons_return_numpy(self):
+        a = Tensor(np.array([1.0, 3.0]))
+        assert isinstance(a > 2.0, np.ndarray)
+        assert (a > 2.0).tolist() == [False, True]

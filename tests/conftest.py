@@ -1,0 +1,31 @@
+"""Shared fixtures for the ADEPT reproduction test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import train_test_split
+from repro.photonics import AMF
+from repro.utils.rng import set_seed
+
+
+@pytest.fixture(autouse=True)
+def _reset_seed():
+    """Make every test deterministic regardless of execution order."""
+    set_seed(1234)
+    yield
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def tiny_mnist():
+    """A small MNIST-like train/test split shared across tests."""
+    return train_test_split("mnist", 96, 48, seed=7)
+
+
+@pytest.fixture
+def amf():
+    return AMF

@@ -1,0 +1,84 @@
+"""Coupler binarization-aware training (Eq. 14-15)."""
+
+import math
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.core import CouplerLearner, binarize_couplers, dc_count_expr, quantize_t
+
+
+SQ2 = math.sqrt(2.0) / 2.0
+
+
+class TestQuantization:
+    def test_negative_maps_to_coupler(self):
+        assert np.allclose(quantize_t(np.array([-0.5, -2.0])), SQ2)
+
+    def test_positive_maps_to_passthrough(self):
+        assert np.allclose(quantize_t(np.array([0.5, 3.0])), 1.0)
+
+    def test_binary_codomain(self, rng):
+        q = quantize_t(rng.normal(size=100))
+        assert set(np.round(np.unique(q), 12)) <= {round(SQ2, 12), 1.0}
+
+
+class TestSTE:
+    def test_forward_is_quantized(self, rng):
+        t = Tensor(rng.normal(size=5), requires_grad=True)
+        out = binarize_couplers(t)
+        assert np.allclose(out.data, quantize_t(t.data))
+
+    def test_gradient_scaled(self):
+        t = Tensor(np.array([-0.5]), requires_grad=True)
+        binarize_couplers(t).sum().backward()
+        assert np.isclose(t.grad[0], (2 - math.sqrt(2)) / 4)
+
+    def test_gradient_clipped(self):
+        t = Tensor(np.array([0.5]), requires_grad=True)
+        out = binarize_couplers(t)
+        (out * 1e6).sum().backward()
+        assert abs(t.grad[0]) <= 1.0
+
+
+class TestDCCount:
+    def test_counts_placed_couplers(self):
+        t_q = Tensor(np.array([SQ2, 1.0, SQ2, SQ2]))
+        assert np.isclose(dc_count_expr(t_q).item(), 3.0)
+
+    def test_all_passthrough_zero(self):
+        t_q = Tensor(np.full(4, 1.0))
+        assert np.isclose(dc_count_expr(t_q).item(), 0.0, atol=1e-12)
+
+
+class TestCouplerLearner:
+    def test_interleaved_offsets(self):
+        learner = CouplerLearner(8, 4)
+        assert list(learner.offsets) == [0, 1, 0, 1]
+        assert list(learner.slot_counts) == [4, 3, 4, 3]
+
+    def test_block_transmissions_valid_slots_only(self):
+        learner = CouplerLearner(8, 2)
+        assert learner.block_transmissions(1).shape == (3,)
+
+    def test_dc_counts_ignore_padded_slots(self):
+        learner = CouplerLearner(8, 2)
+        np.copyto(learner.latent.data, -np.ones_like(learner.latent.data))
+        counts = learner.dc_counts().data
+        assert np.allclose(counts, [4.0, 3.0])  # not [4, 4]
+
+    def test_hard_masks_match_latent_signs(self):
+        learner = CouplerLearner(6, 2)
+        np.copyto(learner.latent.data[0], [-1.0, 1.0, -1.0])
+        masks = learner.hard_masks()
+        assert masks[0].tolist() == [True, False, True]
+
+    def test_gradients_reach_latent(self):
+        learner = CouplerLearner(6, 2)
+        learner.dc_counts().sum().backward()
+        assert learner.latent.grad is not None
+        assert np.abs(learner.latent.grad).max() > 0
+
+    def test_odd_k(self):
+        learner = CouplerLearner(7, 3)
+        assert list(learner.slot_counts) == [3, 3, 3]

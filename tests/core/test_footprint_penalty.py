@@ -1,0 +1,94 @@
+"""Probabilistic footprint penalty (Eq. 15)."""
+
+import numpy as np
+
+from repro.core import (
+    FootprintPenaltyConfig,
+    SuperMeshSpace,
+    block_footprints_exact,
+    expected_footprint_exact,
+    expected_footprint_proxy,
+    footprint_penalty,
+)
+from repro.photonics import AMF
+
+
+def make_space(f_min, f_max, **kw):
+    kw.setdefault("b_min", 2)
+    kw.setdefault("b_max", 6)
+    return SuperMeshSpace(k=8, pdk=AMF, f_min=f_min, f_max=f_max, **kw)
+
+
+class TestExactExpectation:
+    def test_block_footprints_include_ps_column(self):
+        space = make_space(100_000, 200_000)
+        fbs = block_footprints_exact(space)
+        assert (fbs >= 8 * AMF.ps_area).all()
+
+    def test_expectation_weighted_by_probs(self):
+        space = make_space(100_000, 200_000)
+        # Force all searchable blocks to skip.
+        space.theta.data[:] = np.array([[10.0, -10.0]] * space.theta.shape[0])
+        e_off = expected_footprint_exact(space)
+        space.theta.data[:] = np.array([[-10.0, 10.0]] * space.theta.shape[0])
+        e_on = expected_footprint_exact(space)
+        assert e_on > e_off
+
+
+class TestPenaltyBranches:
+    def test_zero_inside_window(self):
+        space = make_space(100_000, 500_000)
+        pen, e = footprint_penalty(space)
+        assert 100_000 * 1.05 <= e <= 500_000 * 0.95
+        assert pen.item() == 0.0
+
+    def test_positive_when_over_budget(self):
+        space = make_space(10_000, 50_000)  # tiny window, must be over
+        pen, e = footprint_penalty(space)
+        assert e > 50_000 * 0.95
+        assert pen.item() > 0
+
+    def test_negative_when_under_budget(self):
+        space = make_space(5_000_000, 9_000_000)
+        pen, e = footprint_penalty(space)
+        assert e < 5_000_000 * 1.05
+        assert pen.item() < 0
+
+    def test_margin_is_five_percent(self):
+        cfg = FootprintPenaltyConfig()
+        assert cfg.margin == 0.05
+        assert cfg.beta == 10.0 and cfg.beta_cr == 100.0
+
+
+class TestGradients:
+    def test_over_budget_pushes_theta_down(self):
+        space = make_space(10_000, 50_000)
+        pen, _ = footprint_penalty(space)
+        pen.backward()
+        g = space.theta.grad
+        # Positive grad on the execute logit -> Adam decreases it.
+        assert (g[:, 1] > 0).all()
+        assert np.allclose(g.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_under_budget_pushes_theta_up(self):
+        space = make_space(5_000_000, 9_000_000)
+        pen, _ = footprint_penalty(space)
+        pen.backward()
+        assert (space.theta.grad[:, 1] < 0).all()
+
+    def test_proxy_reaches_couplers_and_perms(self):
+        space = make_space(10_000, 50_000)
+        proxy = expected_footprint_proxy(space)
+        proxy.backward()
+        assert np.abs(space.couplers.latent.grad).max() > 0
+        assert space.perms.raw.grad is not None
+
+    def test_proxy_cr_term_grows_with_perm_distance(self):
+        space = make_space(100_000, 200_000)
+        base = expected_footprint_proxy(space).item()
+        # Push the relaxation away from identity.
+        space.perms.raw.data[:] = np.random.default_rng(0).random(
+            space.perms.raw.shape
+        )
+        far = expected_footprint_proxy(space).item()
+        assert far > base

@@ -1,0 +1,81 @@
+"""Gumbel-softmax depth relaxation."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import TemperatureSchedule, categorical_probs, gumbel_softmax
+
+
+class TestGumbelSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        theta = Tensor(rng.normal(size=(5, 2)))
+        m = gumbel_softmax(theta, tau=1.0, rng=rng)
+        assert np.allclose(m.data.sum(-1), 1.0)
+
+    def test_low_temperature_near_onehot(self, rng):
+        theta = Tensor(np.array([[2.0, -2.0]]))
+        m = gumbel_softmax(theta, tau=0.01, rng=rng)
+        assert m.data.max() > 0.99
+
+    def test_high_temperature_uniformish(self, rng):
+        theta = Tensor(np.array([[2.0, -2.0]]))
+        samples = np.stack(
+            [gumbel_softmax(theta, tau=100.0, rng=rng).data for _ in range(50)]
+        )
+        assert abs(samples.mean() - 0.5) < 0.1
+
+    def test_sampling_follows_logits(self, rng):
+        """Hard argmax of Gumbel-softmax samples is a Gumbel-max draw:
+        selection frequency must follow softmax(theta)."""
+        theta = Tensor(np.array([[np.log(4.0), 0.0]]))  # P = [0.8, 0.2]
+        wins = 0
+        n = 400
+        for _ in range(n):
+            m = gumbel_softmax(theta, tau=0.5, rng=rng)
+            wins += int(np.argmax(m.data) == 0)
+        assert 0.7 < wins / n < 0.9
+
+    def test_gradient_flows_to_theta(self, rng):
+        theta = Tensor(np.zeros((3, 2)), requires_grad=True)
+        m = gumbel_softmax(theta, tau=1.0, rng=rng)
+        (m[:, 1] ** 2).sum().backward()
+        assert theta.grad is not None and np.abs(theta.grad).max() > 0
+
+    def test_hard_mode_one_hot_with_soft_grads(self, rng):
+        theta = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        m = gumbel_softmax(theta, tau=1.0, rng=rng, hard=True)
+        assert set(np.unique(m.data)) <= {0.0, 1.0}
+        m.sum().backward()
+        assert theta.grad is not None
+
+    def test_invalid_temperature(self, rng):
+        with pytest.raises(ValueError):
+            gumbel_softmax(Tensor(np.zeros((1, 2))), tau=0.0, rng=rng)
+
+    def test_categorical_probs(self):
+        theta = Tensor(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        p = categorical_probs(theta).data
+        assert np.allclose(p[0], [0.5, 0.5])
+        assert p[1, 0] > 0.99
+
+
+class TestTemperatureSchedule:
+    def test_paper_endpoints(self):
+        s = TemperatureSchedule(5.0, 0.5, total_epochs=90)
+        assert np.isclose(s.at_epoch(0), 5.0)
+        assert np.isclose(s.at_epoch(90), 0.5)
+
+    def test_monotone_decay(self):
+        s = TemperatureSchedule(5.0, 0.5, total_epochs=10)
+        taus = [s.at_epoch(e) for e in range(11)]
+        assert all(a > b for a, b in zip(taus, taus[1:]))
+
+    def test_clamped_outside_range(self):
+        s = TemperatureSchedule(5.0, 0.5, total_epochs=10)
+        assert s.at_epoch(-1) == s.at_epoch(0)
+        assert s.at_epoch(100) == s.at_epoch(10)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TemperatureSchedule(0.0, 0.5)

@@ -1,0 +1,140 @@
+"""Permutation learning: reparametrization, ALM, projection, freezing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import (
+    PermutationLearner,
+    delta_l1_l2,
+    smoothed_identity,
+    soft_projection,
+)
+from repro.core.permutation import _row_col_normalize
+from repro.optim import Adam
+
+
+class TestSmoothedIdentity:
+    def test_shape_and_stochasticity(self):
+        p = smoothed_identity(6, 3)
+        assert p.shape == (3, 6, 6)
+        assert np.allclose(p.sum(-1), 1.0)
+        assert np.allclose(p.sum(-2), 1.0)
+
+    def test_all_entries_positive(self):
+        """Random-permutation init kills gradients at zeros (paper);
+        smoothed identity keeps every entry strictly positive."""
+        p = smoothed_identity(8)
+        assert p.min() > 0
+
+    def test_diagonal_dominant(self):
+        p = smoothed_identity(8)[0]
+        assert np.all(np.diag(p) > p.max(axis=1) - 1e-12)
+
+    def test_paper_formula(self):
+        k = 8
+        p = smoothed_identity(k)[0]
+        off = 1.0 / (2 * k - 2)
+        assert np.isclose(p[0, 1], off)
+        assert np.isclose(p[0, 0], 0.5 - off + off)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            smoothed_identity(1)
+
+
+class TestReparametrization:
+    def test_rows_sum_to_one(self, rng):
+        p = Tensor(rng.normal(size=(2, 5, 5)))
+        out = _row_col_normalize(p).data
+        assert np.allclose(out.sum(-1), 1.0)
+        assert (out >= 0).all()
+
+    def test_negative_entries_handled(self):
+        p = Tensor(np.array([[[-1.0, 0.0], [0.5, -0.5]]]))
+        out = _row_col_normalize(p).data
+        assert (out >= 0).all()
+
+
+class TestSoftProjection:
+    def test_near_binary_rows_rounded(self):
+        p = Tensor(np.array([[0.97, 0.03], [0.4, 0.6]]))
+        out = soft_projection(p, eps=0.05).data
+        assert np.allclose(out[0], [1.0, 0.0])  # row frozen
+        assert np.allclose(out[1], [0.4, 0.6])  # row untouched
+
+    def test_gradient_stopped_on_frozen_rows(self):
+        p = Tensor(np.array([[0.97, 0.03], [0.4, 0.6]]), requires_grad=True)
+        out = soft_projection(p, eps=0.05)
+        (out ** 2).sum().backward()
+        assert np.allclose(p.grad[0], 0.0)
+        assert np.abs(p.grad[1]).max() > 0
+
+
+class TestDelta:
+    def test_zero_for_one_hot(self):
+        p = Tensor(np.eye(4)[None])
+        assert np.allclose(delta_l1_l2(p, axis=-1).data, 0.0, atol=1e-12)
+
+    def test_positive_for_spread(self):
+        p = Tensor(np.full((1, 3, 3), 1 / 3))
+        d = delta_l1_l2(p, axis=-1).data
+        assert (d > 0.4).all()  # 1 - 1/sqrt(3) ~ 0.42
+
+
+class TestALM:
+    def test_multipliers_grow_while_violated(self):
+        learner = PermutationLearner(4, 2, rho0=1e-3)
+        lam0 = learner.mean_lambda()
+        for _ in range(5):
+            learner.update_multipliers()
+        assert learner.mean_lambda() > lam0
+
+    def test_rho_schedule_reaches_1e4x(self):
+        learner = PermutationLearner(4, 1, rho0=1e-6, total_steps=100)
+        for _ in range(100):
+            learner.step_rho()
+        assert np.isclose(learner.rho, 1e-6 * 1e4, rtol=1e-6)
+
+    def test_alm_drives_toward_permutation(self):
+        """Optimizing only the ALM loss must push the relaxation toward
+        a legal permutation (error -> ~0)."""
+        learner = PermutationLearner(4, 2, rho0=1e-2, total_steps=300)
+        opt = Adam([learner.raw], lr=0.02)
+        err0 = learner.permutation_error()
+        for _ in range(300):
+            loss = learner.alm_loss()
+            learner.raw.grad = None
+            loss.backward()
+            opt.step()
+            learner.update_multipliers()
+            learner.step_rho()
+        assert learner.permutation_error() < err0 * 0.2
+
+    def test_alm_loss_zero_when_frozen(self):
+        learner = PermutationLearner(3, 2)
+        perms = np.stack([np.eye(3), np.eye(3)[::-1]])
+        learner.freeze_to(perms)
+        assert learner.alm_loss().item() == 0.0
+        assert learner.permutation_error() < 1e-12
+
+
+class TestFreeze:
+    def test_freeze_replaces_and_stops_grad(self):
+        learner = PermutationLearner(3, 1)
+        learner.freeze_to(np.eye(3)[None])
+        assert learner.frozen
+        assert not learner.raw.requires_grad
+        assert np.allclose(learner.relaxed().data, np.eye(3))
+
+    def test_freeze_shape_validated(self):
+        learner = PermutationLearner(3, 2)
+        with pytest.raises(ValueError):
+            learner.freeze_to(np.eye(3)[None])
+
+    def test_update_after_freeze_is_noop(self):
+        learner = PermutationLearner(3, 1)
+        learner.freeze_to(np.eye(3)[None])
+        lam = learner.mean_lambda()
+        learner.update_multipliers()
+        assert learner.mean_lambda() == lam

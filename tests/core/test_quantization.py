@@ -1,0 +1,185 @@
+"""Tests for low-bit phase quantization with STE."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.quantization import (
+    PhaseQuantConfig,
+    QuantizationPoint,
+    make_phase_quantizer,
+    phase_grid,
+    phase_resolution,
+    quantization_robustness_curve,
+    quantize_phase,
+    ste_quantize_phase,
+)
+from repro.photonics.devices import is_unitary
+from repro.ptc.unitary import ButterflyFactory, MZIMeshFactory
+
+TWO_PI = 2.0 * math.pi
+
+
+class TestConfig:
+    def test_levels_and_step(self):
+        cfg = PhaseQuantConfig(bits=3)
+        assert cfg.n_levels == 8
+        assert cfg.step == pytest.approx(TWO_PI / 8)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError, match="bits"):
+            PhaseQuantConfig(bits=0)
+
+    def test_resolution_halves_per_bit(self):
+        assert phase_resolution(4) == pytest.approx(phase_resolution(3) / 2)
+
+    def test_grid_size_and_range(self):
+        g = phase_grid(5)
+        assert len(g) == 32
+        assert g[0] == 0.0
+        assert g[-1] < TWO_PI
+
+
+class TestQuantizePhase:
+    def test_grid_points_are_fixed(self):
+        g = phase_grid(4)
+        np.testing.assert_allclose(quantize_phase(g, 4), g, atol=1e-12)
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(0)
+        phi = rng.uniform(0, TWO_PI, size=100)
+        once = quantize_phase(phi, 3)
+        np.testing.assert_allclose(quantize_phase(once, 3), once, atol=1e-12)
+
+    def test_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(1)
+        phi = rng.uniform(0, TWO_PI, size=1000)
+        for bits in (2, 4, 6):
+            q = quantize_phase(phi, bits)
+            err = np.abs(np.angle(np.exp(1j * (q - phi))))
+            assert err.max() <= phase_resolution(bits) / 2 + 1e-9
+
+    def test_wraps_near_period(self):
+        q = quantize_phase(np.array([TWO_PI - 1e-6]), 4)
+        assert q[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_negative_phase_wrapped(self):
+        q = quantize_phase(np.array([-math.pi / 2]), 8)
+        assert 0.0 <= q[0] < TWO_PI
+        assert q[0] == pytest.approx(3 * math.pi / 2, abs=phase_resolution(8))
+
+    def test_one_bit_binary(self):
+        phi = np.array([0.1, math.pi - 0.1, math.pi + 0.1, TWO_PI - 0.1])
+        q = quantize_phase(phi, 1)
+        assert set(np.round(q, 9)) <= {0.0, round(math.pi, 9)}
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(2)
+        phi = rng.uniform(0, TWO_PI, size=500)
+        errors = []
+        for bits in (1, 2, 4, 8):
+            q = quantize_phase(phi, bits)
+            errors.append(np.abs(np.angle(np.exp(1j * (q - phi)))).mean())
+        assert errors == sorted(errors, reverse=True)
+
+
+class TestSTE:
+    def test_forward_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        phi = rng.uniform(0, TWO_PI, size=(4, 5))
+        t = Tensor(phi, requires_grad=True)
+        out = ste_quantize_phase(t, 3)
+        np.testing.assert_allclose(out.data, quantize_phase(phi, 3))
+
+    def test_gradient_is_identity(self):
+        phi = Tensor(np.array([0.3, 1.7, 4.0]), requires_grad=True)
+        out = ste_quantize_phase(phi, 2)
+        out.backward(np.array([1.0, 2.0, -3.0]))
+        np.testing.assert_allclose(phi.grad, [1.0, 2.0, -3.0])
+
+    def test_training_moves_latent_phase(self):
+        # Even though the forward is piecewise constant, STE descent
+        # on |q(phi) - target| moves the latent across level edges.
+        phi = Tensor(np.array([0.0]), requires_grad=True)
+        target = phase_grid(3)[3]
+        for _ in range(200):
+            q = ste_quantize_phase(phi, 3)
+            loss = ((q - target) * (q - target)).sum()
+            loss.backward()
+            phi.data = phi.data - 0.05 * phi.grad
+            phi.grad = None
+        assert quantize_phase(phi.data, 3)[0] == pytest.approx(target)
+
+
+class TestFactoryIntegration:
+    def test_mzi_factory_stays_unitary(self):
+        f = MZIMeshFactory(k=8, n_units=2, rng=np.random.default_rng(0))
+        f.phase_transform = make_phase_quantizer(bits=4)
+        u = f.build().data
+        for i in range(2):
+            assert is_unitary(u[i])
+
+    def test_quantized_build_uses_grid_phases(self):
+        f = ButterflyFactory(k=8, n_units=1, rng=np.random.default_rng(1))
+        ideal = f.build().data.copy()
+        f.phase_transform = make_phase_quantizer(bits=2)
+        coarse = f.build().data
+        assert not np.allclose(ideal, coarse)
+
+    def test_high_bits_close_to_ideal(self):
+        f = ButterflyFactory(k=8, n_units=1, rng=np.random.default_rng(2))
+        ideal = f.build().data.copy()
+        f.phase_transform = make_phase_quantizer(bits=10)
+        fine = f.build().data
+        f.phase_transform = make_phase_quantizer(bits=2)
+        coarse = f.build().data
+        assert np.abs(fine - ideal).max() < np.abs(coarse - ideal).max()
+
+    def test_transform_introspectable(self):
+        tr = make_phase_quantizer(bits=5)
+        assert tr.bits == 5
+
+    def test_gradients_flow_through_quantized_factory(self):
+        f = MZIMeshFactory(k=4, n_units=1, rng=np.random.default_rng(3))
+        f.phase_transform = make_phase_quantizer(bits=4)
+        u = f.build()
+        loss = (u * u.conj()).real().sum()
+        loss.backward()
+        assert f.theta.grad is not None
+        assert np.isfinite(f.theta.grad).all()
+
+
+class TestRobustnessCurve:
+    def test_curve_structure(self):
+        def evaluate(bits):
+            return 1.0 if bits is None else 1.0 - 1.0 / (1 + bits)
+
+        pts = quantization_robustness_curve(evaluate, bit_widths=(4, 2, 1))
+        assert [p.bits for p in pts] == [0, 4, 2, 1]
+        assert pts[0].score == 1.0
+        assert all(isinstance(p, QuantizationPoint) for p in pts)
+
+    def test_monotone_toy_model(self):
+        rng = np.random.default_rng(4)
+        target = rng.uniform(0, TWO_PI, size=64)
+
+        def evaluate(bits):
+            phi = target if bits is None else quantize_phase(target, bits)
+            err = np.abs(np.angle(np.exp(1j * (phi - target)))).mean()
+            return 1.0 - err
+
+        pts = quantization_robustness_curve(evaluate, bit_widths=(6, 4, 2, 1))
+        scores = [p.score for p in pts]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_n_trials_std(self):
+        calls = {"n": 0}
+
+        def evaluate(bits):
+            calls["n"] += 1
+            return float(calls["n"] % 2)
+
+        pts = quantization_robustness_curve(evaluate, bit_widths=(1,), n_trials=4)
+        assert pts[1].score_std > 0

@@ -1,0 +1,115 @@
+"""End-to-end ADEPT search flow (scaled down)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADEPTConfig, ADEPTSearch, search_ptc
+from repro.data import train_test_split
+from repro.photonics import AMF
+
+
+@pytest.fixture(scope="module")
+def mini_result():
+    cfg = ADEPTConfig(
+        k=8,
+        pdk=AMF,
+        f_min=240_000,
+        f_max=300_000,
+        epochs=6,
+        warmup_epochs=1,
+        spl_epoch=4,
+        n_train=96,
+        n_test=48,
+        proxy_channels=4,
+        batch_size=32,
+        seed=11,
+        lr=5e-3,
+        perm_init="identity",  # paper-exact init: stable at tiny scale
+    )
+    tr, te = train_test_split("mnist", 96, 48, seed=11)
+    search = ADEPTSearch(cfg, tr, te)
+    return cfg, search, search.run()
+
+
+class TestSearchFlow:
+    def test_topology_feasible(self, mini_result):
+        cfg, search, res = mini_result
+        f = res.topology.footprint(AMF).total
+        assert cfg.f_min <= f <= cfg.f_max
+
+    def test_permutations_legalized(self, mini_result):
+        _, search, res = mini_result
+        assert search.space.perms.frozen
+        assert res.spl_tries is not None
+
+    def test_history_recorded(self, mini_result):
+        cfg, search, res = mini_result
+        h = res.history
+        n_steps = len(h.task_loss)
+        assert n_steps == len(h.perm_error) == len(h.rho)
+        assert n_steps >= cfg.epochs * 2
+        assert len(h.epoch_boundaries) == cfg.epochs
+        # Arch steps happened and recorded footprint expectations.
+        assert len(h.expected_footprint) > 0
+
+    def test_perm_error_zero_after_spl(self, mini_result):
+        _, search, res = mini_result
+        assert res.history.perm_error[-1] < 1e-9
+
+    def test_task_loss_recorded_and_finite(self, mini_result):
+        """Loss-trend assertions at this miniature scale are noise-bound
+        (stochastic architecture sampling); learning itself is verified
+        by TestWarmupLearns at a fair budget.  Here we assert the trace
+        is sane."""
+        _, _, res = mini_result
+        assert all(np.isfinite(res.history.task_loss))
+        assert all(l > 0 for l in res.history.task_loss)
+
+    def test_topology_in_search_space(self, mini_result):
+        cfg, search, res = mini_result
+        topo = res.topology
+        assert 2 * search.space.half_min <= topo.n_blocks <= 2 * search.space.half_max
+        for spec in topo.blocks_u + topo.blocks_v:
+            assert spec.offset in (0, 1)
+            assert spec.coupler_mask.dtype == bool
+
+    def test_summary_string(self, mini_result):
+        _, _, res = mini_result
+        assert "PTCTopology" in res.summary()
+
+
+class TestWarmupLearns:
+    def test_supermesh_weight_training_reduces_loss(self):
+        """Stage 1 (warmup: weights only) must fit the proxy task.
+
+        Full-batch steps remove sampling noise from the loss trace so
+        the trend is attributable to learning.
+        """
+        cfg = ADEPTConfig(
+            k=8, pdk=AMF, f_min=240_000, f_max=300_000,
+            epochs=10, warmup_epochs=10, spl_epoch=99, lr=1e-2,
+            n_train=64, n_test=32, proxy_channels=6, batch_size=64,
+            seed=11, perm_init="identity",
+        )
+        res = ADEPTSearch(cfg).run()
+        h = res.history
+        assert np.mean(h.task_loss[-3:]) < h.task_loss[0] - 0.1
+
+
+class TestConfigHandling:
+    def test_b_max_cap_enforced(self):
+        cfg = ADEPTConfig(
+            k=8, pdk=AMF, f_min=2_000_000, f_max=3_000_000,
+            b_max_cap=8, epochs=1, n_train=32, n_test=16, proxy_channels=2,
+        )
+        search = ADEPTSearch(cfg)
+        assert search.space.n_blocks <= 8
+
+    def test_search_ptc_one_call(self):
+        cfg = ADEPTConfig(
+            k=8, pdk=AMF, f_min=240_000, f_max=300_000,
+            epochs=1, warmup_epochs=0, spl_epoch=1,
+            n_train=32, n_test=16, proxy_channels=2, batch_size=16, seed=3,
+        )
+        res = search_ptc(cfg)
+        assert res.topology.k == 8

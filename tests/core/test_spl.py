@@ -1,0 +1,65 @@
+"""Stochastic permutation legalization."""
+
+import numpy as np
+
+from repro.core import legalize_all, legalize_one
+from repro.photonics import count_inversions, is_permutation_matrix
+
+
+class TestLegalizeOne:
+    def test_already_legal_passthrough(self, rng):
+        k = 5
+        p = np.eye(k)[rng.permutation(k)]
+        legal, tries = legalize_one(p + rng.normal(0, 0.01, (k, k)), rng=rng)
+        assert tries == 0
+        assert np.allclose(legal, p)
+
+    def test_paper_saddle_example(self, rng):
+        """The Fig. 3 saddle: two rows argmax onto the same column."""
+        p = np.array(
+            [
+                [0.1, 0.8, 0.1],
+                [0.1, 0.9, 0.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        legal, tries = legalize_one(p, rng=rng)
+        assert is_permutation_matrix(legal)
+        assert tries >= 1  # stochastic rounds were needed
+
+    def test_uniform_matrix(self, rng):
+        p = np.full((6, 6), 1 / 6)
+        legal, _ = legalize_one(p, rng=rng)
+        assert is_permutation_matrix(legal)
+
+    def test_keeps_cheap_crossings(self, rng):
+        """Near-identity relaxations should legalize to few crossings."""
+        k = 8
+        p = np.eye(k) + rng.normal(0, 0.05, (k, k))
+        legal, _ = legalize_one(p, rng=rng)
+        assert is_permutation_matrix(legal)
+        perm = np.argmax(legal, axis=1)
+        assert count_inversions(list(perm)) <= k  # far below max K(K-1)/2
+
+    def test_fallback_assignment_guarantees_legality(self, rng):
+        """Even with zero tries allowed, the Hungarian fallback returns
+        a legal permutation."""
+        p = np.full((4, 4), 0.25)
+        legal, _ = legalize_one(p, sigma=0.0, max_tries=1, rng=rng)
+        assert is_permutation_matrix(legal)
+
+
+class TestLegalizeAll:
+    def test_batch(self, rng):
+        stack = rng.random((5, 6, 6))
+        legal, tries = legalize_all(stack, rng=rng)
+        assert legal.shape == (5, 6, 6)
+        assert tries.shape == (5,)
+        for b in range(5):
+            assert is_permutation_matrix(legal[b])
+
+    def test_deterministic_with_seeded_rng(self):
+        stack = np.random.default_rng(0).random((3, 5, 5))
+        l1, _ = legalize_all(stack, rng=np.random.default_rng(9))
+        l2, _ = legalize_all(stack, rng=np.random.default_rng(9))
+        assert np.array_equal(l1, l2)

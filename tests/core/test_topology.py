@@ -1,0 +1,88 @@
+"""PTCTopology artifact: accounting and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockSpec, PTCTopology, random_topology
+from repro.photonics import AIM, AMF
+
+
+def sample_topology(rng):
+    return PTCTopology(
+        k=8,
+        blocks_u=[
+            BlockSpec(coupler_mask=np.array([True, True, False, True]), offset=0,
+                      perm=np.array([1, 0, 3, 2, 5, 4, 7, 6])),
+            BlockSpec(coupler_mask=np.array([True, False, True]), offset=1),
+        ],
+        blocks_v=[
+            BlockSpec(coupler_mask=np.array([True] * 4), offset=0,
+                      perm=rng.permutation(8)),
+        ],
+        name="unit-test",
+        pdk_name="AMF",
+        footprint_constraint=(100.0, 200.0),
+    )
+
+
+class TestAccounting:
+    def test_device_counts(self, rng):
+        topo = sample_topology(rng)
+        n_ps, n_dc, n_cr = topo.device_counts()
+        assert n_ps == 8 * 3
+        assert n_dc == 3 + 2 + 4
+        assert n_cr >= 4  # first block has 4 adjacent swaps
+
+    def test_block_crossings(self):
+        b = BlockSpec(coupler_mask=np.array([True]), offset=0,
+                      perm=np.array([2, 1, 0]))
+        assert b.n_cr() == 3
+        assert BlockSpec(coupler_mask=np.array([True]), offset=0).n_cr() == 0
+
+    def test_footprint_pdk_dependent(self, rng):
+        topo = sample_topology(rng)
+        f_amf = topo.footprint(AMF).total
+        f_aim = topo.footprint(AIM).total
+        assert f_amf != f_aim
+        n_ps, n_dc, n_cr = topo.device_counts()
+        assert f_amf == AMF.footprint(n_ps, n_dc, n_cr)
+
+    def test_summary_contains_counts(self, rng):
+        s = sample_topology(rng).summary(AMF)
+        assert "#Blk=3" in s and "AMF" in s
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, rng):
+        topo = sample_topology(rng)
+        back = PTCTopology.from_json(topo.to_json())
+        assert back.k == topo.k
+        assert back.name == topo.name
+        assert back.device_counts() == topo.device_counts()
+        assert np.array_equal(back.blocks_u[0].perm, topo.blocks_u[0].perm)
+        assert back.blocks_u[1].perm is None
+
+    def test_file_roundtrip(self, rng, tmp_path):
+        topo = sample_topology(rng)
+        path = tmp_path / "topo.json"
+        topo.save(path)
+        back = PTCTopology.load(path)
+        assert back.device_counts() == topo.device_counts()
+        assert back.footprint_constraint == topo.footprint_constraint
+
+
+class TestRandomTopology:
+    def test_in_search_space(self, rng):
+        topo = random_topology(8, 3, 4, rng)
+        assert len(topo.blocks_u) == 3 and len(topo.blocks_v) == 4
+        for b, spec in enumerate(topo.blocks_u):
+            assert spec.offset == b % 2
+            assert spec.coupler_mask.any()  # at least one coupler
+
+    def test_instantiable(self, rng):
+        from repro.autograd import Tensor
+        from repro.onn import PTCLinear
+
+        topo = random_topology(4, 2, 2, rng)
+        lin = PTCLinear(8, 8, k=4, mesh=topo)
+        assert lin(Tensor(rng.normal(size=(2, 8)))).shape == (2, 8)

@@ -1,0 +1,126 @@
+"""Utilities: RNG management, trace logging, checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.utils import (
+    TraceLogger,
+    get_rng,
+    load_checkpoint,
+    save_checkpoint,
+    set_seed,
+    spawn_rng,
+)
+
+
+class TestRNG:
+    def test_set_seed_reproducible(self):
+        set_seed(7)
+        a = get_rng().normal(size=3)
+        set_seed(7)
+        b = get_rng().normal(size=3)
+        assert np.array_equal(a, b)
+
+    def test_get_rng_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert get_rng(rng) is rng
+
+    def test_spawn_independent(self):
+        set_seed(0)
+        r1 = spawn_rng()
+        r2 = spawn_rng()
+        assert not np.array_equal(r1.normal(size=4), r2.normal(size=4))
+
+    def test_spawn_with_seed(self):
+        assert np.array_equal(
+            spawn_rng(5).normal(size=3), spawn_rng(5).normal(size=3)
+        )
+
+
+class TestTraceLogger:
+    def test_log_and_series(self):
+        log = TraceLogger()
+        for i in range(5):
+            log.log(loss=1.0 / (i + 1), acc=i * 0.1)
+        assert len(log) == 5
+        assert log.series("loss")[0] == 1.0
+        assert log.names == ["acc", "loss"]
+
+    def test_json_roundtrip(self):
+        log = TraceLogger()
+        log.log(a=1.0, b=2.0)
+        log.log(a=3.0)
+        back = TraceLogger.from_json(log.to_json())
+        assert back.series("a") == [1.0, 3.0]
+        assert back.series("b") == [2.0]
+
+    def test_csv_roundtrip(self, tmp_path):
+        log = TraceLogger()
+        log.log(x=1.5)
+        log.log(x=2.5, y=0.1)
+        path = tmp_path / "trace.csv"
+        log.save(path)
+        back = TraceLogger.load(path)
+        assert back.series("x") == [1.5, 2.5]
+        assert back.series("y") == [0.1]
+
+    def test_json_file_roundtrip(self, tmp_path):
+        log = TraceLogger()
+        log.log(z=9.0)
+        path = tmp_path / "trace.json"
+        log.save(path)
+        assert TraceLogger.load(path).series("z") == [9.0]
+
+    def test_missing_series_empty(self):
+        assert TraceLogger().series("nope") == []
+
+
+class TestCheckpoint:
+    def make_model(self):
+        return nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+
+    def test_roundtrip(self, tmp_path):
+        m1 = self.make_model()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m1, path)
+        m2 = self.make_model()
+        load_checkpoint(m2, path)
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert np.allclose(p1.data, p2.data), n1
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        m1 = self.make_model()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m1, path)
+        wrong = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 3))
+        with pytest.raises((ValueError, KeyError)):
+            load_checkpoint(wrong, path)
+
+    def test_missing_param_raises(self, tmp_path):
+        small = nn.Sequential(nn.Linear(4, 8))
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(small, path)
+        big = self.make_model()
+        with pytest.raises(KeyError):
+            load_checkpoint(big, path)
+
+    def test_non_strict_partial_load(self, tmp_path):
+        small = nn.Sequential(nn.Linear(4, 8))
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(small, path)
+        big = self.make_model()
+        load_checkpoint(big, path, strict=False)  # no error
+
+    def test_photonic_model_checkpoint(self, tmp_path):
+        from repro.onn import PTCLinear
+
+        m1 = nn.Sequential(PTCLinear(8, 8, k=4, mesh="butterfly"))
+        path = tmp_path / "ptc.npz"
+        save_checkpoint(m1, path)
+        m2 = nn.Sequential(PTCLinear(8, 8, k=4, mesh="butterfly"))
+        load_checkpoint(m2, path)
+        x = np.random.default_rng(0).normal(size=(2, 8))
+        from repro.autograd import Tensor
+
+        assert np.allclose(m1(Tensor(x)).data, m2(Tensor(x)).data)

@@ -1,0 +1,65 @@
+"""Variation-aware training and noise-robustness evaluation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import noise_robustness_curve, variation_aware_train
+from repro.onn import PTCLinear, TrainConfig, evaluate
+
+
+def photonic_model():
+    return nn.Sequential(nn.Flatten(), PTCLinear(784, 10, k=8, mesh="butterfly"))
+
+
+class TestVariationAwareTrain:
+    def test_trains_and_disables_noise_after(self, tiny_mnist):
+        tr, te = tiny_mnist
+        model = photonic_model()
+        res = variation_aware_train(
+            model, tr, te, noise_std=0.02,
+            config=TrainConfig(epochs=2, batch_size=32, lr=5e-3),
+        )
+        assert len(res.test_accs) == 2
+        # Noise must be off after training.
+        for m in model.modules():
+            if hasattr(m, "u_factory"):
+                assert m.u_factory.noise_std == 0.0
+
+    def test_rejects_non_photonic_model(self, tiny_mnist):
+        tr, _ = tiny_mnist
+        model = nn.Sequential(nn.Flatten(), nn.Linear(784, 10))
+        with pytest.raises(ValueError):
+            variation_aware_train(model, tr, noise_std=0.02)
+
+
+class TestRobustnessCurve:
+    def test_curve_structure(self, tiny_mnist):
+        _, te = tiny_mnist
+        model = photonic_model()
+        points = noise_robustness_curve(model, te, noise_stds=(0.02, 0.1), n_runs=3)
+        assert [p.noise_std for p in points] == [0.02, 0.1]
+        for p in points:
+            assert len(p.runs) == 3
+            assert 0.0 <= p.mean_acc <= 1.0
+            assert p.std_acc >= 0.0
+
+    def test_noise_degrades_trained_model(self, tiny_mnist):
+        """A trained model must lose accuracy under heavy phase noise
+        relative to its clean accuracy."""
+        from repro.onn import train
+
+        tr, te = tiny_mnist
+        model = photonic_model()
+        train(model, tr, te, TrainConfig(epochs=4, batch_size=32, lr=5e-3))
+        clean = evaluate(model, te)
+        noisy = noise_robustness_curve(model, te, noise_stds=(0.5,), n_runs=3)
+        assert noisy[0].mean_acc <= clean + 0.05
+
+    def test_model_restored_after_curve(self, tiny_mnist):
+        _, te = tiny_mnist
+        model = photonic_model()
+        before = evaluate(model, te)
+        noise_robustness_curve(model, te, noise_stds=(0.1,), n_runs=2)
+        after = evaluate(model, te)
+        assert np.isclose(before, after)

@@ -1,0 +1,109 @@
+"""Synthetic dataset generation: shapes, balance, determinism, ladder."""
+
+import numpy as np
+import pytest
+
+from repro.data import SPECS, DataLoader, make_dataset, train_test_split
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "name,channels,size",
+        [("mnist", 1, 28), ("fmnist", 1, 28), ("svhn", 3, 32), ("cifar10", 3, 32)],
+    )
+    def test_image_shape(self, name, channels, size):
+        ds = make_dataset(name, 20, seed=0)
+        assert ds.images.shape == (20, channels, size, size)
+        assert ds.labels.shape == (20,)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_dataset("imagenet", 10)
+
+    def test_class_balance(self):
+        ds = make_dataset("mnist", 100, seed=0)
+        counts = np.bincount(ds.labels, minlength=10)
+        assert counts.min() == counts.max() == 10
+
+    def test_labels_in_range(self):
+        ds = make_dataset("cifar10", 30, seed=1)
+        assert ds.labels.min() >= 0 and ds.labels.max() < 10
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = make_dataset("mnist", 16, seed=5)
+        b = make_dataset("mnist", 16, seed=5)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seed_different_data(self):
+        a = make_dataset("mnist", 16, seed=5)
+        b = make_dataset("mnist", 16, seed=6)
+        assert not np.allclose(a.images, b.images)
+
+    def test_train_test_disjoint_streams(self):
+        tr, te = train_test_split("mnist", 16, 16, seed=0)
+        assert not np.allclose(tr.images[:16], te.images[:16])
+
+
+class TestStatistics:
+    def test_normalized(self):
+        ds = make_dataset("mnist", 200, seed=0)
+        assert abs(ds.images.mean()) < 0.05
+        assert abs(ds.images.std() - 1.0) < 0.05
+
+    def test_unnormalized_in_unit_range(self):
+        ds = make_dataset("mnist", 20, seed=0, normalize=False)
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+
+    def test_classes_distinguishable(self):
+        """Mean images of different classes must differ substantially —
+        otherwise the dataset carries no signal."""
+        ds = make_dataset("mnist", 200, seed=0, normalize=False)
+        means = [ds.images[ds.labels == c].mean(axis=0) for c in range(10)]
+        dists = [
+            np.abs(means[i] - means[j]).mean()
+            for i in range(10)
+            for j in range(i + 1, 10)
+        ]
+        assert min(dists) > 0.01
+
+    def test_difficulty_ladder_noise(self):
+        """Harder datasets have larger intra-class variation."""
+        def intra_class_var(name):
+            ds = make_dataset(name, 200, seed=0, normalize=False)
+            return np.mean(
+                [ds.images[ds.labels == c].std(axis=0).mean() for c in range(10)]
+            )
+
+        assert intra_class_var("mnist") < intra_class_var("svhn")
+        assert intra_class_var("mnist") < intra_class_var("cifar10")
+
+
+class TestLoader:
+    def test_batches_cover_dataset(self):
+        ds = make_dataset("mnist", 50, seed=0)
+        loader = DataLoader(ds, batch_size=16, shuffle=True)
+        seen = sum(len(y) for _, y in loader)
+        assert seen == 50
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        ds = make_dataset("mnist", 50, seed=0)
+        loader = DataLoader(ds, batch_size=16, drop_last=True)
+        sizes = [len(y) for _, y in loader]
+        assert sizes == [16, 16, 16]
+        assert len(loader) == 3
+
+    def test_no_shuffle_is_ordered(self):
+        ds = make_dataset("mnist", 20, seed=0)
+        loader = DataLoader(ds, batch_size=10, shuffle=False)
+        _, y0 = next(iter(loader))
+        assert np.array_equal(y0, ds.labels[:10])
+
+    def test_getitem(self):
+        ds = make_dataset("mnist", 10, seed=0)
+        img, lab = ds[3]
+        assert img.shape == (1, 28, 28)
+        assert lab == ds.labels[3]

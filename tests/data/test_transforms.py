@@ -1,0 +1,136 @@
+"""Tests for data augmentation transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, train_test_split
+from repro.data.transforms import (
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandomHorizontalFlip,
+    RandomShift,
+)
+
+
+@pytest.fixture()
+def batch():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(8, 3, 12, 12))
+
+
+class TestRandomShift:
+    def test_shape_preserved(self, batch):
+        out = RandomShift(2)(batch, np.random.default_rng(1))
+        assert out.shape == batch.shape
+
+    def test_zero_shift_identity(self, batch):
+        out = RandomShift(0)(batch, np.random.default_rng(1))
+        np.testing.assert_array_equal(out, batch)
+
+    def test_content_translated_not_mangled(self):
+        img = np.zeros((1, 1, 8, 8))
+        img[0, 0, 4, 4] = 1.0
+        out = RandomShift(2)(img, np.random.default_rng(3))
+        assert out.sum() == pytest.approx(1.0)  # the pixel moved, intact
+        y, x = np.argwhere(out[0, 0] == 1.0)[0]
+        assert abs(y - 4) <= 2 and abs(x - 4) <= 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RandomShift(-1)
+
+
+class TestRandomHorizontalFlip:
+    def test_p_one_mirrors_everything(self, batch):
+        out = RandomHorizontalFlip(1.0)(batch, np.random.default_rng(1))
+        np.testing.assert_array_equal(out, batch[:, :, :, ::-1])
+
+    def test_p_zero_identity(self, batch):
+        out = RandomHorizontalFlip(0.0)(batch, np.random.default_rng(1))
+        np.testing.assert_array_equal(out, batch)
+
+    def test_input_not_modified(self, batch):
+        before = batch.copy()
+        RandomHorizontalFlip(1.0)(batch, np.random.default_rng(1))
+        np.testing.assert_array_equal(batch, before)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            RandomHorizontalFlip(1.5)
+
+
+class TestGaussianNoise:
+    def test_zero_std_identity(self, batch):
+        out = GaussianNoise(0.0)(batch, np.random.default_rng(1))
+        np.testing.assert_array_equal(out, batch)
+
+    def test_noise_magnitude(self, batch):
+        out = GaussianNoise(0.1)(batch, np.random.default_rng(1))
+        resid = out - batch
+        assert 0.05 < resid.std() < 0.2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-0.1)
+
+
+class TestNormalize:
+    def test_standardizes(self, batch):
+        mean = batch.mean(axis=(0, 2, 3))
+        std = batch.std(axis=(0, 2, 3))
+        out = Normalize(mean, std)(batch)
+        assert abs(out.mean()) < 1e-9
+        assert out.std() == pytest.approx(1.0, rel=0.05)
+
+    def test_channel_mismatch(self, batch):
+        with pytest.raises(ValueError, match="channels"):
+            Normalize([0.0], [1.0])(batch)
+
+    def test_rejects_zero_std(self):
+        with pytest.raises(ValueError, match="std"):
+            Normalize([0.0], [0.0])
+
+
+class TestCompose:
+    def test_applies_in_order(self, batch):
+        seen = []
+
+        def a(x, rng):
+            seen.append("a")
+            return x + 1
+
+        def b(x, rng):
+            seen.append("b")
+            return x * 2
+
+        out = Compose([a, b])(batch, np.random.default_rng(0))
+        assert seen == ["a", "b"]
+        np.testing.assert_allclose(out, (batch + 1) * 2)
+
+    def test_repr(self):
+        c = Compose([RandomShift(1), GaussianNoise(0.1)])
+        assert "RandomShift" in repr(c)
+
+
+class TestLoaderIntegration:
+    def test_transform_applied_per_batch(self):
+        train, _ = train_test_split("mnist", 64, 32, seed=0)
+        marker = {"calls": 0}
+
+        def bump(images, rng):
+            marker["calls"] += 1
+            return images + 100.0
+
+        loader = DataLoader(train, batch_size=16, transform=bump,
+                            rng=np.random.default_rng(0))
+        for images, _labels in loader:
+            assert images.min() > 50.0  # transform visibly applied
+        assert marker["calls"] == len(loader)
+
+    def test_no_transform_returns_raw(self):
+        train, _ = train_test_split("mnist", 32, 16, seed=0)
+        loader = DataLoader(train, batch_size=16, shuffle=False,
+                            rng=np.random.default_rng(0))
+        images, _ = next(iter(loader))
+        np.testing.assert_array_equal(images, train.images[:16])

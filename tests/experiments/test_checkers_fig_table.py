@@ -1,0 +1,129 @@
+"""Unit tests for the Table 2 / Fig. 4 / Fig. 5 shape checkers."""
+
+import pytest
+
+from repro.experiments.common import MeshResult
+from repro.experiments.fig4 import RobustnessCurves, check_fig4_shape, degradation
+from repro.experiments.fig5 import (
+    ALMTrace,
+    PenaltyTrace,
+    check_fig5a_shape,
+    check_fig5b_shape,
+)
+from repro.experiments.table2 import Table2Result, check_table2_shape
+from repro.photonics.footprint import FootprintBreakdown
+
+
+def breakdown(total_kum2, n_blocks=6, n_cr=0):
+    return FootprintBreakdown(n_ps=0, n_dc=0, n_cr=n_cr,
+                              total=total_kum2 * 1000.0, n_blocks=n_blocks)
+
+
+class TestTable2Checker:
+    def _result(self, kum2=450.0, n_cr=5, n_blocks=6, window=(384, 480)):
+        res = Table2Result()
+        res.rows.append(MeshResult(name="ADEPT-a0",
+                                   footprint=breakdown(kum2, n_blocks, n_cr),
+                                   accuracy=98.0, window=window))
+        return res
+
+    def test_clean_passes(self):
+        assert check_table2_shape(self._result()) == []
+
+    def test_out_of_window_flagged(self):
+        problems = check_table2_shape(self._result(kum2=700.0))
+        assert any("outside" in p for p in problems)
+
+    def test_crossing_heavy_design_flagged_on_tight_window(self):
+        # Butterfly at 16 has 88 crossings over 8 blocks = 11/blk.
+        res = self._result(n_cr=200, n_blocks=6)
+        problems = check_table2_shape(res)
+        assert any("crossing-heavier" in p for p in problems)
+
+    def test_loose_window_tolerates_crossings(self):
+        res = self._result(kum2=1300.0, n_cr=200, n_blocks=6,
+                           window=(1248, 1560))
+        problems = check_table2_shape(res)
+        assert not any("crossing-heavier" in p for p in problems)
+
+    def test_compactness_vs_mzi(self):
+        # MZI-ONN on AIM at 16x16 is 4480k; a 2000k "smallest" design
+        # violates the >2.5x compactness claim.
+        res = self._result(kum2=2000.0, window=(1900, 2500))
+        problems = check_table2_shape(res)
+        assert any("2.5x" in p for p in problems)
+
+
+def curve(accs, stds=None):
+    """[(sigma, acc, std)] for sigmas 0.02..0.10."""
+    sigmas = [0.02, 0.04, 0.06, 0.08, 0.10]
+    stds = stds or [0.0] * len(accs)
+    return list(zip(sigmas, accs, stds))
+
+
+class TestFig4Checker:
+    def test_degradation_is_first_minus_last(self):
+        c = curve([98.0, 97.0, 95.0, 90.0, 80.0])
+        assert degradation(c) == pytest.approx(18.0)
+
+    def test_missing_mzi_flagged(self):
+        res = RobustnessCurves(part="a", curves={"ADEPT-a2": curve([98] * 5)})
+        assert check_fig4_shape(res) == ["missing MZI curve"]
+
+    def test_adept_tracking_passes(self):
+        res = RobustnessCurves(part="a", curves={
+            "MZI": curve([98, 95, 90, 80, 65]),
+            "FFT": curve([98, 97, 96, 94, 92]),
+            "ADEPT-a2": curve([98, 97, 95, 93, 90]),
+        })
+        assert check_fig4_shape(res) == []
+
+    def test_fragile_searched_design_flagged(self):
+        res = RobustnessCurves(part="a", curves={
+            "MZI": curve([98, 97, 96, 95, 94]),
+            "ADEPT-a2": curve([98, 90, 75, 60, 40]),
+        })
+        problems = check_fig4_shape(res)
+        assert any("ADEPT-a2" in p for p in problems)
+
+
+class TestFig5aChecker:
+    def test_converging_trace_passes(self):
+        tr = ALMTrace(rho0=1e-7, perm_error=[1.0, 0.5, 0.1],
+                      mean_lambda=[0.0, 0.1, 0.3])
+        assert check_fig5a_shape({1e-7: tr}) == []
+
+    def test_stalled_error_flagged(self):
+        tr = ALMTrace(rho0=1e-7, perm_error=[1.0, 0.9, 0.8],
+                      mean_lambda=[0.0, 0.1, 0.3])
+        problems = check_fig5a_shape({1e-7: tr})
+        assert any("error only" in p for p in problems)
+
+    def test_dead_multipliers_flagged(self):
+        tr = ALMTrace(rho0=1e-7, perm_error=[1.0, 0.1, 0.05],
+                      mean_lambda=[0.0, 0.0, 0.0])
+        problems = check_fig5a_shape({1e-7: tr})
+        assert any("multipliers" in p for p in problems)
+
+
+class TestFig5bChecker:
+    def _trace(self, beta, final_fp, window=(240e3, 300e3)):
+        return PenaltyTrace(beta=beta, expected_footprint=[500e3, final_fp],
+                            penalty_over_beta=[0.5, 0.1], window=window)
+
+    def test_large_beta_bounded_passes(self):
+        traces = {0.001: self._trace(0.001, 600e3),
+                  10.0: self._trace(10.0, 280e3)}
+        assert check_fig5b_shape(traces) == []
+
+    def test_unbounded_large_beta_flagged(self):
+        traces = {0.001: self._trace(0.001, 600e3),
+                  10.0: self._trace(10.0, 700e3)}
+        problems = check_fig5b_shape(traces)
+        assert any("not bounded" in p for p in problems)
+
+    def test_inverted_tightness_flagged(self):
+        traces = {0.001: self._trace(0.001, 290e3),
+                  10.0: self._trace(10.0, 301e3)}
+        problems = check_fig5b_shape(traces)
+        assert any("unexpectedly tighter" in p for p in problems)

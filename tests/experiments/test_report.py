@@ -1,0 +1,67 @@
+"""Tests for markdown / CSV report rendering."""
+
+import csv
+import io
+
+from repro.experiments.common import MeshResult
+from repro.experiments.report import (
+    mesh_results_csv,
+    mesh_results_markdown,
+    robustness_csv,
+)
+from repro.photonics import AMF
+from repro.photonics.footprint import mzi_onn_footprint
+
+
+def rows():
+    return [
+        MeshResult(name="MZI-ONN", footprint=mzi_onn_footprint(AMF, 8),
+                   accuracy=98.63),
+        MeshResult(name="ADEPT-a1", footprint=mzi_onn_footprint(AMF, 8),
+                   accuracy=98.26, window=(240.0, 300.0)),
+    ]
+
+
+class TestMarkdown:
+    def test_header_and_rows(self):
+        md = mesh_results_markdown(rows(), title="Table 1")
+        lines = md.splitlines()
+        assert lines[0] == "### Table 1"
+        assert any("MZI-ONN" in l for l in lines)
+        assert any("[240, 300]" in l for l in lines)
+
+    def test_baseline_window_dash(self):
+        md = mesh_results_markdown(rows())
+        mzi_line = next(l for l in md.splitlines() if "MZI-ONN" in l)
+        assert "| - |" in mzi_line
+
+    def test_column_count_consistent(self):
+        md = mesh_results_markdown(rows())
+        table = [l for l in md.splitlines() if l.startswith("|")]
+        counts = {l.count("|") for l in table}
+        assert len(counts) == 1
+
+    def test_no_title_no_heading(self):
+        md = mesh_results_markdown(rows())
+        assert not md.startswith("###")
+
+
+class TestCSV:
+    def test_parses_back(self):
+        text = mesh_results_csv(rows())
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert parsed[0]["design"] == "MZI-ONN"
+        assert parsed[1]["window_lo_kum2"] == "240.0"
+
+    def test_footprint_value(self):
+        text = mesh_results_csv(rows())
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert abs(float(parsed[0]["footprint_kum2"]) - 1908.8) < 0.1
+
+    def test_robustness_csv(self):
+        curves = {"MZI": [(0.02, 96.8, 6.8), (0.10, 52.8, 14.0)]}
+        parsed = list(csv.DictReader(io.StringIO(robustness_csv(curves))))
+        assert len(parsed) == 2
+        assert parsed[0]["design"] == "MZI"
+        assert float(parsed[1]["accuracy_mean"]) == 52.8

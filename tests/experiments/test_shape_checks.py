@@ -1,0 +1,96 @@
+"""Unit tests for the experiment shape-check logic.
+
+The benches run the full pipelines; these tests exercise the
+*checkers* on hand-built results, so a regression in the claim logic
+is caught without a training run.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import MeshResult, TABLE1_WINDOWS, TABLE2_WINDOWS
+from repro.experiments.table1 import Table1Result, check_table1_shape
+from repro.photonics import AMF
+from repro.photonics.footprint import FootprintBreakdown, mzi_onn_footprint
+
+
+def breakdown(total_kum2: float, n_blocks: int = 6) -> FootprintBreakdown:
+    return FootprintBreakdown(n_ps=0, n_dc=0, n_cr=0,
+                              total=total_kum2 * 1000.0, n_blocks=n_blocks)
+
+
+def mzi_row(k: int) -> MeshResult:
+    return MeshResult(name="MZI-ONN", footprint=mzi_onn_footprint(AMF, k),
+                      accuracy=98.6)
+
+
+def searched_row(name, kum2, window, n_blocks) -> MeshResult:
+    return MeshResult(name=name, footprint=breakdown(kum2, n_blocks),
+                      accuracy=98.0, window=window)
+
+
+class TestTable1Checker:
+    def test_clean_result_passes(self):
+        res = Table1Result(size=8)
+        res.rows.append(mzi_row(8))
+        windows = TABLE1_WINDOWS[8]
+        for i, w in enumerate(windows, start=1):
+            res.rows.append(searched_row(f"ADEPT-a{i}", (w[0] + w[1]) / 2, w,
+                                         n_blocks=4 + i))
+        assert check_table1_shape({8: res}) == []
+
+    def test_out_of_window_flagged(self):
+        res = Table1Result(size=8)
+        res.rows.append(mzi_row(8))
+        w = TABLE1_WINDOWS[8][0]
+        res.rows.append(searched_row("ADEPT-a1", w[1] + 50, w, 5))
+        problems = check_table1_shape({8: res})
+        assert any("outside" in p for p in problems)
+
+    def test_insufficient_compression_flagged(self):
+        res = Table1Result(size=8)
+        res.rows.append(mzi_row(8))
+        # 1200k um^2 is more than half of MZI's 1909k.
+        res.rows.append(searched_row("ADEPT-a1", 1200, (0.0, 1e9), 5))
+        problems = check_table1_shape({8: res})
+        assert any("2x" in p for p in problems)
+
+    def test_non_monotone_blocks_flagged(self):
+        res = Table1Result(size=8)
+        res.rows.append(mzi_row(8))
+        windows = TABLE1_WINDOWS[8][:2]
+        res.rows.append(searched_row("ADEPT-a1", 270, windows[0], n_blocks=9))
+        res.rows.append(searched_row("ADEPT-a2", 380, windows[1], n_blocks=5))
+        problems = check_table1_shape({8: res})
+        assert any("monotone" in p for p in problems)
+
+    def test_baseline_vs_searched_partition(self):
+        res = Table1Result(size=8)
+        res.rows.append(mzi_row(8))
+        w = TABLE1_WINDOWS[8][0]
+        res.rows.append(searched_row("ADEPT-a1", 270, w, 5))
+        assert [r.name for r in res.baselines] == ["MZI-ONN"]
+        assert [r.name for r in res.searched] == ["ADEPT-a1"]
+
+
+class TestPaperWindows:
+    def test_table1_windows_follow_08_rule(self):
+        # Paper: all constraints follow F_min = 0.8 F_max.
+        for k, windows in TABLE1_WINDOWS.items():
+            for lo, hi in windows:
+                assert lo == pytest.approx(0.8 * hi, rel=1e-9)
+
+    def test_table1_window_counts(self):
+        assert set(TABLE1_WINDOWS) == {8, 16, 32}
+        assert all(len(w) == 5 for w in TABLE1_WINDOWS.values())
+
+    def test_table2_has_six_targets(self):
+        assert len(TABLE2_WINDOWS) == 6
+        assert TABLE2_WINDOWS[0] == (384, 480)
+
+    def test_windows_ascend(self):
+        for windows in list(TABLE1_WINDOWS.values()) + [TABLE2_WINDOWS]:
+            los = [lo for lo, _ in windows]
+            assert los == sorted(los)

@@ -1,0 +1,92 @@
+"""Integration tests for the extension studies (small budgets).
+
+The benches run these at full scale; here we check structure and the
+directional claims at budgets small enough for the unit suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_expressivity_comparison,
+    run_nonideality_study,
+    run_power_comparison,
+    run_quantization_study,
+)
+
+
+class TestQuantizationStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_quantization_study(k=4, bit_widths=(6, 3), steps=200)
+
+    def test_structure(self, study):
+        assert study.bit_widths == [6, 3]
+        assert len(study.ptq_errors) == 2
+        assert len(study.qat_errors) == 2
+
+    def test_fewer_bits_more_ptq_error(self, study):
+        assert study.ptq_errors[0] < study.ptq_errors[1]
+
+    def test_qat_never_loses_to_ptq(self, study):
+        for ptq, qat in zip(study.ptq_errors, study.qat_errors):
+            assert qat <= ptq + 1e-9
+
+    def test_full_precision_is_floor(self, study):
+        assert study.full_precision_error <= min(study.ptq_errors) + 1e-9
+
+
+class TestNonidealityStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_nonideality_study(k=6, shallow_blocks=2, deep_blocks=10,
+                                     n_trials=4)
+
+    def test_all_specs_present(self, study):
+        assert set(study.specs) == {"phase-noise", "insertion-loss",
+                                    "dc-imbalance", "crosstalk", "combined"}
+
+    def test_depth_hurts_everywhere(self, study):
+        for s, d in zip(study.shallow_fidelity, study.deep_fidelity):
+            assert d < s
+
+    def test_fidelities_in_unit_interval(self, study):
+        for f in study.shallow_fidelity + study.deep_fidelity:
+            assert 0.0 <= f <= 1.0 + 1e-9
+
+
+class TestPowerComparison:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_power_comparison(k=8)
+
+    def test_three_designs(self, study):
+        assert study.names == ["mzi", "fft", "adept"]
+
+    def test_mzi_most_expensive(self, study):
+        mzi_p, mzi_l, mzi_e = study.of("mzi")
+        for other in ("fft", "adept"):
+            p, l, e = study.of(other)
+            assert mzi_p > p and mzi_l > l and mzi_e > e
+
+    def test_sub_nanosecond(self, study):
+        assert all(l < 1000.0 for l in study.latency_ps)
+
+
+class TestExpressivityComparison:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_expressivity_comparison(k=8, steps=150, n_targets=1)
+
+    def test_all_families_present(self, study):
+        assert study.names == ["mzi", "fft", "adept-a1", "adept-a5"]
+
+    def test_mzi_most_expressive(self, study):
+        assert study.error_of("mzi") == min(study.errors)
+
+    def test_footprints_recorded(self, study):
+        mzi_fp = study.footprints_kum2[study.names.index("mzi")]
+        assert mzi_fp == pytest.approx(1908.8, abs=1.0)
+
+    def test_front_nonempty(self, study):
+        assert len(study.front()) >= 1

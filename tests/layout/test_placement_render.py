@@ -1,0 +1,134 @@
+"""Tests for floorplan estimation and ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.topology import random_topology
+from repro.layout import (
+    DeviceGeometry,
+    PlacementReport,
+    build_netlist,
+    place,
+    render_netlist,
+    render_topology,
+)
+from repro.photonics import AIM, AMF
+
+
+def make_netlist(seed=0, k=8, nb=3, permute_prob=0.7):
+    topo = random_topology(k, nb, nb, np.random.default_rng(seed),
+                           permute_prob=permute_prob)
+    return topo, build_netlist(topo)
+
+
+class TestDeviceGeometry:
+    @pytest.mark.parametrize("kind", ["ps", "dc", "cr"])
+    def test_area_matches_pdk(self, kind):
+        g = DeviceGeometry.from_pdk(kind, AMF)
+        expected = {"ps": AMF.ps_area, "dc": AMF.dc_area, "cr": AMF.cr_area}[kind]
+        assert g.area_um2 == pytest.approx(expected)
+
+    def test_ps_is_long_and_thin(self):
+        g = DeviceGeometry.from_pdk("ps", AMF)
+        assert g.length_um > g.width_um
+
+    def test_cr_is_square(self):
+        g = DeviceGeometry.from_pdk("cr", AIM)
+        assert g.length_um == pytest.approx(g.width_um)
+
+    def test_custom_aspect(self):
+        g = DeviceGeometry.from_pdk("dc", AMF, aspect=1.0)
+        assert g.length_um == pytest.approx(g.width_um)
+
+
+class TestPlace:
+    def test_report_structure(self):
+        _, netlist = make_netlist()
+        report = place(netlist, AMF)
+        assert isinstance(report, PlacementReport)
+        assert report.pdk_name == "AMF"
+        assert report.n_columns == netlist.n_columns
+
+    def test_chip_area_exceeds_active_area(self):
+        _, netlist = make_netlist(1)
+        report = place(netlist, AMF)
+        assert report.chip_area_um2 > report.active_area_um2
+        assert 0.0 < report.utilization < 1.0
+
+    def test_active_area_is_pdk_sum(self):
+        topo, netlist = make_netlist(2)
+        report = place(netlist, AMF)
+        n_ps, n_dc, n_cr = topo.device_counts()
+        assert report.active_area_um2 == pytest.approx(
+            AMF.footprint(n_ps, n_dc, n_cr))
+
+    def test_height_scales_with_k(self):
+        _, small = make_netlist(3, k=8)
+        _, large = make_netlist(3, k=16)
+        assert (place(large, AMF).chip_height_um
+                > place(small, AMF).chip_height_um)
+
+    def test_aim_crossings_dominate(self):
+        # On AIM, one crossing (4900 um^2) outweighs a DC (4000 um^2):
+        # a crossing-heavy design gets a longer chip than a DC-only one.
+        topo_cr = random_topology(8, 4, 4, np.random.default_rng(4),
+                                  permute_prob=1.0)
+        topo_dc = random_topology(8, 4, 4, np.random.default_rng(4),
+                                  permute_prob=0.0)
+        r_cr = place(build_netlist(topo_cr), AIM)
+        r_dc = place(build_netlist(topo_dc), AIM)
+        assert r_cr.chip_length_um > r_dc.chip_length_um
+
+    def test_summary_string(self):
+        _, netlist = make_netlist(5)
+        s = place(netlist, AMF).summary()
+        assert "AMF" in s and "columns" in s and "utilization" in s
+
+
+class TestRenderNetlist:
+    def test_one_row_per_waveguide(self):
+        _, netlist = make_netlist(6, k=8)
+        lines = render_netlist(netlist).splitlines()
+        assert len(lines) == 8
+
+    def test_glyph_counts_match_devices(self):
+        _, netlist = make_netlist(7)
+        text = render_netlist(netlist)
+        n_ps, n_dc, n_cr = netlist.device_counts()
+        assert text.count("[P]") == n_ps
+        assert text.count("(D~") == n_dc
+        assert text.count("~D)") == n_dc
+        assert text.count(_cr_top()) == n_cr
+
+    def test_truncation_marker(self):
+        _, netlist = make_netlist(8)
+        text = render_netlist(netlist, max_columns=3)
+        assert ".." in text
+
+    def test_no_marker_when_fits(self):
+        _, netlist = make_netlist(9)
+        text = render_netlist(netlist, max_columns=netlist.n_columns)
+        assert ".." not in text
+
+
+def _cr_top():
+    from repro.layout.render import _CELL
+
+    return _CELL["cr_top"]
+
+
+class TestRenderTopology:
+    def test_both_meshes_rendered(self):
+        topo, _ = make_netlist(10)
+        text = render_topology(topo)
+        assert "U mesh" in text and "V mesh" in text and "legend" in text
+
+    def test_single_mesh(self):
+        topo, _ = make_netlist(11)
+        text = render_topology(topo, mesh="U")
+        assert "U mesh" in text and "V mesh" not in text
+
+    def test_invalid_mesh(self):
+        topo, _ = make_netlist(12)
+        with pytest.raises(ValueError, match="mesh"):
+            render_topology(topo, mesh="W")

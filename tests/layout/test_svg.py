@@ -1,0 +1,65 @@
+"""Tests for the SVG floorplan export."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.topology import random_topology
+from repro.layout import build_netlist
+from repro.layout.svg import floorplan_svg
+from repro.photonics import AIM, AMF
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def make_netlist(seed=0, k=8, nb=3):
+    topo = random_topology(k, nb, nb, np.random.default_rng(seed),
+                           permute_prob=0.7)
+    return topo, build_netlist(topo)
+
+
+class TestFloorplanSVG:
+    def test_valid_xml(self):
+        _, netlist = make_netlist()
+        root = ET.fromstring(floorplan_svg(netlist, AMF))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_rect_per_device_plus_background(self):
+        _, netlist = make_netlist(1)
+        root = ET.fromstring(floorplan_svg(netlist, AMF))
+        rects = root.findall(f".//{SVG_NS}rect")
+        assert len(rects) == len(netlist.devices) + 1  # + background
+
+    def test_one_line_per_waveguide(self):
+        _, netlist = make_netlist(2, k=8)
+        root = ET.fromstring(floorplan_svg(netlist, AMF))
+        lines = root.findall(f"{SVG_NS}line")
+        assert len(lines) == 8
+
+    def test_device_ids_in_titles(self):
+        _, netlist = make_netlist(3)
+        svg = floorplan_svg(netlist, AMF)
+        for device in netlist.devices[:5]:
+            assert device.device_id in svg
+
+    def test_title_escaped(self):
+        _, netlist = make_netlist(4)
+        svg = floorplan_svg(netlist, AMF, title="a<b>&c")
+        assert "a&lt;b&gt;&amp;c" in svg
+
+    def test_scale_changes_canvas(self):
+        _, netlist = make_netlist(5)
+        small = ET.fromstring(floorplan_svg(netlist, AMF, scale=0.1))
+        large = ET.fromstring(floorplan_svg(netlist, AMF, scale=0.5))
+        assert float(large.get("width")) > float(small.get("width"))
+
+    def test_rejects_bad_scale(self):
+        _, netlist = make_netlist(6)
+        with pytest.raises(ValueError, match="scale"):
+            floorplan_svg(netlist, AMF, scale=0.0)
+
+    def test_aim_pdk_renders(self):
+        _, netlist = make_netlist(7)
+        root = ET.fromstring(floorplan_svg(netlist, AIM))
+        assert root is not None

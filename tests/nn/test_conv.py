@@ -1,0 +1,83 @@
+"""Convolution: im2col adjoint, correctness vs naive loops, gradients."""
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck
+from repro.nn import functional as F
+
+
+def naive_conv2d(x, w, b, stride=1, padding=0):
+    """Direct-loop cross-correlation reference."""
+    n, c, h, wd = x.shape
+    o, _, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        h, wd = h + 2 * padding, wd + 2 * padding
+    oh = (h - kh) // stride + 1
+    ow = (wd - kw) // stride + 1
+    out = np.zeros((n, o, oh, ow))
+    for i in range(oh):
+        for j in range(ow):
+            patch = x[:, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+            out[:, :, i, j] = np.einsum("nchw,ochw->no", patch, w)
+    if b is not None:
+        out += b[None, :, None, None]
+    return out
+
+
+class TestIm2Col:
+    def test_shapes(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        col = F.im2col(x, (3, 3), stride=1)
+        assert col.shape == (2, 6, 6, 3, 3, 3)
+
+    def test_adjoint_property(self, rng):
+        """col2im is the exact adjoint of im2col: <Ax, y> == <x, A^T y>."""
+        x = rng.normal(size=(1, 2, 6, 6))
+        y = rng.normal(size=(1, 4, 4, 2, 3, 3))
+        ax = F._im2col_array(x, 3, 3, 1, 1)
+        aty = F._col2im_array(y, x.shape, 3, 3, 1, 1)
+        assert np.allclose((ax * y).sum(), (x * aty).sum())
+
+    def test_strided_adjoint(self, rng):
+        x = rng.normal(size=(2, 3, 9, 9))
+        ax = F._im2col_array(x, 3, 3, 2, 2)
+        y = rng.normal(size=ax.shape)
+        aty = F._col2im_array(y, x.shape, 3, 3, 2, 2)
+        assert np.allclose((ax * y).sum(), (x * aty).sum())
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        assert gradcheck(lambda x: (F.im2col(x, (3, 3)) ** 2).sum(), [x])
+
+
+class TestConv2d:
+    def test_matches_naive(self, rng):
+        x = rng.normal(size=(2, 3, 7, 7))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b))
+        assert np.allclose(out.data, naive_conv2d(x, w, b), atol=1e-10)
+
+    def test_matches_naive_stride_padding(self, rng):
+        x = rng.normal(size=(2, 2, 8, 8))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), None, stride=2, padding=1)
+        assert np.allclose(out.data, naive_conv2d(x, w, None, 2, 1), atol=1e-10)
+
+    def test_gradcheck_weight_and_input(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2,)), requires_grad=True)
+        assert gradcheck(lambda x, w, b: (F.conv2d(x, w, b) ** 2).sum(), [x, w, b])
+
+    def test_layer_output_shape(self, rng):
+        conv = nn.Conv2d(3, 8, 5, stride=1, padding=2)
+        out = conv(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 8, 16, 16)
+
+    def test_layer_no_bias(self):
+        conv = nn.Conv2d(1, 2, 3, bias=False)
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1

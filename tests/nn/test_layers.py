@@ -1,0 +1,87 @@
+"""Linear / pooling / dropout / flatten layers."""
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck
+from repro.nn import functional as F
+
+
+class TestLinear:
+    def test_affine_math(self, rng):
+        lin = nn.Linear(4, 3)
+        x = rng.normal(size=(5, 4))
+        out = lin(Tensor(x))
+        assert np.allclose(out.data, x @ lin.weight.data.T + lin.bias.data)
+
+    def test_gradcheck(self, rng):
+        lin = nn.Linear(3, 2)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        assert gradcheck(
+            lambda x, w, b: (F.linear(x, w, b) ** 2).sum(),
+            [x, lin.weight, lin.bias],
+        )
+
+    def test_init_scale(self):
+        lin = nn.Linear(1000, 10)
+        # Kaiming-uniform bound: sqrt(6 / ((1 + 5) * fan_in)) = 1/sqrt(fan_in)
+        assert np.abs(lin.weight.data).max() <= 1.0 / np.sqrt(1000) + 1e-9
+
+
+class TestPooling:
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        assert np.allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        assert np.allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_ragged_border_cropped(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)))
+        assert F.avg_pool2d(x, 2).shape == (1, 2, 2, 2)
+        assert F.max_pool2d(x, 2).shape == (1, 2, 2, 2)
+
+    def test_adaptive_avg_pool(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 8, 8)))
+        assert F.adaptive_avg_pool2d(x, 2).shape == (1, 2, 2, 2)
+
+    def test_pool_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 4, 4)), requires_grad=True)
+        assert gradcheck(lambda x: (F.avg_pool2d(x, 2) ** 2).sum(), [x])
+        x2 = Tensor(np.arange(16.0).reshape(1, 1, 4, 4) + rng.normal(size=(1, 1, 4, 4)) * 0.01)
+        x2.requires_grad = True
+        assert gradcheck(lambda x: (F.max_pool2d(x, 2) ** 2).sum(), [x2])
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        d = nn.Dropout(0.5)
+        d.eval()
+        x = Tensor(rng.normal(size=(10, 10)))
+        assert np.allclose(d(x).data, x.data)
+
+    def test_train_scales_kept_units(self, rng):
+        d = nn.Dropout(0.5)
+        x = Tensor(np.ones((1000,)))
+        out = d(x).data
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)
+        assert 0.3 < (out != 0).mean() < 0.7
+
+    def test_zero_p_identity(self, rng):
+        d = nn.Dropout(0.0)
+        x = Tensor(rng.normal(size=(5,)))
+        assert np.allclose(d(x).data, x.data)
+
+
+class TestFlattenIdentity:
+    def test_flatten(self, rng):
+        f = nn.Flatten()
+        assert f(Tensor(rng.normal(size=(2, 3, 4)))).shape == (2, 12)
+
+    def test_identity(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)))
+        assert np.allclose(nn.Identity()(x).data, x.data)

@@ -1,0 +1,69 @@
+"""Loss functions vs manual references."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck
+
+
+class TestCrossEntropy:
+    def manual_ce(self, logits, target):
+        z = logits - logits.max(axis=1, keepdims=True)
+        logp = z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+        return -logp[np.arange(len(target)), target].mean()
+
+    def test_matches_manual(self, rng):
+        logits = rng.normal(size=(6, 4))
+        target = rng.integers(0, 4, 6)
+        loss = nn.CrossEntropyLoss()(Tensor(logits), target)
+        assert np.allclose(loss.item(), self.manual_ce(logits, target))
+
+    def test_reductions(self, rng):
+        logits = rng.normal(size=(5, 3))
+        target = rng.integers(0, 3, 5)
+        mean = nn.CrossEntropyLoss("mean")(Tensor(logits), target).item()
+        total = nn.CrossEntropyLoss("sum")(Tensor(logits), target).item()
+        none = nn.CrossEntropyLoss("none")(Tensor(logits), target)
+        assert np.allclose(total / 5, mean)
+        assert none.shape == (5,)
+
+    def test_invalid_reduction(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss("bogus")
+
+    def test_gradcheck(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        target = np.array([0, 2, 1, 1])
+        assert gradcheck(lambda l: nn.CrossEntropyLoss()(l, target), [logits])
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((3, 3), -20.0)
+        logits[np.arange(3), np.arange(3)] = 20.0
+        loss = nn.CrossEntropyLoss()(Tensor(logits), np.arange(3))
+        assert loss.item() < 1e-8
+
+
+class TestMSE:
+    def test_real(self, rng):
+        a, b = rng.normal(size=5), rng.normal(size=5)
+        loss = nn.MSELoss()(Tensor(a), Tensor(b))
+        assert np.allclose(loss.item(), ((a - b) ** 2).mean())
+
+    def test_complex_uses_magnitude(self):
+        a = Tensor(np.array([1 + 1j]))
+        b = Tensor(np.array([0 + 0j]))
+        loss = nn.MSELoss()(a, b)
+        assert np.allclose(loss.item(), 2.0)
+        assert not np.iscomplexobj(loss.data)
+
+    def test_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=4), requires_grad=True)
+        b = Tensor(rng.normal(size=4))
+        assert gradcheck(lambda a: nn.MSELoss()(a, b), [a])
+
+
+class TestAccuracy:
+    def test_accuracy(self):
+        logits = Tensor(np.array([[2.0, 1.0], [0.0, 3.0], [5.0, 1.0]]))
+        assert nn.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)

@@ -1,0 +1,97 @@
+"""Module system: registration, traversal, modes, state dict."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 3)
+        self.fc2 = nn.Linear(3, 2)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        m = Toy()
+        names = dict(m.named_parameters())
+        assert "fc1.weight" in names and "fc2.bias" in names and "scale" in names
+        assert len(m.parameters()) == 5
+
+    def test_num_parameters(self):
+        m = Toy()
+        assert m.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2 + 1
+
+    def test_modules_iteration(self):
+        m = Toy()
+        kinds = [type(x).__name__ for x in m.modules()]
+        assert kinds.count("Linear") == 2
+
+    def test_reassignment_replaces(self):
+        m = Toy()
+        m.fc1 = nn.Linear(4, 3)
+        assert len(m.parameters()) == 5
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        m = Toy()
+        m.eval()
+        assert not m.training and not m.fc1.training
+        m.train()
+        assert m.training and m.fc2.training
+
+    def test_zero_grad(self):
+        m = Toy()
+        for p in m.parameters():
+            p.grad = np.ones_like(p.data)
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        m1, m2 = Toy(), Toy()
+        state = m1.state_dict()
+        m2.load_state_dict(state)
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert n1 == n2
+            assert np.allclose(p1.data, p2.data)
+
+    def test_buffers_in_state(self):
+        bn = nn.BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_buffer_loading(self):
+        bn1, bn2 = nn.BatchNorm2d(2), nn.BatchNorm2d(2)
+        bn1._set_buffer("running_mean", np.array([1.0, 2.0]))
+        bn2.load_state_dict(bn1.state_dict())
+        assert np.allclose(bn2.running_mean, [1.0, 2.0])
+
+
+class TestContainers:
+    def test_sequential_order_and_index(self):
+        seq = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        assert len(seq) == 3
+        assert isinstance(seq[1], nn.ReLU)
+        from repro.autograd import Tensor
+
+        out = seq(Tensor(np.zeros((2, 4))))
+        assert out.shape == (2, 2)
+
+    def test_sequential_append(self):
+        seq = nn.Sequential(nn.Linear(2, 2))
+        seq.append(nn.ReLU())
+        assert len(seq) == 2
+
+    def test_module_list(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(ml) == 2
+        assert len([p for m in ml for p in m.parameters()]) == 4

@@ -1,0 +1,73 @@
+"""BatchNorm: normalization math, running stats, eval mode, gradients."""
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck
+
+
+class TestBatchNorm2d:
+    def test_normalizes_batch(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.normal(loc=5.0, scale=3.0, size=(8, 3, 4, 4)))
+        out = bn(x).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_move_toward_batch(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = Tensor(rng.normal(loc=2.0, size=(16, 2, 3, 3)))
+        bn(x)
+        assert np.all(bn.running_mean > 0.5)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        for _ in range(20):
+            bn(Tensor(rng.normal(loc=1.0, size=(32, 2, 2, 2))))
+        bn.eval()
+        x = Tensor(np.full((4, 2, 2, 2), 1.0))
+        out = bn(x).data
+        # Input at the running mean should map near zero.
+        assert np.abs(out).max() < 0.5
+
+    def test_affine_params_used(self, rng):
+        bn = nn.BatchNorm2d(2)
+        np.copyto(bn.weight.data, [2.0, 3.0])
+        np.copyto(bn.bias.data, [1.0, -1.0])
+        x = Tensor(rng.normal(size=(8, 2, 4, 4)))
+        out = bn(x).data
+        assert abs(out[:, 0].mean() - 1.0) < 1e-6
+        assert abs(out[:, 1].mean() + 1.0) < 1e-6
+
+    def test_gradcheck(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(4, 2, 2, 2)), requires_grad=True)
+
+        def f(x, w, b):
+            # Rebuild each call: running stats update is pure-numpy
+            bn2 = nn.BatchNorm2d(2)
+            bn2.weight = w
+            bn2.bias = b
+            return (bn2(x) ** 2).sum()
+
+        from repro.nn.module import Parameter
+
+        w = Parameter(np.array([1.5, 0.5]))
+        b = Parameter(np.array([0.1, -0.2]))
+        assert gradcheck(f, [x, w, b], atol=1e-4)
+
+
+class TestBatchNorm1d:
+    def test_normalizes(self, rng):
+        bn = nn.BatchNorm1d(4)
+        x = Tensor(rng.normal(loc=3.0, size=(64, 4)))
+        out = bn(x).data
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_eval_mode_no_stat_update(self, rng):
+        bn = nn.BatchNorm1d(2)
+        bn(Tensor(rng.normal(size=(8, 2))))
+        bn.eval()
+        rm = bn.running_mean.copy()
+        bn(Tensor(rng.normal(loc=10.0, size=(8, 2))))
+        assert np.allclose(bn.running_mean, rm)

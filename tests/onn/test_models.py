@@ -1,0 +1,56 @@
+"""ONN model zoo: shapes and structure."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.onn import build_cnn2, build_lenet5, build_model, build_vgg8
+
+
+class TestCNN2:
+    def test_forward_shape_mnist(self, rng):
+        model = build_cnn2("butterfly", k=8, width_mult=0.125)
+        out = model(Tensor(rng.normal(size=(2, 1, 28, 28))))
+        assert out.shape == (2, 10)
+
+    def test_width_mult_scales_channels(self):
+        small = build_cnn2("butterfly", k=8, width_mult=0.125)
+        big = build_cnn2("butterfly", k=8, width_mult=0.25)
+        assert big.num_parameters() > small.num_parameters()
+
+
+class TestLeNet5:
+    def test_forward_shape(self, rng):
+        model = build_lenet5("butterfly", k=4, width_mult=0.5)
+        out = model(Tensor(rng.normal(size=(2, 1, 28, 28))))
+        assert out.shape == (2, 10)
+
+    def test_rgb_input(self, rng):
+        model = build_lenet5("butterfly", k=4, in_channels=3, image_size=32,
+                             width_mult=0.5)
+        out = model(Tensor(rng.normal(size=(2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+
+class TestVGG8:
+    def test_forward_shape(self, rng):
+        model = build_vgg8("butterfly", k=4, width_mult=0.0625)
+        out = model(Tensor(rng.normal(size=(1, 3, 32, 32))))
+        assert out.shape == (1, 10)
+
+
+class TestRegistry:
+    def test_build_by_name(self, rng):
+        model = build_model("cnn2", "butterfly", k=8, width_mult=0.125)
+        assert model(Tensor(rng.normal(size=(1, 1, 28, 28)))).shape == (1, 10)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("resnet50", "mzi")
+
+    def test_topology_mesh_accepted(self, rng):
+        from repro.core import random_topology
+
+        topo = random_topology(8, 2, 2, rng)
+        model = build_cnn2(topo, k=8, width_mult=0.125)
+        assert model(Tensor(rng.normal(size=(1, 1, 28, 28)))).shape == (1, 10)

@@ -1,0 +1,135 @@
+"""Blocked USV photonic layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import random_topology
+from repro.onn import (
+    BlockUSV,
+    PTCConv2d,
+    PTCLinear,
+    model_ptc_footprint,
+    set_model_phase_noise,
+)
+from repro.photonics import AMF, is_unitary
+
+
+class TestBlockUSV:
+    def test_weight_shape_exact_multiple(self):
+        core = BlockUSV(16, 24, k=8, mesh="butterfly")
+        assert core().shape == (16, 24)
+        assert (core.p, core.q) == (2, 3)
+
+    def test_weight_shape_ragged(self):
+        core = BlockUSV(10, 25, k=8, mesh="butterfly")
+        assert core().shape == (10, 25)
+
+    def test_blocks_are_usv(self):
+        core = BlockUSV(8, 8, k=8, mesh="mzi")
+        blocks = core.build_complex().data
+        # Each block is U diag(s) V with unitary U, V: singular values
+        # of the block must equal |sigma| sorted.
+        s = np.linalg.svd(blocks[0], compute_uv=False)
+        expect = np.sort(np.abs(core.sigma.data[0]))[::-1]
+        assert np.allclose(s, expect, atol=1e-8)
+
+    def test_weight_scale_reasonable(self):
+        core = BlockUSV(32, 64, k=8, mesh="butterfly")
+        w = core().data
+        ratio = w.std() / np.sqrt(2.0 / 64)
+        assert 0.25 < ratio < 4.0
+
+    def test_gradients_reach_all_params(self):
+        core = BlockUSV(8, 8, k=4, mesh="mzi")
+        (core() ** 2).sum().backward()
+        for p in core.parameters():
+            assert p.grad is not None
+            assert np.abs(p.grad).max() > 0
+
+    def test_topology_mesh(self, rng):
+        topo = random_topology(8, 3, 3, rng)
+        core = BlockUSV(8, 16, k=8, mesh=topo)
+        assert core().shape == (8, 16)
+        n_ps, n_dc, n_cr = core.topology_device_counts()
+        t_ps, t_dc, t_cr = topo.device_counts()
+        assert (n_ps, n_dc, n_cr) == (t_ps, t_dc, t_cr)
+
+    def test_invalid_mesh(self):
+        with pytest.raises((ValueError, TypeError)):
+            BlockUSV(8, 8, k=8, mesh="quantum")
+        with pytest.raises((ValueError, TypeError)):
+            BlockUSV(8, 8, k=8, mesh=object())
+
+    def test_footprint_positive(self):
+        core = BlockUSV(8, 8, k=8, mesh="butterfly")
+        assert core.footprint(AMF) > 0
+
+
+class TestPTCLinear:
+    def test_forward_shape(self, rng):
+        lin = PTCLinear(12, 7, k=4, mesh="mzi")
+        out = lin(Tensor(rng.normal(size=(5, 12))))
+        assert out.shape == (5, 7)
+
+    def test_trains_on_toy_regression(self, rng):
+        from repro.nn import MSELoss
+        from repro.optim import Adam
+
+        lin = PTCLinear(6, 3, k=2, mesh="mzi")
+        x = Tensor(rng.normal(size=(32, 6)))
+        target = Tensor(rng.normal(size=(32, 3)))
+        opt = Adam(lin.parameters(), lr=5e-3)
+        losses = []
+        for _ in range(60):
+            loss = MSELoss()(lin(x), target)
+            lin.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.7
+
+    def test_no_bias(self):
+        lin = PTCLinear(4, 4, k=4, mesh="butterfly", bias=False)
+        assert lin.bias is None
+
+    def test_phase_noise_changes_weights(self):
+        lin = PTCLinear(8, 8, k=8, mesh="butterfly")
+        w0 = lin.core().data.copy()
+        lin.set_phase_noise(0.05)
+        w1 = lin.core().data
+        assert not np.allclose(w0, w1)
+
+
+class TestPTCConv2d:
+    def test_forward_shape(self, rng):
+        conv = PTCConv2d(3, 6, 3, k=4, mesh="butterfly", padding=1)
+        out = conv(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 6, 8, 8)
+
+    def test_equals_dense_conv_with_same_weight(self, rng):
+        """A PTC conv must equal a dense conv using its built weight."""
+        from repro.nn import functional as F
+
+        conv = PTCConv2d(2, 4, 3, k=4, mesh="mzi")
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)))
+        w = conv.core().data.reshape(4, 2, 3, 3)
+        expect = F.conv2d(Tensor(x.data), Tensor(w), Tensor(conv.bias.data))
+        assert np.allclose(conv(x).data, expect.data, atol=1e-10)
+
+
+class TestModelHelpers:
+    def test_set_model_phase_noise_counts_cores(self):
+        from repro import nn
+
+        model = nn.Sequential(PTCLinear(8, 8, k=4, mesh="butterfly"), nn.ReLU(),
+                              PTCLinear(8, 4, k=4, mesh="butterfly"))
+        assert set_model_phase_noise(model, 0.02) == 2
+        assert set_model_phase_noise(model, 0.0) == 2
+
+    def test_model_ptc_footprint(self):
+        from repro import nn
+
+        model = nn.Sequential(PTCLinear(8, 8, k=8, mesh="butterfly"))
+        assert model_ptc_footprint(model, AMF) > 0
+        assert model_ptc_footprint(nn.Sequential(nn.Linear(4, 2)), AMF) == 0.0

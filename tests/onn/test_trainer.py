@@ -1,0 +1,57 @@
+"""Training engine: learning progress, evaluation, hooks."""
+
+import numpy as np
+
+from repro import nn
+from repro.onn import TrainConfig, evaluate, train
+from repro.onn.layers import PTCLinear
+
+
+def small_model():
+    return nn.Sequential(nn.Flatten(), PTCLinear(784, 10, k=8, mesh="butterfly"))
+
+
+class TestTrain:
+    def test_loss_decreases(self, tiny_mnist):
+        tr, te = tiny_mnist
+        model = small_model()
+        res = train(model, tr, te, TrainConfig(epochs=3, batch_size=32, lr=5e-3))
+        assert res.train_losses[-1] < res.train_losses[0]
+        assert len(res.test_accs) == 3
+
+    def test_beats_chance(self, tiny_mnist):
+        tr, te = tiny_mnist
+        model = small_model()
+        res = train(model, tr, te, TrainConfig(epochs=6, batch_size=32, lr=5e-3))
+        assert res.best_test_acc > 0.2  # chance is 0.1
+
+    def test_epoch_hook_called(self, tiny_mnist):
+        tr, _ = tiny_mnist
+        calls = []
+        train(
+            small_model(),
+            tr,
+            config=TrainConfig(epochs=2, batch_size=48),
+            epoch_hook=lambda e, m: calls.append(e),
+        )
+        assert calls == [0, 1]
+
+    def test_no_test_set(self, tiny_mnist):
+        tr, _ = tiny_mnist
+        res = train(small_model(), tr, config=TrainConfig(epochs=1, batch_size=48))
+        assert res.test_accs == []
+        assert np.isnan(res.final_test_acc)
+
+
+class TestEvaluate:
+    def test_eval_restores_train_mode(self, tiny_mnist):
+        _, te = tiny_mnist
+        model = small_model()
+        model.train()
+        evaluate(model, te)
+        assert model.training
+
+    def test_accuracy_bounds(self, tiny_mnist):
+        _, te = tiny_mnist
+        acc = evaluate(small_model(), te)
+        assert 0.0 <= acc <= 1.0

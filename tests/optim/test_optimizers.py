@@ -1,0 +1,106 @@
+"""Optimizers: convergence on quadratics, complex params, groups."""
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, clip_grad_norm_
+
+
+def quadratic_steps(opt_factory, steps=200, complex_param=False):
+    if complex_param:
+        target = np.array([1 + 2j, -3 + 0.5j])
+        p = Parameter(np.zeros(2, dtype=complex))
+    else:
+        target = np.array([1.0, -3.0])
+        p = Parameter(np.zeros(2))
+    opt = opt_factory([p])
+    for _ in range(steps):
+        diff = p - Tensor(target)
+        loss = (diff * diff.conj()).real().sum() if complex_param else (diff * diff).sum()
+        p.grad = None
+        loss.backward()
+        opt.step()
+    return p.data, target
+
+
+class TestAdam:
+    def test_converges_real(self):
+        got, want = quadratic_steps(lambda ps: Adam(ps, lr=0.1))
+        assert np.allclose(got, want, atol=1e-3)
+
+    def test_converges_complex(self):
+        got, want = quadratic_steps(lambda ps: Adam(ps, lr=0.1), complex_param=True)
+        assert np.allclose(got, want, atol=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            loss = (p * 0.0).sum()  # zero task gradient
+            p.grad = None
+            loss.backward()
+            opt.step()
+        assert abs(p.data[0]) < 10.0
+
+    def test_param_groups_distinct_lr(self):
+        p1, p2 = Parameter(np.array([1.0])), Parameter(np.array([1.0]))
+        opt = Adam([{"params": [p1], "lr": 0.0}, {"params": [p2], "lr": 0.1}])
+        for p in (p1, p2):
+            p.grad = np.array([1.0])
+        opt.step()
+        assert p1.data[0] == 1.0
+        assert p2.data[0] < 1.0
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(2))
+        p.grad = np.ones(2)
+        opt = Adam([p])
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.ones(2))
+        opt = Adam([p], lr=0.1)
+        opt.step()  # no grad -> no state, no crash
+        assert np.allclose(p.data, 1.0)
+
+
+class TestSGD:
+    def test_converges(self):
+        got, want = quadratic_steps(lambda ps: SGD(ps, lr=0.05), steps=300)
+        assert np.allclose(got, want, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.array([10.0]))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                loss = (p * p).sum()
+                p.grad = None
+                loss.backward()
+                opt.step()
+            return abs(p.data[0])
+
+        assert run(0.9) < run(0.0)
+
+
+class TestClipGradNorm:
+    def test_clips_large(self):
+        p = Parameter(np.ones(4))
+        p.grad = np.full(4, 10.0)
+        total = clip_grad_norm_([p], max_norm=1.0)
+        assert total > 1.0
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_leaves_small(self):
+        p = Parameter(np.ones(4))
+        p.grad = np.full(4, 0.01)
+        clip_grad_norm_([p], max_norm=1.0)
+        assert np.allclose(p.grad, 0.01)
+
+    def test_complex_grad_norm(self):
+        p = Parameter(np.ones(2, dtype=complex))
+        p.grad = np.array([3 + 4j, 0.0])
+        total = clip_grad_norm_([p], max_norm=1.0)
+        assert np.isclose(total, 5.0)

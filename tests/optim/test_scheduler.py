@@ -1,0 +1,64 @@
+"""LR schedulers."""
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim import Adam, CosineAnnealingLR, ExponentialLR, StepLR
+
+
+def make_opt(lr=1.0):
+    return Adam([Parameter(np.ones(1))], lr=lr)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        sched.step()  # epoch 0
+        assert np.isclose(opt.lr, 1.0)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.1)
+
+    def test_monotone_decreasing(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=20)
+        lrs = []
+        for _ in range(21):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_midpoint_half(self):
+        opt = make_opt(2.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(6):
+            sched.step()
+        assert np.isclose(opt.lr, 1.0)
+
+
+class TestStepExp:
+    def test_step_lr(self):
+        opt = make_opt(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert np.allclose(lrs, [1.0, 1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential(self):
+        opt = make_opt(1.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        for _ in range(4):
+            sched.step()
+        assert np.isclose(opt.lr, 0.5 ** 3)
+
+    def test_multiple_groups_scaled_together(self):
+        p1, p2 = Parameter(np.ones(1)), Parameter(np.ones(1))
+        opt = Adam([{"params": [p1], "lr": 1.0}, {"params": [p2], "lr": 0.1}])
+        sched = ExponentialLR(opt, gamma=0.1)
+        sched.step()
+        sched.step()
+        assert np.isclose(opt.param_groups[0]["lr"], 0.1)
+        assert np.isclose(opt.param_groups[1]["lr"], 0.01)

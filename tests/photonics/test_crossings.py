@@ -1,0 +1,83 @@
+"""Crossing counting and routing."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.photonics import (
+    count_inversions,
+    crossings_of_matrix,
+    is_permutation_matrix,
+    matrix_to_perm,
+    perm_to_matrix,
+    routing_schedule,
+)
+
+
+def brute_inversions(perm):
+    return sum(
+        1 for i in range(len(perm)) for j in range(i + 1, len(perm)) if perm[i] > perm[j]
+    )
+
+
+class TestInversions:
+    def test_identity_zero(self):
+        assert count_inversions(range(8)) == 0
+
+    def test_reversal_maximal(self):
+        assert count_inversions([4, 3, 2, 1, 0]) == 10  # K(K-1)/2
+
+    def test_matches_bruteforce_all_perms_of_5(self):
+        for perm in itertools.permutations(range(5)):
+            assert count_inversions(perm) == brute_inversions(perm)
+
+    def test_matches_bruteforce_random_large(self, rng):
+        for _ in range(5):
+            perm = rng.permutation(40)
+            assert count_inversions(perm) == brute_inversions(perm)
+
+    def test_single_swap(self):
+        assert count_inversions([1, 0, 2, 3]) == 1
+
+
+class TestRouting:
+    def test_schedule_length_equals_inversions(self, rng):
+        perm = list(rng.permutation(10))
+        assert len(routing_schedule(perm)) == count_inversions(perm)
+
+    def test_schedule_realizes_sort(self, rng):
+        """Replaying the swap schedule on the permutation sorts it."""
+        for perm in ([3, 1, 0, 2], list(rng.permutation(8))):
+            arr = list(perm)
+            for i, j in routing_schedule(perm):
+                arr[i], arr[j] = arr[j], arr[i]
+            assert arr == sorted(perm)
+
+    def test_identity_needs_no_swaps(self):
+        assert len(routing_schedule([0, 1, 2])) == 0
+
+
+class TestMatrices:
+    def test_roundtrip(self, rng):
+        perm = rng.permutation(7)
+        m = perm_to_matrix(perm)
+        assert is_permutation_matrix(m)
+        assert np.array_equal(matrix_to_perm(m), perm)
+
+    def test_crossings_of_matrix(self):
+        m = perm_to_matrix([2, 1, 0])
+        assert crossings_of_matrix(m) == 3
+
+    def test_illegal_matrix_rejected(self):
+        bad = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert not is_permutation_matrix(bad)
+        with pytest.raises(ValueError):
+            matrix_to_perm(bad)
+
+    def test_non_binary_rejected(self):
+        soft = np.array([[0.9, 0.1], [0.1, 0.9]])
+        assert not is_permutation_matrix(soft)
+
+    def test_non_square_rejected(self):
+        assert not is_permutation_matrix(np.ones((2, 3)))

@@ -1,0 +1,124 @@
+"""Photonic device transfer matrices."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.photonics import (
+    T_5050,
+    apply_ps,
+    crossing_matrix,
+    dc_layer_matrix,
+    dc_layer_matrix_np,
+    dc_matrix,
+    is_unitary,
+    mzi_matrix,
+    ps_matrix,
+    scatter_matrix,
+)
+
+
+class TestPhaseShifter:
+    def test_diagonal_phase(self):
+        phases = np.array([0.0, np.pi / 2, np.pi])
+        m = ps_matrix(phases)
+        assert np.allclose(np.diag(m), np.exp(-1j * phases))
+        assert is_unitary(m)
+
+    def test_apply_ps_matches_matrix(self, rng):
+        phases = rng.uniform(0, 2 * np.pi, 4)
+        x = rng.normal(size=(4, 3)) + 1j * rng.normal(size=(4, 3))
+        out = apply_ps(Tensor(x), Tensor(phases))
+        assert np.allclose(out.data, ps_matrix(phases) @ x)
+
+    def test_phase_gradient(self, rng):
+        phases = Tensor(rng.uniform(0, 2 * np.pi, 3), requires_grad=True)
+        x = Tensor(rng.normal(size=(3, 2)).astype(complex))
+        assert gradcheck(lambda p: (apply_ps(x, p).real() ** 2).sum(), [phases])
+
+
+class TestDirectionalCoupler:
+    def test_5050_split(self):
+        m = dc_matrix(T_5050)
+        out = m @ np.array([1.0, 0.0])
+        assert np.allclose(np.abs(out) ** 2, [0.5, 0.5])
+
+    def test_unitary_any_t(self):
+        for t in (0.0, 0.3, T_5050, 0.9, 1.0):
+            assert is_unitary(dc_matrix(t))
+
+    def test_invalid_t_raises(self):
+        with pytest.raises(ValueError):
+            dc_matrix(1.5)
+
+    def test_layer_matrix_np_structure(self):
+        m = dc_layer_matrix_np([T_5050, 1.0], 4, 0)
+        # First pair coupled, second pair pass-through (t=1).
+        assert np.isclose(m[0, 0], T_5050)
+        assert np.isclose(abs(m[0, 1]), np.sqrt(1 - T_5050 ** 2))
+        assert np.isclose(m[2, 2], 1.0) and np.isclose(m[2, 3], 0.0)
+
+    def test_layer_offset_one(self):
+        m = dc_layer_matrix_np([T_5050], 4, 1)
+        assert np.isclose(m[0, 0], 1.0)  # waveguide 0 passes through
+        assert np.isclose(m[1, 1], T_5050)
+
+    def test_differentiable_layer_matches_np(self, rng):
+        ts = np.array([0.6, 0.9])
+        m_diff = dc_layer_matrix(Tensor(ts), 5, 1)
+        m_np = dc_layer_matrix_np(ts, 5, 1)
+        assert np.allclose(m_diff.data, m_np, atol=1e-6)
+
+    def test_layer_unitary(self):
+        m = dc_layer_matrix(Tensor(np.array([T_5050, T_5050, T_5050])), 6, 0)
+        assert is_unitary(m.data, atol=1e-6)
+
+    def test_transmission_gradient(self, rng):
+        ts = Tensor(rng.uniform(0.2, 0.8, 2), requires_grad=True)
+        x = Tensor(rng.normal(size=(4, 2)).astype(complex))
+        assert gradcheck(
+            lambda t: ((dc_layer_matrix(t, 4, 0) @ x).abs() ** 2).sum(), [ts],
+            atol=1e-4,
+        )
+
+
+class TestCrossing:
+    def test_permutation_matrix(self):
+        m = crossing_matrix([2, 0, 1])
+        x = np.array([10.0, 20.0, 30.0])
+        assert np.allclose(m @ x, [30.0, 10.0, 20.0])
+        assert is_unitary(m)
+
+
+class TestMZI:
+    def test_unitary_everywhere(self, rng):
+        for _ in range(10):
+            theta, phi = rng.uniform(0, 2 * np.pi, 2)
+            assert is_unitary(mzi_matrix(theta, phi))
+
+    def test_bar_and_cross_states(self):
+        # theta = pi: |m01| = |(a+1)/2| = 0 -> bar state.
+        bar = mzi_matrix(np.pi, 0.0)
+        assert np.isclose(abs(bar[0, 1]), 0.0, atol=1e-12)
+        # theta = 0: |m00| = 0 -> full cross state.
+        cross = mzi_matrix(0.0, 0.0)
+        assert np.isclose(abs(cross[0, 0]), 0.0, atol=1e-12)
+
+    def test_power_conservation(self, rng):
+        m = mzi_matrix(1.1, 0.3)
+        x = rng.normal(size=2) + 1j * rng.normal(size=2)
+        assert np.isclose(np.linalg.norm(m @ x), np.linalg.norm(x))
+
+
+class TestScatter:
+    def test_scatter_values(self):
+        v = Tensor(np.array([1.0, 2.0]))
+        m = scatter_matrix(v, np.array([0, 1]), np.array([1, 0]), (2, 2))
+        assert np.allclose(m.data, [[0, 1], [2, 0]])
+
+    def test_scatter_gradient(self, rng):
+        v = Tensor(rng.normal(size=3), requires_grad=True)
+        rows, cols = np.array([0, 1, 2]), np.array([2, 0, 1])
+        assert gradcheck(
+            lambda v: (scatter_matrix(v, rows, cols, (3, 3)) ** 2).sum(), [v]
+        )

@@ -1,0 +1,118 @@
+"""Footprint math: exact reproduction of the paper's baseline numbers."""
+
+import numpy as np
+import pytest
+
+from repro.photonics import (
+    AIM,
+    AMF,
+    FoundryPDK,
+    block_footprint_bounds,
+    butterfly_footprint,
+    get_pdk,
+    mzi_onn_footprint,
+    ptc_footprint,
+    register_pdk,
+    supermesh_block_bounds,
+)
+
+
+class TestPDK:
+    def test_amf_numbers(self):
+        assert (AMF.ps_area, AMF.dc_area, AMF.cr_area) == (6800.0, 1500.0, 64.0)
+
+    def test_aim_numbers(self):
+        assert (AIM.ps_area, AIM.dc_area, AIM.cr_area) == (2500.0, 4000.0, 4900.0)
+
+    def test_lookup(self):
+        assert get_pdk("amf") is AMF
+        assert get_pdk("AIM") is AIM
+        with pytest.raises(KeyError):
+            get_pdk("tsmc")
+
+    def test_register_custom(self):
+        custom = FoundryPDK("TestFab", 1.0, 2.0, 3.0)
+        register_pdk(custom)
+        assert get_pdk("testfab") is custom
+
+    def test_footprint_math(self):
+        assert AMF.footprint(1, 1, 1) == 6800 + 1500 + 64
+        with pytest.raises(ValueError):
+            AMF.footprint(-1, 0, 0)
+
+
+class TestPaperTable1:
+    """MZI-ONN and FFT-ONN columns of Table 1 must reproduce exactly."""
+
+    @pytest.mark.parametrize(
+        "k,footprint,n_dc,n_blk",
+        [(8, 1909, 112, 32), (16, 7683, 480, 64), (32, 30829, 1984, 128)],
+    )
+    def test_mzi_onn(self, k, footprint, n_dc, n_blk):
+        fb = mzi_onn_footprint(AMF, k)
+        assert round(fb.in_paper_units()) == footprint
+        assert fb.n_dc == n_dc
+        assert fb.n_blocks == n_blk
+        assert fb.n_cr == 0
+
+    @pytest.mark.parametrize(
+        "k,footprint,n_cr,n_dc,n_blk",
+        [(8, 363, 16, 24, 6), (16, 972, 88, 64, 8), (32, 2443, 416, 160, 10)],
+    )
+    def test_fft_onn(self, k, footprint, n_cr, n_dc, n_blk):
+        fb = butterfly_footprint(AMF, k)
+        assert round(fb.in_paper_units()) == footprint
+        assert (fb.n_cr, fb.n_dc, fb.n_blocks) == (n_cr, n_dc, n_blk)
+
+    def test_butterfly_non_power_of_two_raises(self):
+        with pytest.raises(ValueError):
+            butterfly_footprint(AMF, 12)
+
+
+class TestPaperTable2:
+    """AIM PDK baselines of Table 2."""
+
+    def test_mzi_16_aim(self):
+        assert round(mzi_onn_footprint(AIM, 16).in_paper_units()) == 4480
+
+    def test_fft_16_aim(self):
+        assert round(butterfly_footprint(AIM, 16).in_paper_units()) == 1007
+
+
+class TestBlockBounds:
+    def test_eq16_formulas(self):
+        fb_min, fb_max = block_footprint_bounds(AMF, 8)
+        assert fb_min == 8 * 6800 + 1500
+        assert fb_max == fb_min + 8 * 1500 / 2 + 8 * 7 * 64 / 2
+
+    def test_analytic_bounds_table1_a1(self):
+        # ADEPT-a1 at 8x8: window [240k, 300k] um^2.
+        b_min, b_max = supermesh_block_bounds(AMF, 8, 240_000, 300_000)
+        assert b_max == int(np.ceil(300_000 / 55_900))
+        assert b_min >= 2
+
+    def test_bounds_ordering(self):
+        b_min, b_max = supermesh_block_bounds(AMF, 16, 480_000, 600_000)
+        assert 2 <= b_min <= b_max
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            supermesh_block_bounds(AMF, 8, 100.0, 50.0)
+
+    def test_aim_worst_block_crossing_dominated(self):
+        """On AIM (CR = 4900 um^2) the worst-case block cost is dominated
+        by crossings; on AMF (CR = 64 um^2) it is PS-dominated — the
+        asymmetry that drives the Table 2 adaptation."""
+        k = 16
+        _, fb_max_aim = block_footprint_bounds(AIM, k)
+        _, fb_max_amf = block_footprint_bounds(AMF, k)
+        cr_worst = k * (k - 1) / 2
+        assert cr_worst * AIM.cr_area > fb_max_aim / 2
+        assert cr_worst * AMF.cr_area < fb_max_amf / 10
+
+
+class TestBreakdown:
+    def test_ptc_footprint(self):
+        fb = ptc_footprint(AMF, 10, 5, 3)
+        assert fb.total == 10 * 6800 + 5 * 1500 + 3 * 64
+        assert fb.in_paper_units() == fb.total / 1000

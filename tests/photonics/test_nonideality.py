@@ -1,0 +1,291 @@
+"""Tests for device-level nonideality models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.topology import BlockSpec, PTCTopology, random_topology
+from repro.photonics.crossings import count_inversions
+from repro.photonics.devices import is_unitary
+from repro.photonics.nonideality import (
+    FabricationSample,
+    NonidealitySpec,
+    NonidealTopologyFactory,
+    crossings_per_wire,
+    db_to_amplitude,
+    fidelity,
+    noisy_block_matrix,
+    noisy_unitary,
+    sample_fabrication,
+    thermal_crosstalk_matrix,
+    unitary_fidelity_under_noise,
+)
+
+
+def make_topology(k=8, nb=3, seed=0) -> PTCTopology:
+    return random_topology(k, nb, nb, np.random.default_rng(seed))
+
+
+class TestDbToAmplitude:
+    def test_zero_loss_is_unity(self):
+        assert db_to_amplitude(0.0) == 1.0
+
+    def test_three_db_half_power(self):
+        assert db_to_amplitude(3.0) == pytest.approx(10 ** (-0.15))
+        assert db_to_amplitude(3.0) ** 2 == pytest.approx(0.5, rel=0.01)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            db_to_amplitude(-1.0)
+
+    def test_monotone(self):
+        losses = [0.0, 0.1, 0.5, 1.0, 3.0]
+        amps = [db_to_amplitude(x) for x in losses]
+        assert amps == sorted(amps, reverse=True)
+
+
+class TestSpec:
+    def test_ideal_flag(self):
+        assert NonidealitySpec().is_ideal
+        assert not NonidealitySpec(phase_noise_std=0.01).is_ideal
+        assert not NonidealitySpec(loss_dc_db=0.1).is_ideal
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            NonidealitySpec(phase_noise_std=-0.1)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            NonidealitySpec(crosstalk_gamma=1.5)
+
+    def test_frozen(self):
+        spec = NonidealitySpec()
+        with pytest.raises(Exception):
+            spec.phase_noise_std = 1.0
+
+
+class TestCrosstalkMatrix:
+    def test_zero_gamma_identity(self):
+        np.testing.assert_array_equal(thermal_crosstalk_matrix(5, 0.0), np.eye(5))
+
+    def test_unit_diagonal(self):
+        c = thermal_crosstalk_matrix(6, 0.2, radius=2)
+        np.testing.assert_allclose(np.diag(c), 1.0)
+
+    def test_symmetric(self):
+        c = thermal_crosstalk_matrix(7, 0.15, radius=3)
+        np.testing.assert_allclose(c, c.T)
+
+    def test_decays_with_distance(self):
+        c = thermal_crosstalk_matrix(8, 0.3, radius=3)
+        assert c[0, 1] == pytest.approx(0.3)
+        assert c[0, 2] == pytest.approx(0.15)
+        assert c[0, 3] == pytest.approx(0.1)
+        assert c[0, 4] == 0.0
+
+    def test_radius_larger_than_k(self):
+        c = thermal_crosstalk_matrix(3, 0.2, radius=10)
+        assert c.shape == (3, 3)
+
+
+class TestCrossingsPerWire:
+    def test_identity_no_crossings(self):
+        np.testing.assert_array_equal(crossings_per_wire([0, 1, 2, 3]), 0)
+
+    def test_swap_two(self):
+        counts = crossings_per_wire([1, 0, 2])
+        assert counts[0] == 1 and counts[1] == 1 and counts[2] == 0
+
+    def test_reversal_all_cross(self):
+        k = 5
+        counts = crossings_per_wire(list(range(k))[::-1])
+        np.testing.assert_array_equal(counts, k - 1)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sum_is_twice_inversions(self, seed):
+        rng = np.random.default_rng(seed)
+        perm = list(rng.permutation(9))
+        assert crossings_per_wire(perm).sum() == 2 * count_inversions(perm)
+
+
+class TestNoisyBlockMatrix:
+    def test_ideal_block_is_unitary(self):
+        block = BlockSpec(coupler_mask=np.array([True, False, True, True]),
+                          offset=0, perm=np.array([2, 0, 1, 3, 5, 4, 7, 6]))
+        m = noisy_block_matrix(block, np.zeros(8), 8, NonidealitySpec())
+        assert is_unitary(m)
+
+    def test_loss_shrinks_norm(self):
+        block = BlockSpec(coupler_mask=np.array([True] * 4), offset=0, perm=None)
+        spec = NonidealitySpec(loss_ps_db=0.3, loss_dc_db=0.3)
+        m = noisy_block_matrix(block, np.zeros(8), 8, spec)
+        s = np.linalg.svd(m, compute_uv=False)
+        assert s.max() < 1.0
+
+    def test_crossing_loss_hits_only_routed_wires(self):
+        k = 4
+        block = BlockSpec(coupler_mask=np.array([False, False]), offset=0,
+                          perm=np.array([1, 0, 2, 3]))
+        spec = NonidealitySpec(loss_cr_db=1.0)
+        m = noisy_block_matrix(block, np.zeros(k), k, spec)
+        a = db_to_amplitude(1.0)
+        # Wires 0 and 1 cross once; wires 2, 3 are untouched.
+        assert abs(m[0, 1]) == pytest.approx(a)
+        assert abs(m[1, 0]) == pytest.approx(a)
+        assert abs(m[2, 2]) == pytest.approx(1.0)
+        assert abs(m[3, 3]) == pytest.approx(1.0)
+
+    def test_phase_noise_changes_matrix(self):
+        block = BlockSpec(coupler_mask=np.array([True, True]), offset=0, perm=None)
+        ideal = noisy_block_matrix(block, np.ones(4), 4, NonidealitySpec())
+        noisy = noisy_block_matrix(
+            block, np.ones(4), 4, NonidealitySpec(phase_noise_std=0.2),
+            rng=np.random.default_rng(0))
+        assert not np.allclose(ideal, noisy)
+
+    def test_crosstalk_applied(self):
+        block = BlockSpec(coupler_mask=np.array([False, False]), offset=0, perm=None)
+        phases = np.array([1.0, 0.0, 0.0, 0.0])
+        c = thermal_crosstalk_matrix(4, 0.5)
+        m = noisy_block_matrix(block, phases, 4, NonidealitySpec(), crosstalk=c)
+        # Neighbour wire 1 picks up 0.5 rad from wire 0's heater.
+        assert np.angle(m[1, 1]) == pytest.approx(-0.5)
+
+
+class TestSampleFabrication:
+    def test_nominal_when_ideal(self):
+        topo = make_topology()
+        su, sv = sample_fabrication(topo, NonidealitySpec(), rng=np.random.default_rng(0))
+        for sample, blocks in ((su, topo.blocks_u), (sv, topo.blocks_v)):
+            assert sample.n_blocks == len(blocks)
+            for t, block in zip(sample.dc_t, blocks):
+                mask = np.asarray(block.coupler_mask, dtype=bool)
+                np.testing.assert_allclose(t[mask], math.sqrt(2) / 2)
+                np.testing.assert_allclose(t[~mask], 1.0)
+            for diag in sample.loss_diag:
+                np.testing.assert_allclose(diag, 1.0)
+
+    def test_imbalance_perturbs_only_placed(self):
+        topo = make_topology(seed=3)
+        spec = NonidealitySpec(dc_t_std=0.05)
+        su, _ = sample_fabrication(topo, spec, rng=np.random.default_rng(1))
+        for t, block in zip(su.dc_t, topo.blocks_u):
+            mask = np.asarray(block.coupler_mask, dtype=bool)
+            assert not np.allclose(t[mask], math.sqrt(2) / 2)
+            np.testing.assert_allclose(t[~mask], 1.0)
+
+    def test_t_clipped_to_physical_range(self):
+        topo = make_topology(seed=5)
+        spec = NonidealitySpec(dc_t_std=5.0)  # absurd, forces clipping
+        su, sv = sample_fabrication(topo, spec, rng=np.random.default_rng(2))
+        for sample in (su, sv):
+            for t in sample.dc_t:
+                assert (t >= 0.0).all() and (t <= 1.0).all()
+
+    def test_crosstalk_attached(self):
+        topo = make_topology()
+        spec = NonidealitySpec(crosstalk_gamma=0.1)
+        su, _ = sample_fabrication(topo, spec, rng=np.random.default_rng(0))
+        assert su.crosstalk is not None
+        assert su.crosstalk.shape == (topo.k, topo.k)
+
+
+class TestNoisyUnitary:
+    def test_ideal_is_unitary(self):
+        topo = make_topology()
+        phases = np.zeros((len(topo.blocks_u), topo.k))
+        u = noisy_unitary(topo.blocks_u, phases, topo.k, NonidealitySpec())
+        assert is_unitary(u)
+
+    def test_shape_validation(self):
+        topo = make_topology()
+        with pytest.raises(ValueError, match="shape"):
+            noisy_unitary(topo.blocks_u, np.zeros((1, topo.k)), topo.k, NonidealitySpec())
+
+    def test_loss_compounds_with_depth(self):
+        k = 8
+        rng = np.random.default_rng(0)
+        shallow = random_topology(k, 2, 2, rng)
+        deep = random_topology(k, 12, 12, rng)
+        spec = NonidealitySpec(loss_ps_db=0.2)
+        norm = {}
+        for name, topo in (("shallow", shallow), ("deep", deep)):
+            phases = np.zeros((len(topo.blocks_u), k))
+            u = noisy_unitary(topo.blocks_u, phases, k, spec)
+            norm[name] = np.linalg.svd(u, compute_uv=False).max()
+        assert norm["deep"] < norm["shallow"] < 1.0
+
+
+class TestFidelity:
+    def test_self_fidelity_is_one(self):
+        u = np.linalg.qr(np.random.default_rng(0).normal(size=(6, 6))
+                         + 1j * np.random.default_rng(1).normal(size=(6, 6)))[0]
+        assert fidelity(u, u) == pytest.approx(1.0)
+
+    def test_orthogonal_directions_score_low(self):
+        u = np.eye(4, dtype=complex)
+        v = np.diag([1, 1, 1, -1]).astype(complex)
+        assert fidelity(u, v) == pytest.approx(0.5)
+
+    def test_noise_degrades_fidelity(self):
+        topo = make_topology(k=8, nb=4, seed=7)
+        mild, _ = unitary_fidelity_under_noise(
+            topo, NonidealitySpec(phase_noise_std=0.02), n_trials=6,
+            rng=np.random.default_rng(0))
+        harsh, _ = unitary_fidelity_under_noise(
+            topo, NonidealitySpec(phase_noise_std=0.3), n_trials=6,
+            rng=np.random.default_rng(0))
+        assert harsh < mild <= 1.0 + 1e-9
+
+    def test_ideal_spec_perfect_fidelity(self):
+        topo = make_topology(seed=9)
+        mean, std = unitary_fidelity_under_noise(
+            topo, NonidealitySpec(), n_trials=3, rng=np.random.default_rng(0))
+        assert mean == pytest.approx(1.0)
+        assert std == pytest.approx(0.0, abs=1e-12)
+
+
+class TestNonidealTopologyFactory:
+    def test_is_fixed_topology_factory(self):
+        from repro.ptc.unitary import FixedTopologyFactory
+
+        topo = make_topology(k=8, nb=3, seed=1)
+        f = NonidealTopologyFactory(8, 2, topo.blocks_u, NonidealitySpec(),
+                                    rng=np.random.default_rng(0))
+        assert isinstance(f, FixedTopologyFactory)
+        assert f.build().shape == (2, 8, 8)
+
+    def test_ideal_spec_matches_nominal(self):
+        from repro.ptc.unitary import FixedTopologyFactory
+
+        topo = make_topology(k=8, nb=3, seed=2)
+        blocks = [(b.perm, b.coupler_mask, b.offset) for b in topo.blocks_u]
+        nominal = FixedTopologyFactory(8, 1, blocks, rng=np.random.default_rng(3))
+        nonideal = NonidealTopologyFactory(8, 1, topo.blocks_u, NonidealitySpec(),
+                                           rng=np.random.default_rng(3))
+        np.testing.assert_allclose(nominal.build().data, nonideal.build().data,
+                                   atol=1e-12)
+
+    def test_loss_makes_submatrix_contractive(self):
+        topo = make_topology(k=8, nb=4, seed=4)
+        spec = NonidealitySpec(loss_ps_db=0.3, loss_dc_db=0.3)
+        f = NonidealTopologyFactory(8, 1, topo.blocks_u, spec,
+                                    rng=np.random.default_rng(0))
+        u = f.build().data[0]
+        assert np.linalg.svd(u, compute_uv=False).max() < 1.0
+
+    def test_noise_std_propagated(self):
+        topo = make_topology(seed=6)
+        spec = NonidealitySpec(phase_noise_std=0.05)
+        f = NonidealTopologyFactory(topo.k, 1, topo.blocks_u, spec,
+                                    rng=np.random.default_rng(0))
+        assert f.noise_std == pytest.approx(0.05)
+
+    def test_fabrication_sample_attached(self):
+        topo = make_topology(seed=8)
+        spec = NonidealitySpec(dc_t_std=0.02)
+        f = NonidealTopologyFactory(topo.k, 1, topo.blocks_u, spec,
+                                    rng=np.random.default_rng(0))
+        assert isinstance(f.fabrication_sample, FabricationSample)
+        assert f.fabrication_sample.n_blocks == len(topo.blocks_u)

@@ -1,0 +1,104 @@
+"""Tests for the power / latency / energy-per-MAC model."""
+
+import numpy as np
+import pytest
+
+from repro.core.topology import random_topology
+from repro.photonics import AIM, AMF
+from repro.photonics.nonideality import NonidealitySpec
+from repro.photonics.power import PowerConfig, PowerReport, estimate_power
+
+
+def topo(nb=3, k=8, seed=0):
+    return random_topology(k, nb, nb, np.random.default_rng(seed),
+                           permute_prob=0.5)
+
+
+class TestPowerConfig:
+    def test_defaults_valid(self):
+        cfg = PowerConfig()
+        assert cfg.heater_p_pi_mw > 0
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError, match="efficiency"):
+            PowerConfig(laser_wall_plug_efficiency=0.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            PowerConfig(modulation_rate_ghz=-1)
+
+    def test_rejects_bad_group_index(self):
+        with pytest.raises(ValueError, match="group_index"):
+            PowerConfig(group_index=0.5)
+
+
+class TestEstimatePower:
+    def test_report_structure(self):
+        report = estimate_power(topo(), AMF)
+        assert isinstance(report, PowerReport)
+        assert report.total_power_mw == pytest.approx(
+            report.heater_power_mw + report.dac_power_mw
+            + report.adc_power_mw + report.laser_power_mw)
+
+    def test_heater_power_counts_ps(self):
+        t = topo(nb=3)
+        n_ps = t.device_counts()[0]
+        report = estimate_power(t, AMF)
+        assert report.heater_power_mw == pytest.approx(
+            n_ps * PowerConfig().heater_p_pi_mw / 2)
+
+    def test_deeper_mesh_draws_more_power(self):
+        shallow = estimate_power(topo(nb=2, seed=1), AMF)
+        deep = estimate_power(topo(nb=10, seed=1), AMF)
+        assert deep.total_power_mw > shallow.total_power_mw
+        assert deep.worst_path_loss_db > shallow.worst_path_loss_db
+
+    def test_sub_nanosecond_latency(self):
+        # The paper's headline: light traverses the core in < 1 ns.
+        report = estimate_power(topo(nb=5), AMF)
+        assert 0.0 < report.latency_ps < 1000.0
+
+    def test_latency_scales_with_depth(self):
+        shallow = estimate_power(topo(nb=2, seed=2), AMF)
+        deep = estimate_power(topo(nb=10, seed=2), AMF)
+        assert deep.latency_ps > shallow.latency_ps
+
+    def test_lossless_laser_floor(self):
+        spec = NonidealitySpec()  # zero loss
+        report = estimate_power(topo(), AMF, loss_spec=spec)
+        cfg = PowerConfig()
+        floor = (topo().k * 10 ** (cfg.detector_sensitivity_dbm / 10.0)
+                 / cfg.laser_wall_plug_efficiency)
+        assert report.laser_power_mw == pytest.approx(floor)
+        assert report.worst_path_loss_db == 0.0
+
+    def test_loss_raises_laser_power_exponentially(self):
+        mild = estimate_power(topo(nb=4, seed=3), AMF,
+                              loss_spec=NonidealitySpec(loss_ps_db=0.1))
+        harsh = estimate_power(topo(nb=4, seed=3), AMF,
+                               loss_spec=NonidealitySpec(loss_ps_db=0.5))
+        ratio = harsh.laser_power_mw / mild.laser_power_mw
+        db_delta = harsh.worst_path_loss_db - mild.worst_path_loss_db
+        assert ratio == pytest.approx(10 ** (db_delta / 10.0), rel=1e-6)
+
+    def test_energy_per_mac_scale(self):
+        # Photonic cores land in the fJ/MAC-to-pJ/MAC regime.
+        report = estimate_power(topo(nb=4, k=16, seed=4), AMF)
+        assert 1.0 < report.energy_per_mac_fj < 1e6
+
+    def test_bigger_k_better_efficiency(self):
+        # MAC count grows as K^2 while power grows roughly as K:
+        # larger cores amortize better (the scaling argument for PTCs).
+        small = estimate_power(topo(nb=4, k=8, seed=5), AMF)
+        large = estimate_power(topo(nb=4, k=16, seed=5), AMF)
+        assert large.energy_per_mac_fj < small.energy_per_mac_fj
+
+    def test_summary_string(self):
+        s = estimate_power(topo(), AIM).summary()
+        assert "mW" in s and "fJ/MAC" in s and "ps" in s
+
+    def test_custom_config_respected(self):
+        cfg = PowerConfig(heater_p_pi_mw=50.0)
+        a = estimate_power(topo(seed=6), AMF)
+        b = estimate_power(topo(seed=6), AMF, config=cfg)
+        assert b.heater_power_mw == pytest.approx(2 * a.heater_power_mw)

@@ -1,0 +1,79 @@
+"""Hypothesis property tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor, gradcheck, softmax
+
+finite_floats = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(shape):
+    return arrays(np.float64, shape, elements=finite_floats)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays((3, 4)), small_arrays((3, 4)))
+def test_add_commutes(a, b):
+    assert np.allclose((Tensor(a) + Tensor(b)).data, (Tensor(b) + Tensor(a)).data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays((2, 3)), small_arrays((3, 4)), small_arrays((4, 2)))
+def test_matmul_associative(a, b, c):
+    left = ((Tensor(a) @ Tensor(b)) @ Tensor(c)).data
+    right = (Tensor(a) @ (Tensor(b) @ Tensor(c))).data
+    assert np.allclose(left, right, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays((4, 5)))
+def test_softmax_is_distribution(x):
+    s = softmax(Tensor(x), axis=-1).data
+    assert np.all(s >= 0)
+    assert np.allclose(s.sum(-1), 1.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_arrays((3,)), small_arrays((3,)))
+def test_mul_gradcheck_random_values(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    assert gradcheck(lambda x, y: (x * y).sum(), [ta, tb], atol=1e-4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_arrays((2, 3)))
+def test_sum_linearity(x):
+    t = Tensor(x)
+    assert np.isclose((t * 2).sum().item(), 2 * t.sum().item())
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    arrays(np.float64, (4,), elements=finite_floats),
+    arrays(np.float64, (4,), elements=finite_floats),
+)
+def test_complex_abs_squared_identity(re, im):
+    """|z|^2 == z * conj(z) for all complex tensors."""
+    z = Tensor(re + 1j * im)
+    lhs = (z.abs() ** 2).data
+    rhs = (z * z.conj()).real().data
+    assert np.allclose(lhs, rhs, atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_arrays((3, 4)))
+def test_transpose_involution(x):
+    t = Tensor(x)
+    assert np.allclose(t.T.T.data, x)
+
+
+@settings(max_examples=10, deadline=None)
+@given(small_arrays((6,)))
+def test_backward_of_sum_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    assert np.allclose(t.grad, 1.0)

@@ -1,0 +1,75 @@
+"""Hypothesis invariants for footprint accounting."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BlockSpec, PTCTopology, random_topology
+from repro.photonics import (
+    AIM,
+    AMF,
+    FoundryPDK,
+    block_footprint_bounds,
+    supermesh_block_bounds,
+)
+
+counts = st.integers(0, 1000)
+
+
+@settings(max_examples=30, deadline=None)
+@given(counts, counts, counts)
+def test_footprint_monotone_in_devices(n_ps, n_dc, n_cr):
+    base = AMF.footprint(n_ps, n_dc, n_cr)
+    assert AMF.footprint(n_ps + 1, n_dc, n_cr) > base
+    assert AMF.footprint(n_ps, n_dc + 1, n_cr) > base
+    assert AMF.footprint(n_ps, n_dc, n_cr + 1) > base
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 64))
+def test_block_bounds_ordered(k):
+    fb_min, fb_max = block_footprint_bounds(AMF, k)
+    assert 0 < fb_min < fb_max
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 32), st.floats(1e5, 1e6), st.floats(1.1, 3.0))
+def test_supermesh_bounds_consistent(k, f_min, ratio):
+    f_max = f_min * ratio
+    b_min, b_max = supermesh_block_bounds(AMF, k, f_min, f_max)
+    assert 2 <= b_min <= b_max
+    fb_min, _ = block_footprint_bounds(AMF, k)
+    # B_max minimal blocks must be able to reach f_max.
+    assert b_max * fb_min >= f_max
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 5), st.integers(1, 5))
+def test_topology_footprint_consistency(seed, nu, nv):
+    """Topology footprint equals PDK footprint of its device counts,
+    for every PDK."""
+    rng = np.random.default_rng(seed)
+    topo = random_topology(8, nu, nv, rng)
+    n_ps, n_dc, n_cr = topo.device_counts()
+    for pdk in (AMF, AIM):
+        assert topo.footprint(pdk).total == pdk.footprint(n_ps, n_dc, n_cr)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_topology_serialization_preserves_footprint(seed):
+    rng = np.random.default_rng(seed)
+    topo = random_topology(6, 2, 3, rng)
+    back = PTCTopology.from_json(topo.to_json())
+    assert back.footprint(AMF).total == topo.footprint(AMF).total
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 16))
+def test_ps_always_full_column(k):
+    """Every block bills a full K-wide PS column (the paper's rule:
+    programmability is never traded away)."""
+    spec = BlockSpec(coupler_mask=np.zeros(k // 2, dtype=bool), offset=0)
+    topo = PTCTopology(k=k, blocks_u=[spec], blocks_v=[spec])
+    n_ps, _, _ = topo.device_counts()
+    assert n_ps == 2 * k

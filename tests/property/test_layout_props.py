@@ -1,0 +1,74 @@
+"""Hypothesis invariants linking topologies, netlists, and mutations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baseline_search import mutate_topology
+from repro.core.topology import random_topology
+from repro.layout import build_netlist, place
+from repro.photonics import AIM, AMF
+from repro.photonics.crossings import count_inversions
+from repro.photonics.nonideality import crossings_per_wire
+
+topo_params = st.tuples(
+    st.sampled_from([4, 6, 8, 16]),  # k
+    st.integers(1, 6),  # blocks U
+    st.integers(1, 6),  # blocks V
+    st.integers(0, 2**31 - 1),  # seed
+)
+
+
+def make(params):
+    k, nu, nv, seed = params
+    return random_topology(k, nu, nv, np.random.default_rng(seed),
+                           permute_prob=0.6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(topo_params)
+def test_netlist_counts_always_match_topology(params):
+    topo = make(params)
+    assert build_netlist(topo).device_counts() == topo.device_counts()
+
+
+@settings(max_examples=30, deadline=None)
+@given(topo_params)
+def test_netlist_ids_unique(params):
+    netlist = build_netlist(make(params))
+    ids = [d.device_id for d in netlist.devices]
+    assert len(ids) == len(set(ids))
+
+
+@settings(max_examples=20, deadline=None)
+@given(topo_params)
+def test_placement_area_dominates_active_area(params):
+    netlist = build_netlist(make(params))
+    for pdk in (AMF, AIM):
+        report = place(netlist, pdk)
+        assert report.chip_area_um2 >= report.active_area_um2 - 1e-6
+        assert 0.0 < report.utilization <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(topo_params, st.integers(0, 2**31 - 1), st.integers(1, 5))
+def test_mutation_preserves_space_invariants(params, seed, n_edits):
+    topo = make(params)
+    child = mutate_topology(topo, rng=np.random.default_rng(seed),
+                            n_edits=n_edits)
+    k = topo.k
+    for blocks in (child.blocks_u, child.blocks_v):
+        assert len(blocks) >= 1
+        for b, block in enumerate(blocks):
+            assert block.offset == b % 2
+            assert block.coupler_mask.size == (k - block.offset) // 2
+            assert block.coupler_mask.any()
+            if block.perm is not None:
+                assert sorted(block.perm) == list(range(k))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 12), st.integers(0, 2**31 - 1))
+def test_per_wire_crossings_sum_rule(k, seed):
+    perm = list(np.random.default_rng(seed).permutation(k))
+    assert crossings_per_wire(perm).sum() == 2 * count_inversions(perm)

@@ -1,0 +1,85 @@
+"""Hypothesis invariants for nonideality physics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topology import random_topology
+from repro.photonics.nonideality import (
+    NonidealitySpec,
+    db_to_amplitude,
+    noisy_unitary,
+    sample_fabrication,
+    thermal_crosstalk_matrix,
+)
+
+topo_params = st.tuples(
+    st.sampled_from([4, 8]),
+    st.integers(1, 5),
+    st.integers(0, 2**31 - 1),
+)
+
+
+def make(params):
+    k, nb, seed = params
+    return random_topology(k, nb, nb, np.random.default_rng(seed))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(0.0, 30.0, allow_nan=False))
+def test_amplitude_in_unit_interval(db):
+    a = db_to_amplitude(db)
+    assert 0.0 < a <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(0.0, 10.0), st.floats(0.0, 10.0))
+def test_amplitude_multiplicative(db1, db2):
+    """Losses in dB add; amplitudes multiply."""
+    np.testing.assert_allclose(
+        db_to_amplitude(db1) * db_to_amplitude(db2),
+        db_to_amplitude(db1 + db2), rtol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(topo_params,
+       st.floats(0.0, 1.0),
+       st.floats(0.0, 1.0),
+       st.integers(0, 2**31 - 1))
+def test_lossy_mesh_is_contractive(params, loss_ps, loss_dc, noise_seed):
+    """No passive mesh amplifies light: every singular value <= 1."""
+    topo = make(params)
+    spec = NonidealitySpec(loss_ps_db=loss_ps, loss_dc_db=loss_dc,
+                           loss_cr_db=0.1)
+    rng = np.random.default_rng(noise_seed)
+    phases = rng.uniform(0, 2 * np.pi, size=(len(topo.blocks_u), topo.k))
+    sample, _ = sample_fabrication(topo, spec, rng=rng)
+    u = noisy_unitary(topo.blocks_u, phases, topo.k, spec, sample=sample,
+                      rng=rng)
+    s = np.linalg.svd(u, compute_uv=False)
+    assert s.max() <= 1.0 + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(topo_params, st.floats(0.0, 0.3), st.integers(0, 2**31 - 1))
+def test_imbalanced_mesh_stays_unitary(params, t_std, seed):
+    """Coupler imbalance redistributes energy but conserves it: the
+    mesh remains exactly unitary (imbalance without loss)."""
+    topo = make(params)
+    spec = NonidealitySpec(dc_t_std=t_std)
+    rng = np.random.default_rng(seed)
+    phases = rng.uniform(0, 2 * np.pi, size=(len(topo.blocks_u), topo.k))
+    sample, _ = sample_fabrication(topo, spec, rng=rng)
+    u = noisy_unitary(topo.blocks_u, phases, topo.k, spec, sample=sample,
+                      rng=rng)
+    np.testing.assert_allclose(u.conj().T @ u, np.eye(topo.k), atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 16), st.floats(0.0, 0.9), st.integers(0, 4))
+def test_crosstalk_matrix_invariants(k, gamma, radius):
+    c = thermal_crosstalk_matrix(k, gamma, radius)
+    assert c.shape == (k, k)
+    np.testing.assert_allclose(np.diag(c), 1.0)
+    np.testing.assert_allclose(c, c.T)
+    assert (c >= 0).all()

@@ -1,0 +1,74 @@
+"""Hypothesis invariants for Pareto-front extraction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ParetoPoint, dominates, hypervolume_2d, pareto_front
+
+points = st.lists(
+    st.builds(
+        ParetoPoint,
+        footprint=st.floats(0.0, 100.0, allow_nan=False),
+        score=st.floats(-10.0, 10.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points)
+def test_front_is_subset_and_nondominated(pts):
+    front = pareto_front(pts)
+    assert all(p in pts for p in front)
+    for p in front:
+        assert not any(dominates(q, p) for q in pts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points)
+def test_front_sorted_and_scores_ascend(pts):
+    front = pareto_front(pts)
+    fps = [p.footprint for p in front]
+    scores = [p.score for p in front]
+    assert fps == sorted(fps)
+    assert scores == sorted(scores)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points)
+def test_every_point_dominated_or_on_front(pts):
+    front = pareto_front(pts)
+    front_set = set(front)
+    for p in pts:
+        if p in front_set:
+            continue
+        assert any(dominates(q, p) or (q.footprint == p.footprint
+                                       and q.score >= p.score)
+                   for q in front)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points)
+def test_front_idempotent(pts):
+    front = pareto_front(pts)
+    assert pareto_front(front) == front
+
+
+@settings(max_examples=60, deadline=None)
+@given(points, st.floats(1.0, 200.0, allow_nan=False))
+def test_hypervolume_nonnegative_and_monotone(pts, ref_fp):
+    hv = hypervolume_2d(pts, ref_footprint=ref_fp, ref_score=-10.0)
+    assert hv >= 0.0
+    # Adding a point can only grow (or keep) the dominated area.
+    extra = pts + [ParetoPoint(footprint=0.5, score=9.5)]
+    hv2 = hypervolume_2d(extra, ref_footprint=ref_fp, ref_score=-10.0)
+    assert hv2 >= hv - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(0.0, 50.0, allow_nan=False), st.floats(0.0, 10.0, allow_nan=False))
+def test_hypervolume_single_point_exact(fp, score):
+    hv = hypervolume_2d([ParetoPoint(footprint=fp, score=score)],
+                        ref_footprint=100.0, ref_score=0.0)
+    assert abs(hv - (100.0 - fp) * score) < 1e-6

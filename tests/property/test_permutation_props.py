@@ -1,0 +1,71 @@
+"""Hypothesis invariants for permutation machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor
+from repro.core import legalize_one, soft_projection
+from repro.core.permutation import _row_col_normalize
+from repro.photonics import count_inversions, is_permutation_matrix, perm_to_matrix
+
+pos_floats = st.floats(0.01, 10.0, allow_nan=False, allow_infinity=False)
+any_floats = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (1, 5, 5), elements=any_floats))
+def test_reparametrization_row_stochastic(raw):
+    out = _row_col_normalize(Tensor(raw)).data
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(-1), 1.0, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (4, 4), elements=pos_floats), st.integers(0, 10_000))
+def test_spl_always_legal(relaxed, seed):
+    """SPL must return a legal permutation for ANY relaxed input."""
+    legal, _ = legalize_one(relaxed, rng=np.random.default_rng(seed))
+    assert is_permutation_matrix(legal)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.permutations(list(range(7))))
+def test_inversions_bounds(perm):
+    inv = count_inversions(perm)
+    n = len(perm)
+    assert 0 <= inv <= n * (n - 1) // 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.permutations(list(range(6))))
+def test_inversions_of_inverse_equal(perm):
+    """A permutation and its inverse need the same number of crossings
+    (the physical circuit is reversible)."""
+    perm = list(perm)
+    inverse = np.argsort(perm)
+    assert count_inversions(perm) == count_inversions(list(inverse))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.permutations(list(range(6))))
+def test_legal_input_is_fixed_point(perm):
+    """SPL on an already-legal permutation returns it unchanged."""
+    m = perm_to_matrix(list(perm))
+    legal, tries = legalize_one(m, rng=np.random.default_rng(0))
+    assert tries == 0
+    assert np.array_equal(legal, m)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays(np.float64, (3, 3), elements=pos_floats))
+def test_soft_projection_preserves_non_binary_rows(raw):
+    p = _row_col_normalize(Tensor(raw[None]))
+    out = soft_projection(p, eps=0.05).data[0]
+    src = p.data[0]
+    for i in range(3):
+        if src[i].max() < 0.95:
+            assert np.allclose(out[i], src[i])
+        else:
+            assert set(np.unique(out[i])) <= {0.0, 1.0}

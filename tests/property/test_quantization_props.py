@@ -1,0 +1,70 @@
+"""Hypothesis invariants for phase quantization."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.quantization import (
+    phase_grid,
+    phase_resolution,
+    quantize_phase,
+)
+
+TWO_PI = 2.0 * math.pi
+
+phases = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(max_dims=2, max_side=16),
+    elements=st.floats(-20.0, 20.0, allow_nan=False),
+)
+bits = st.integers(1, 10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(phases, bits)
+def test_output_always_on_grid(phi, b):
+    q = quantize_phase(phi, b)
+    step = phase_resolution(b)
+    ratio = q / step
+    np.testing.assert_allclose(ratio, np.round(ratio), atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(phases, bits)
+def test_output_in_period(phi, b):
+    q = quantize_phase(phi, b)
+    assert (q >= 0.0).all()
+    assert (q < TWO_PI).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(phases, bits)
+def test_idempotent(phi, b):
+    once = quantize_phase(phi, b)
+    np.testing.assert_allclose(quantize_phase(once, b), once, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(phases, bits)
+def test_circular_error_bounded(phi, b):
+    q = quantize_phase(phi, b)
+    err = np.abs(np.angle(np.exp(1j * (q - phi))))
+    assert (err <= phase_resolution(b) / 2 + 1e-8).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(phases, bits)
+def test_shift_by_period_invariant(phi, b):
+    np.testing.assert_allclose(
+        quantize_phase(phi + TWO_PI, b), quantize_phase(phi, b), atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(bits)
+def test_grid_fixed_points(b):
+    g = phase_grid(b)
+    np.testing.assert_allclose(quantize_phase(g, b), g, atol=1e-9)
+    assert len(g) == 2 ** b

@@ -1,0 +1,74 @@
+"""Hypothesis invariants: every photonic mesh is energy-conserving."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics import dc_layer_matrix_np, is_unitary, mzi_matrix, ps_matrix
+from repro.ptc import ButterflyFactory, FixedTopologyFactory, MZIMeshFactory
+
+phases = st.floats(0.0, 2 * np.pi, allow_nan=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(phases, phases)
+def test_mzi_unitary_everywhere(theta, phi):
+    assert is_unitary(mzi_matrix(theta, phi))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(phases, min_size=2, max_size=6))
+def test_ps_column_unitary(phis):
+    assert is_unitary(ps_matrix(np.array(phis)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=3),
+       st.integers(0, 1))
+def test_dc_layer_unitary_any_transmissions(ts, offset):
+    m = dc_layer_matrix_np(ts, 8, offset)
+    assert is_unitary(m)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_mzi_mesh_factory_unitary(seed):
+    rng = np.random.default_rng(seed)
+    f = MZIMeshFactory(5, 2, rng=rng)
+    u = f.build().data
+    for i in range(u.shape[0]):
+        assert is_unitary(u[i], atol=1e-8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_butterfly_factory_unitary(seed):
+    rng = np.random.default_rng(seed)
+    f = ButterflyFactory(8, 1, rng=rng)
+    assert is_unitary(f.build().data[0], atol=1e-8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 4))
+def test_fixed_topology_unitary(seed, n_blocks):
+    rng = np.random.default_rng(seed)
+    k = 6
+    blocks = []
+    for b in range(n_blocks):
+        offset = b % 2
+        slots = (k - offset) // 2
+        blocks.append((rng.permutation(k), rng.random(slots) < 0.5, offset))
+    f = FixedTopologyFactory(k, 1, blocks, rng=rng)
+    assert is_unitary(f.build().data[0], atol=1e-8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_energy_conservation_through_mesh(seed):
+    """Physical invariant: optical power is conserved through any
+    lossless mesh, for any input field."""
+    rng = np.random.default_rng(seed)
+    f = MZIMeshFactory(4, 1, rng=rng)
+    u = f.build().data[0]
+    x = rng.normal(size=4) + 1j * rng.normal(size=4)
+    assert np.isclose(np.linalg.norm(u @ x), np.linalg.norm(x))

@@ -1,0 +1,174 @@
+"""Tests for the Clements rectangular decomposition."""
+
+import numpy as np
+import pytest
+from scipy.stats import unitary_group
+
+from repro.photonics.devices import is_unitary
+from repro.ptc.clements import (
+    ClementsDecomposition,
+    clements_decompose,
+    factor_two_by_two,
+    mesh_depth,
+    reconstruct_output_phase_form,
+    schedule_layers,
+    to_output_phase_form,
+)
+from repro.ptc.mzi import max_mzi_count, mzi_2x2, reck_decompose
+
+
+def random_unitary(k: int, seed: int) -> np.ndarray:
+    return unitary_group.rvs(k, random_state=seed)
+
+
+class TestClementsDecompose:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 8])
+    def test_round_trip(self, k):
+        u = random_unitary(k, seed=k)
+        dec = clements_decompose(u)
+        np.testing.assert_allclose(dec.reconstruct(), u, atol=1e-8)
+
+    @pytest.mark.parametrize("k", [2, 4, 6, 8])
+    def test_op_count_generic(self, k):
+        u = random_unitary(k, seed=100 + k)
+        dec = clements_decompose(u)
+        assert dec.n_ops == max_mzi_count(k)
+
+    def test_identity_needs_no_ops(self):
+        dec = clements_decompose(np.eye(5))
+        assert dec.n_ops == 0
+        np.testing.assert_allclose(dec.diag, np.ones(5))
+
+    def test_diag_is_unit_modulus(self):
+        u = random_unitary(6, seed=3)
+        dec = clements_decompose(u)
+        np.testing.assert_allclose(np.abs(dec.diag), 1.0, atol=1e-8)
+
+    def test_dft_matrix(self):
+        k = 8
+        f = np.fft.fft(np.eye(k)) / np.sqrt(k)
+        dec = clements_decompose(f)
+        np.testing.assert_allclose(dec.reconstruct(), f, atol=1e-8)
+
+    def test_permutation_matrix(self):
+        p = np.eye(5)[[3, 0, 4, 1, 2]]
+        dec = clements_decompose(p.astype(complex))
+        np.testing.assert_allclose(dec.reconstruct(), p, atol=1e-8)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            clements_decompose(np.ones((2, 3)))
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError, match="unitary"):
+            clements_decompose(np.ones((3, 3)))
+
+    def test_result_type(self):
+        dec = clements_decompose(random_unitary(4, seed=0))
+        assert isinstance(dec, ClementsDecomposition)
+        assert dec.k == 4
+
+
+class TestFactorTwoByTwo:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_round_trip_random(self, seed):
+        a = unitary_group.rvs(2, random_state=seed)
+        d, theta, phi = factor_two_by_two(a)
+        np.testing.assert_allclose(np.diag(d) @ mzi_2x2(theta, phi), a, atol=1e-8)
+        np.testing.assert_allclose(np.abs(d), 1.0, atol=1e-10)
+
+    def test_identity(self):
+        d, theta, phi = factor_two_by_two(np.eye(2))
+        np.testing.assert_allclose(np.diag(d) @ mzi_2x2(theta, phi), np.eye(2), atol=1e-8)
+
+    def test_swap(self):
+        swap = np.array([[0, 1], [1, 0]], dtype=complex)
+        d, theta, phi = factor_two_by_two(swap)
+        np.testing.assert_allclose(np.diag(d) @ mzi_2x2(theta, phi), swap, atol=1e-8)
+
+    def test_pure_phase_screen(self):
+        a = np.diag(np.exp(1j * np.array([0.3, -1.2])))
+        d, theta, phi = factor_two_by_two(a)
+        np.testing.assert_allclose(np.diag(d) @ mzi_2x2(theta, phi), a, atol=1e-8)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError, match="unitary"):
+            factor_two_by_two(np.ones((2, 2)))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="2x2"):
+            factor_two_by_two(np.eye(3))
+
+
+class TestOutputPhaseForm:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 8])
+    def test_round_trip(self, k):
+        u = random_unitary(k, seed=20 + k)
+        dec = clements_decompose(u)
+        diag, ops = to_output_phase_form(dec)
+        np.testing.assert_allclose(
+            reconstruct_output_phase_form(k, diag, ops), u, atol=1e-7
+        )
+
+    def test_preserves_op_count(self):
+        u = random_unitary(6, seed=42)
+        dec = clements_decompose(u)
+        diag, ops = to_output_phase_form(dec)
+        assert len(ops) == dec.n_ops
+
+    def test_diag_unit_modulus(self):
+        u = random_unitary(5, seed=7)
+        diag, _ = to_output_phase_form(clements_decompose(u))
+        np.testing.assert_allclose(np.abs(diag), 1.0, atol=1e-8)
+
+
+class TestScheduling:
+    @pytest.mark.parametrize("k", [4, 6, 8, 12])
+    def test_clements_depth_at_most_k(self, k):
+        u = random_unitary(k, seed=k * 3)
+        _, ops = to_output_phase_form(clements_decompose(u))
+        assert mesh_depth(ops, k) <= k
+
+    @pytest.mark.parametrize("k", [4, 6, 8])
+    def test_rectangle_shallower_than_triangle(self, k):
+        u = random_unitary(k, seed=k * 5)
+        _, rect_ops = to_output_phase_form(clements_decompose(u))
+        tri_ops, _ = reck_decompose(u)
+        assert mesh_depth(rect_ops, k) <= mesh_depth(tri_ops, k)
+
+    def test_layers_partition_ops(self):
+        k = 6
+        u = random_unitary(k, seed=11)
+        _, ops = to_output_phase_form(clements_decompose(u))
+        layers = schedule_layers(ops, k)
+        assert sum(len(layer) for layer in layers) == len(ops)
+
+    def test_no_waveguide_conflicts_within_layer(self):
+        k = 8
+        u = random_unitary(k, seed=13)
+        _, ops = to_output_phase_form(clements_decompose(u))
+        for layer in schedule_layers(ops, k):
+            used = set()
+            for op in layer:
+                assert op.p not in used and op.p + 1 not in used
+                used.update((op.p, op.p + 1))
+
+    def test_empty_ops(self):
+        assert mesh_depth([], 4) == 0
+
+
+class TestAgainstReck:
+    @pytest.mark.parametrize("k", [3, 5, 8])
+    def test_both_reconstruct_same_unitary(self, k):
+        u = random_unitary(k, seed=77 + k)
+        c = clements_decompose(u).reconstruct()
+        ops, diag = reck_decompose(u)
+        from repro.ptc.mzi import reconstruct_from_ops
+
+        r = reconstruct_from_ops(ops, diag)
+        np.testing.assert_allclose(c, r, atol=1e-7)
+        np.testing.assert_allclose(c, u, atol=1e-7)
+
+    def test_reconstruction_is_unitary(self):
+        u = random_unitary(7, seed=99)
+        assert is_unitary(clements_decompose(u).reconstruct())

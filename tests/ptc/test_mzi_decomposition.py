@@ -1,0 +1,85 @@
+"""Reck-style nulling decomposition: constructive universality proof."""
+
+import numpy as np
+import pytest
+from scipy.stats import unitary_group
+
+from repro.ptc import max_mzi_count, mzi_2x2, reck_decompose, reconstruct_from_ops
+
+
+class TestMZI2x2:
+    def test_matches_devices_module(self, rng):
+        from repro.photonics import mzi_matrix
+
+        theta, phi = rng.uniform(0, 2 * np.pi, 2)
+        assert np.allclose(mzi_2x2(theta, phi), mzi_matrix(theta, phi))
+
+
+class TestReck:
+    @pytest.mark.parametrize("k", [2, 3, 5, 8])
+    def test_nulls_to_diagonal(self, k):
+        u = unitary_group.rvs(k, random_state=k)
+        ops, d = reck_decompose(u)
+        off = d - np.diag(np.diag(d))
+        assert np.abs(off).max() < 1e-8
+        assert np.allclose(np.abs(np.diag(d)), 1.0, atol=1e-8)
+
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_roundtrip(self, k):
+        u = unitary_group.rvs(k, random_state=10 + k)
+        ops, d = reck_decompose(u)
+        rebuilt = reconstruct_from_ops(ops, np.diag(np.diag(d)))
+        assert np.allclose(rebuilt, u, atol=1e-8)
+
+    def test_op_count_at_most_universal(self):
+        u = unitary_group.rvs(6, random_state=1)
+        ops, _ = reck_decompose(u)
+        assert len(ops) <= max_mzi_count(6)
+
+    def test_identity_needs_no_ops(self):
+        ops, d = reck_decompose(np.eye(4, dtype=complex))
+        assert len(ops) == 0
+        assert np.allclose(d, np.eye(4))
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError):
+            reck_decompose(np.ones((3, 3)))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            reck_decompose(np.ones((2, 3)))
+
+    def test_permutation_input(self):
+        """Permutation matrices are unitary; decomposition must handle
+        the zero-entry edge cases."""
+        p = np.zeros((4, 4), dtype=complex)
+        p[[0, 1, 2, 3], [2, 0, 3, 1]] = 1.0
+        ops, d = reck_decompose(p)
+        rebuilt = reconstruct_from_ops(ops, np.diag(np.diag(d)))
+        assert np.allclose(rebuilt, p, atol=1e-8)
+
+
+class TestButterflyAnalysis:
+    def test_np_mirror_matches_factory(self, rng):
+        from repro.ptc import ButterflyFactory, butterfly_transfer_np
+
+        f = ButterflyFactory(8, 1)
+        np.copyto(f.phases.data, rng.uniform(0, 2 * np.pi, f.phases.shape))
+        assert np.allclose(f.build().data[0], butterfly_transfer_np(f.phases.data[0]))
+
+    def test_dft_matrix_unitary(self):
+        from repro.photonics import is_unitary
+        from repro.ptc import dft_matrix
+
+        assert is_unitary(dft_matrix(8))
+
+    def test_param_counts(self):
+        from repro.ptc import n_free_parameters
+
+        assert n_free_parameters(16) == 16 * 4
+
+    def test_stage_matrix_shape_validation(self):
+        from repro.ptc.butterfly import butterfly_stage_matrix
+
+        with pytest.raises(ValueError):
+            butterfly_stage_matrix(8, 3)  # stride 8 > K/2

@@ -1,0 +1,118 @@
+"""Tests: baseline meshes in block form match the paper's accounting."""
+
+import numpy as np
+import pytest
+
+from repro.layout import build_netlist, place
+from repro.photonics import (
+    AIM,
+    AMF,
+    butterfly_footprint,
+    estimate_power,
+    mzi_onn_footprint,
+)
+from repro.photonics.crossings import count_inversions
+from repro.ptc.reference_topologies import (
+    butterfly_topology,
+    mzi_topology,
+    stride_interleave_perm,
+)
+
+
+class TestMZITopology:
+    @pytest.mark.parametrize("k", [4, 8, 16, 32])
+    def test_counts_match_analytic_model(self, k):
+        topo = mzi_topology(k)
+        analytic = mzi_onn_footprint(AMF, k)
+        n_ps, n_dc, n_cr = topo.device_counts()
+        assert (n_ps, n_dc, n_cr) == (analytic.n_ps, analytic.n_dc,
+                                      analytic.n_cr)
+        assert topo.n_blocks == analytic.n_blocks
+
+    @pytest.mark.parametrize("k,paper_kum2", [(8, 1909), (16, 7683),
+                                              (32, 30829)])
+    def test_table1_footprint_exact(self, k, paper_kum2):
+        topo = mzi_topology(k)
+        assert topo.footprint(AMF).in_paper_units() == pytest.approx(
+            paper_kum2, abs=1.0)
+
+    def test_table2_aim_footprint(self):
+        # Paper Table 2: MZI-ONN at 16x16 on AIM = 4480k um^2.
+        assert mzi_topology(16).footprint(AIM).in_paper_units() == pytest.approx(
+            4480, abs=1.0)
+
+    def test_no_crossings(self):
+        assert mzi_topology(8).device_counts()[2] == 0
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            mzi_topology(1)
+
+
+class TestButterflyTopology:
+    @pytest.mark.parametrize("k", [4, 8, 16, 32])
+    def test_counts_match_analytic_model(self, k):
+        topo = butterfly_topology(k)
+        analytic = butterfly_footprint(AMF, k)
+        n_ps, n_dc, n_cr = topo.device_counts()
+        assert (n_ps, n_dc, n_cr) == (analytic.n_ps, analytic.n_dc,
+                                      analytic.n_cr)
+        assert topo.n_blocks == analytic.n_blocks
+
+    @pytest.mark.parametrize("k,paper_kum2", [(8, 363), (16, 972), (32, 2443)])
+    def test_table1_footprint_exact(self, k, paper_kum2):
+        topo = butterfly_topology(k)
+        assert topo.footprint(AMF).in_paper_units() == pytest.approx(
+            paper_kum2, abs=1.0)
+
+    def test_table1_device_rows(self):
+        # Paper Table 1, FFT-ONN rows: CR/DC/Blk.
+        expected = {8: (16, 24, 6), 16: (88, 64, 8), 32: (416, 160, 10)}
+        for k, (cr, dc, blk) in expected.items():
+            topo = butterfly_topology(k)
+            n_ps, n_dc, n_cr = topo.device_counts()
+            assert (n_cr, n_dc, topo.n_blocks) == (cr, dc, blk)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            butterfly_topology(12)
+
+
+class TestStrideInterleave:
+    @pytest.mark.parametrize("stride", [1, 2, 4])
+    def test_is_permutation(self, stride):
+        perm = stride_interleave_perm(8, stride)
+        assert sorted(perm) == list(range(8))
+
+    def test_inversion_formula(self):
+        for k, stride in ((8, 2), (8, 4), (16, 8)):
+            perm = stride_interleave_perm(k, stride)
+            per_group = stride * (stride - 1) // 2
+            groups = k // (2 * stride)
+            assert count_inversions(list(perm)) == per_group * groups
+
+    def test_stride_one_is_identity(self):
+        np.testing.assert_array_equal(stride_interleave_perm(8, 1),
+                                      np.arange(8))
+
+    def test_incompatible_stride(self):
+        with pytest.raises(ValueError, match="stride"):
+            stride_interleave_perm(8, 3)
+
+
+class TestPhysicalAnalyses:
+    def test_netlist_counts(self):
+        for topo in (mzi_topology(8), butterfly_topology(8)):
+            assert build_netlist(topo).device_counts() == topo.device_counts()
+
+    def test_mzi_chip_longer_than_butterfly(self):
+        mzi = place(build_netlist(mzi_topology(8)), AMF)
+        fft = place(build_netlist(butterfly_topology(8)), AMF)
+        assert mzi.chip_length_um > fft.chip_length_um
+
+    def test_mzi_burns_more_power(self):
+        mzi = estimate_power(mzi_topology(8), AMF)
+        fft = estimate_power(butterfly_topology(8), AMF)
+        assert mzi.total_power_mw > fft.total_power_mw
+        assert mzi.latency_ps > fft.latency_ps
+        assert mzi.worst_path_loss_db > fft.worst_path_loss_db

@@ -1,0 +1,109 @@
+"""Tests for the terminal plotting utilities."""
+
+import pytest
+
+from repro.utils.ascii_plot import bar_chart, line_plot, sparkline
+
+
+class TestLinePlot:
+    def test_basic_structure(self):
+        out = line_plot({"a": ([0, 1, 2], [0, 1, 4])}, width=20, height=6)
+        lines = out.splitlines()
+        boxed = [l for l in lines if "|" in l]
+        assert len(boxed) == 6
+        assert "o a" in lines[-1]
+
+    def test_title_and_labels(self):
+        out = line_plot({"s": ([0, 1], [1, 2])}, title="T", x_label="sigma",
+                        y_label="acc")
+        assert out.splitlines()[0] == "T"
+        assert "sigma" in out
+        assert "acc" in out
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = line_plot({"a": ([0, 1], [0, 1]), "b": ([0, 1], [1, 0])},
+                        width=10, height=5)
+        assert "o a" in out and "x b" in out
+        body = "\n".join(l for l in out.splitlines() if "|" in l)
+        assert "o" in body and "x" in body
+
+    def test_extremes_plotted_at_corners(self):
+        out = line_plot({"a": ([0, 10], [0, 10])}, width=11, height=5)
+        rows = [l.split("|")[1] for l in out.splitlines() if l.count("|") == 2]
+        assert rows[0][-1] == "o"  # max at top-right
+        assert rows[-1][0] == "o"  # min at bottom-left
+
+    def test_constant_series_ok(self):
+        out = line_plot({"flat": ([0, 1, 2], [5, 5, 5])})
+        assert "flat" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            line_plot({})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="lengths"):
+            line_plot({"a": ([0, 1], [0])})
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError, match="empty"):
+            line_plot({"a": ([], [])})
+
+    def test_axis_ranges_shown(self):
+        out = line_plot({"a": ([2, 8], [10, 30])})
+        assert "30" in out and "10" in out
+
+
+class TestBarChart:
+    def test_lengths_proportional(self):
+        out = bar_chart(["x", "y"], [1.0, 2.0], width=20)
+        bars = [l.split("|")[1] for l in out.splitlines()]
+        assert bars[0].count("#") == 10
+        assert bars[1].count("#") == 20
+
+    def test_values_printed(self):
+        out = bar_chart(["mzi"], [1909.0], unit="k")
+        assert "mzi" in out
+        assert "k" in out
+
+    def test_title(self):
+        out = bar_chart(["a"], [1.0], title="Footprints")
+        assert out.splitlines()[0] == "Footprints"
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bar_chart([], [])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bar_chart(["a"], [-1.0])
+
+    def test_all_zero_ok(self):
+        out = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "#" not in out
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_min_max_glyphs(self):
+        s = sparkline([0.0, 1.0])
+        assert s[0] == " " and s[1] == "@"
+
+    def test_constant(self):
+        s = sparkline([3.0, 3.0, 3.0])
+        assert len(set(s)) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            sparkline([])
+
+    def test_monotone_trace(self):
+        s = sparkline(range(10))
+        order = [" .:-=+*#%@".index(c) for c in s]
+        assert order == sorted(order)

@@ -1,0 +1,132 @@
+"""In-process tests for the ``python -m repro`` CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.topology import random_topology
+
+
+@pytest.fixture()
+def saved_topology(tmp_path):
+    topo = random_topology(8, 3, 3, np.random.default_rng(0), permute_prob=0.5)
+    topo.name = "cli-test"
+    path = tmp_path / "topo.json"
+    topo.save(path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_search_requires_window(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search"])
+
+
+class TestInfo:
+    def test_lists_pdks_and_windows(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "AMF" in out and "AIM" in out
+        assert "[240, 300]" in out
+        assert "Table 2" in out
+
+
+class TestExport(object):
+    def test_export_writes_netlist(self, saved_topology, tmp_path, capsys):
+        out = tmp_path / "net.json"
+        assert main(["export", str(saved_topology), "--out", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert out.exists()
+        data = json.loads(out.read_text())
+        assert data["k"] == 8
+        assert "floorplan" in report
+        assert "legend" in report
+
+    def test_export_default_out_path(self, saved_topology, capsys):
+        assert main(["export", str(saved_topology)]) == 0
+        expected = saved_topology.with_suffix(".netlist.json")
+        assert expected.exists()
+
+    def test_export_aim_pdk(self, saved_topology, capsys):
+        assert main(["export", str(saved_topology), "--pdk", "aim"]) == 0
+        assert "AIM" in capsys.readouterr().out
+
+    def test_export_svg(self, saved_topology, tmp_path, capsys):
+        svg = tmp_path / "plan.svg"
+        assert main(["export", str(saved_topology), "--svg", str(svg)]) == 0
+        assert svg.exists()
+        assert svg.read_text().startswith("<svg")
+
+
+class TestRobustness:
+    def test_sweep_prints_rows(self, saved_topology, capsys):
+        rc = main(["robustness", str(saved_topology),
+                   "--sigmas", "0.02", "0.1", "--n-trials", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0.020" in out and "0.100" in out
+        # Fidelity at mild noise must exceed fidelity at harsh noise.
+        rows = [line.split() for line in out.splitlines()
+                if line.strip().startswith("0.")]
+        fid = {float(r[0]): float(r[1]) for r in rows}
+        assert fid[0.02] > fid[0.1]
+
+
+class TestBaselineSearch:
+    def test_random_saves_feasible_topology(self, tmp_path, capsys):
+        out = tmp_path / "best.json"
+        rc = main(["baseline-search", "--method", "random", "--budget", "4",
+                   "--f-min", "240", "--f-max", "300", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        report = capsys.readouterr().out
+        assert "random search" in report
+        data = json.loads(out.read_text())
+        assert data["k"] == 8
+
+    def test_evolutionary_runs(self, capsys):
+        rc = main(["baseline-search", "--method", "evolutionary",
+                   "--budget", "6", "--f-min", "240", "--f-max", "300"])
+        assert rc == 0
+        assert "evolutionary search" in capsys.readouterr().out
+
+
+class TestEvaluate:
+    def test_baseline_requires_k(self, capsys):
+        rc = main(["evaluate", "mzi"])
+        assert rc == 2
+        assert "--k is required" in capsys.readouterr().err
+
+    def test_evaluate_topology_fast(self, saved_topology, capsys, monkeypatch):
+        # Shrink the budget so this runs in seconds.
+        from repro.experiments import common
+
+        rc = main(["evaluate", str(saved_topology), "--epochs", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cli-test" in out and "%" in out
+
+
+class TestSearch:
+    def test_search_tiny_budget(self, tmp_path, capsys):
+        out = tmp_path / "searched.json"
+        rc = main(["search", "--k", "8", "--f-min", "240", "--f-max", "300",
+                   "--epochs", "2", "--n-train", "96", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        report = capsys.readouterr().out
+        assert "saved" in report
+        data = json.loads(out.read_text())
+        assert data["k"] == 8
+        assert len(data["blocks_u"]) >= 1
