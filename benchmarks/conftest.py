@@ -1,7 +1,7 @@
 """Benchmark harness configuration.
 
-Each benchmark regenerates one table or figure of the paper (see
-DESIGN.md section 3).  Runs are single-shot (``benchmark.pedantic``
+Each benchmark regenerates one table or figure of the paper (see the
+artifact map in README.md).  Runs are single-shot (``benchmark.pedantic``
 with one round) because each one is a full search/training pipeline,
 not a micro-kernel.  Set ``REPRO_FULL=1`` for paper-scale budgets.
 """

@@ -1,4 +1,5 @@
-"""Ablation benches for the design choices called out in DESIGN.md §5.
+"""Ablation benches for the reproduction's load-bearing design choices
+(:mod:`repro.experiments.ablations`).
 
 1. Smoothed-identity permutation init vs random permutation init.
 2. Row/col L2 normalization of relaxed U, V.

@@ -1,0 +1,253 @@
+"""Fused autograd kernels for photonic mesh simulation.
+
+The hot loop of every PTC forward pass is a *column cascade*: a mesh of
+``B`` blocks applies, block by block, a diagonal phase-shifter column
+followed by a constant-ish coupler/crossing matrix,
+
+    U = C_{B-1} D(ps_{B-1}) ... C_1 D(ps_1) C_0 D(ps_0),
+
+optionally soft-gated per block by Gumbel execution probabilities
+(the SuperMesh of paper Eq. 5-7).  Composing this out of elementary
+:mod:`repro.autograd.tensor` ops costs O(B) graph nodes *per mesh* and
+dominates runtime with Python dispatch overhead rather than FLOPs.
+
+This module provides two fused primitives that run the whole cascade
+as a single graph node with a hand-derived backward pass:
+
+* :func:`phase_column_cascade` — the PS-column cascade above, with
+  gradients for the phase factors, the block matrices (needed by the
+  SuperMesh, where blocks depend on trainable permutations and
+  couplers), and the execution probabilities.
+* :func:`matmul_chain` — a left-fold of batched matrix products
+  ``M_{B-1} @ ... @ M_0`` used by the MZI rectangle, whose column
+  matrices are themselves phase-dependent.
+
+Both follow the complex gradient convention of
+:mod:`repro.autograd.tensor` (``z.grad = dL/dx + i dL/dy``); their
+backward rules are the exact composition of the ``mul``/``matmul``
+rules the unfused graph would apply, so fast-path gradients match the
+reference path to floating-point rounding.  Parity is locked in by
+``tests/autograd/test_fused.py`` and ``tests/ptc/test_fast_path_parity.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, _make, ensure_tensor
+
+__all__ = ["l2_normalize", "matmul_chain", "phase_column_cascade"]
+
+
+def l2_normalize(x: Tensor, axis: int, eps: float = 1e-12) -> Tensor:
+    """Fused L2 row/column normalization ``x / sqrt(sum |x|^2 + eps)``.
+
+    One graph node replacing the six-op elementary composition
+    ``x / (sum_(x * conj(x), axis, keepdims).real() + eps).sqrt()
+    .astype(complex)`` used by the SuperMesh stabilization (paper
+    3.3.2).  The backward rule is the exact composition of the
+    elementary rules (with the real-projection at the sqrt boundary):
+
+        ``g_x = g / d - x * Re(sum(g * conj(x))) / d^3``,
+        ``d = sqrt(sum |x|^2 + eps)``.
+    """
+    x = ensure_tensor(x)
+    xd = x.data
+    n2 = (xd * np.conj(xd)).real.sum(axis=axis, keepdims=True) + eps
+    d = np.sqrt(n2)
+    out = xd / d
+
+    def backward(g: np.ndarray):
+        dot = (g * np.conj(xd)).sum(axis=axis, keepdims=True).real
+        return (g / d - xd * (dot / (n2 * d)),)
+
+    return _make(out, (x,), backward)
+
+
+def phase_column_cascade(
+    consts: Tensor,
+    ps: Tensor,
+    exec_prob: Optional[Tensor] = None,
+) -> Tensor:
+    """Fused forward of a phase-shifter/constant-column mesh cascade.
+
+    Computes, in one graph node,
+
+        ``u_0 = I``,
+        ``block_b = C_b @ diag(ps_b) @ u_b``,
+        ``u_{b+1} = m_b * block_b + (1 - m_b) * u_b``,
+
+    returning ``u_B`` of shape ``(N, K, K)``.
+
+    Parameters
+    ----------
+    consts:
+        Block matrices ``C_b``; shape ``(B, K, K)`` (shared by all N
+        meshes) or ``(N, B, K, K)`` (per-mesh).  May carry gradients —
+        in the SuperMesh they depend on the relaxed permutations and
+        STE-binarized couplers.
+    ps:
+        Complex phase factors ``exp(-j phi)``, shape ``(N, B, K)``.
+    exec_prob:
+        Optional per-block execution weights ``m_b``; shape ``(B,)``
+        (shared) or ``(N, B)``.  ``None`` means every block executes
+        (``m_b = 1``), which skips the gating arithmetic entirely.
+    """
+    consts = ensure_tensor(consts)
+    ps = ensure_tensor(ps)
+    pd = ps.data
+    if pd.ndim != 3:
+        raise ValueError(f"ps must have shape (N, B, K), got {pd.shape}")
+    n, n_blocks, k = pd.shape
+    cd = consts.data
+    shared_c = cd.ndim == 3
+    if shared_c:
+        if cd.shape != (n_blocks, k, k):
+            raise ValueError(f"consts shape {cd.shape} != ({n_blocks}, {k}, {k})")
+    elif cd.shape != (n, n_blocks, k, k):
+        raise ValueError(f"consts shape {cd.shape} != ({n}, {n_blocks}, {k}, {k})")
+    ed = None
+    if exec_prob is not None:
+        exec_prob = ensure_tensor(exec_prob)
+        ed = exec_prob.data
+        if ed.shape not in ((n_blocks,), (n, n_blocks)):
+            raise ValueError(f"exec_prob shape {ed.shape} invalid for B={n_blocks}")
+
+    eye = np.eye(k, dtype=complex)
+    if n_blocks == 0:
+        return Tensor(np.broadcast_to(eye, (n, k, k)).copy())
+
+    # Forward, keeping per-block intermediates for the backward pass.
+    # The gated block outputs are only retained when the gates can
+    # actually receive gradients — a constant exec mask (population
+    # padding) would otherwise pin B extra (N, K, K) arrays per build.
+    need_e = exec_prob is not None and (
+        exec_prob.requires_grad or bool(exec_prob._parents)
+    )
+    prevs = []  # u_b entering block b; None encodes the identity
+    blocks = []  # C_b @ diag(ps_b) @ u_b (needed for exec_prob grads)
+    u: Optional[np.ndarray] = None
+    for b in range(n_blocks):
+        c_b = cd[b] if shared_c else cd[:, b]
+        ps_b = pd[:, b, :]
+        prevs.append(u)
+        if u is None:
+            block = c_b * ps_b[:, None, :]
+        else:
+            block = c_b @ (ps_b[:, :, None] * u)
+        if ed is None:
+            u = block
+        else:
+            m = ed[b] if ed.ndim == 1 else ed[:, b][:, None, None]
+            skip = eye if u is None else u
+            u = m * block + (1.0 - m) * skip
+            if need_e:
+                blocks.append(block)
+    out = u
+
+    def backward(g: np.ndarray):
+        need_c = consts.requires_grad or consts._parents
+        g_ps = np.zeros((n, n_blocks, k), dtype=complex)
+        g_c = np.zeros(cd.shape, dtype=complex) if need_c else None
+        g_e = np.zeros(ed.shape, dtype=complex) if need_e else None
+        gu = np.asarray(g)
+        for b in reversed(range(n_blocks)):
+            c_b = cd[b] if shared_c else cd[:, b]
+            ps_b = pd[:, b, :]
+            prev = prevs[b]
+            if ed is not None:
+                m = ed[b] if ed.ndim == 1 else ed[:, b][:, None, None]
+                if need_e:
+                    skip = eye if prev is None else prev
+                    diff = gu * np.conj(blocks[b] - skip)
+                    if ed.ndim == 1:
+                        g_e[b] += diff.sum()
+                    else:
+                        g_e[:, b] += diff.sum(axis=(-1, -2))
+                g_block = m * gu
+                g_skip = (1.0 - m) * gu
+            else:
+                g_block = gu
+                g_skip = None
+            if prev is None:
+                # block = C_b * ps_b[:, None, :] (column scaling).
+                if need_c:
+                    gc = g_block * np.conj(ps_b[:, None, :])
+                    if shared_c:
+                        g_c[b] += gc.sum(axis=0)
+                    else:
+                        g_c[:, b] += gc
+                g_ps[:, b, :] = (g_block * np.conj(c_b)).sum(axis=-2)
+                g_prev = None
+            else:
+                v = ps_b[:, :, None] * prev
+                g_v = np.conj(np.swapaxes(c_b, -1, -2)) @ g_block
+                if need_c:
+                    gc = g_block @ np.conj(np.swapaxes(v, -1, -2))
+                    if shared_c:
+                        g_c[b] += gc.sum(axis=0)
+                    else:
+                        g_c[:, b] += gc
+                g_ps[:, b, :] = (g_v * np.conj(prev)).sum(axis=-1)
+                g_prev = g_v * np.conj(ps_b)[:, :, None]
+            if g_prev is None:
+                gu = g_skip if g_skip is not None else None
+            elif g_skip is not None:
+                gu = g_prev + g_skip
+            else:
+                gu = g_prev
+            if gu is None and b > 0:
+                # Fully-gated remainder (m = 1 on the first block without
+                # a skip path cannot happen: g_skip exists whenever ed
+                # does, and g_prev exists whenever b > 0).
+                gu = np.zeros((n, k, k), dtype=complex)
+        if exec_prob is None:
+            return g_c, g_ps
+        return g_c, g_ps, g_e
+
+    parents = (consts, ps) if exec_prob is None else (consts, ps, exec_prob)
+    return _make(np.ascontiguousarray(out), parents, backward)
+
+
+def matmul_chain(mats: Tensor) -> Tensor:
+    """Fused left-fold of batched matrix products.
+
+    ``mats`` has shape ``(N, B, K, K)``; the result is
+    ``mats[:, B-1] @ ... @ mats[:, 1] @ mats[:, 0]`` of shape
+    ``(N, K, K)`` — block 0 acts on the input first, matching the
+    light-propagation order used throughout :mod:`repro.ptc`.
+
+    A single graph node replaces the ``B - 1`` matmul nodes the
+    unfused composition would create; the backward pass replays the
+    chain with the stored prefixes (``grad_{M_b} = g_b @ conj(P_{b-1})^T``,
+    ``g_{b-1} = conj(M_b)^T @ g_b``).
+    """
+    mats = ensure_tensor(mats)
+    md = mats.data
+    if md.ndim != 4 or md.shape[-1] != md.shape[-2]:
+        raise ValueError(f"mats must have shape (N, B, K, K), got {md.shape}")
+    n, n_blocks, k, _ = md.shape
+    if n_blocks == 0:
+        return Tensor(np.broadcast_to(np.eye(k, dtype=complex), (n, k, k)).copy())
+
+    prefixes = []  # running product entering block b; None = identity
+    u: Optional[np.ndarray] = None
+    for b in range(n_blocks):
+        prefixes.append(u)
+        u = md[:, b] if u is None else md[:, b] @ u
+
+    def backward(g: np.ndarray):
+        gm = np.zeros_like(md)
+        gu = np.asarray(g)
+        for b in reversed(range(n_blocks)):
+            prev = prefixes[b]
+            if prev is None:
+                gm[:, b] += gu
+            else:
+                gm[:, b] += gu @ np.conj(np.swapaxes(prev, -1, -2))
+                gu = np.conj(np.swapaxes(md[:, b], -1, -2)) @ gu
+        return (gm,)
+
+    return _make(np.ascontiguousarray(u), (mats,), backward)

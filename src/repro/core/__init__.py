@@ -1,4 +1,15 @@
-"""ADEPT core: differentiable photonic tensor-core topology search."""
+"""ADEPT core: differentiable photonic tensor-core topology search.
+
+The search assembles the lower layers of the stack (see
+``docs/ARCHITECTURE.md``): the SuperMesh supernet
+(:mod:`repro.core.supermesh`) couples relaxed permutations
+(:mod:`repro.core.permutation`), STE-binarized couplers
+(:mod:`repro.core.coupler`), and Gumbel depth sampling
+(:mod:`repro.core.gumbel`) under the footprint penalty
+(:mod:`repro.core.footprint_penalty`); the two-stage training flow
+lives in :mod:`repro.core.search` and the serializable result in
+:mod:`repro.core.topology`.
+"""
 
 from .baseline_search import (
     BaselineSearchResult,
@@ -40,6 +51,8 @@ from .search import (
     ADEPTSearchResult,
     SearchHistory,
     build_proxy_model,
+    rank_candidate_topologies,
+    sample_candidate_topologies,
     search_ptc,
 )
 from .spl import legalize_all, legalize_one
@@ -105,6 +118,8 @@ __all__ = [
     "ste_quantize_phase",
     "random_topology",
     "sample_gumbel",
+    "rank_candidate_topologies",
+    "sample_candidate_topologies",
     "search_ptc",
     "smoothed_identity",
     "soft_projection",

@@ -332,3 +332,66 @@ def search_ptc(
 ) -> ADEPTSearchResult:
     """One-call API: run an ADEPT search and return the result."""
     return ADEPTSearch(config, train_set=train_set, test_set=test_set).run()
+
+
+def sample_candidate_topologies(
+    space: SuperMeshSpace,
+    n_candidates: int,
+    rng: Optional[np.random.Generator] = None,
+    max_tries: int = 200,
+) -> List[PTCTopology]:
+    """Draw up to ``n_candidates`` distinct feasible SubMeshes.
+
+    Repeatedly calls :meth:`SuperMeshSpace.extract_topology` (which
+    samples from the learned block distribution) and deduplicates by
+    serialized structure.  Candidates can then be ranked in a single
+    graph with :func:`rank_candidate_topologies`.
+    """
+    from ..utils.rng import get_rng
+
+    rng = get_rng(rng) if rng is not None else space._rng
+    out: List[PTCTopology] = []
+    seen = set()
+    for _ in range(4 * n_candidates):
+        if len(out) >= n_candidates:
+            break
+        topo = space.extract_topology(rng=rng, max_tries=max_tries)
+        key = topo.to_json()
+        if key not in seen:
+            seen.add(key)
+            out.append(topo)
+    return out
+
+
+def rank_candidate_topologies(
+    topologies,
+    target: Optional[np.ndarray] = None,
+    side: str = "u",
+    steps: int = 200,
+    lr: float = 0.05,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Score a population of candidate topologies in ONE fused graph.
+
+    Fits every candidate's programmable phases to a common target
+    unitary simultaneously (see
+    :func:`repro.ptc.population.fit_unitary_population`) and returns
+    the :class:`~repro.ptc.population.PopulationFitResult`, whose
+    ``ranking`` orders candidates by expressivity.  With P candidates
+    this costs one forward/backward per step total — the batched
+    alternative to extracting and fitting SubMeshes one at a time.
+
+    ``target=None`` draws a Haar-random unitary of the population's K.
+    """
+    from scipy.stats import unitary_group
+
+    from ..ptc.population import fit_unitary_population
+    from ..utils.rng import get_rng
+
+    rng = get_rng(rng)
+    if target is None:
+        k = topologies[0].k
+        target = unitary_group.rvs(k, random_state=int(rng.integers(0, 2**31 - 1)))
+    return fit_unitary_population(
+        topologies, target, side=side, steps=steps, lr=lr, rng=rng
+    )

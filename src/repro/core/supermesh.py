@@ -17,6 +17,15 @@ The topology (permutations, couplers, theta) is *shared* by every PTC
 layer of the proxy model; each layer owns its per-block phases and
 Sigma (:class:`SuperMeshCore`), mirroring Eq. (2) where the layout
 ``alpha`` is shared among all blocks.
+
+Like the mesh factories in :mod:`repro.ptc.unitary`, the SuperMesh has
+two build backends.  The default ``"fast"`` path assembles all DC
+columns in one scatter, stacks the per-block transfer matrices with a
+batched matmul, and runs each unitary as a single fused
+:func:`repro.autograd.phase_column_cascade` node (including the
+Gumbel execution gating).  ``backend="reference"`` keeps the original
+per-block op loop as ground truth; parity between the two (forward and
+gradients) is enforced by ``tests/core/test_supermesh_fastpath.py``.
 """
 
 from __future__ import annotations
@@ -27,7 +36,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor
+from ..autograd import Tensor, custom_grad, l2_normalize, phase_column_cascade
 from ..autograd import tensor as T
 from ..nn import functional as F
 from ..nn.module import Module, Parameter
@@ -45,8 +54,13 @@ from .topology import BlockSpec, PTCTopology
 class SuperMeshSample:
     """One sampled architecture state, shared by all cores in a step."""
 
-    block_transfer: List[Tensor]  # per global block: (K, K) complex P~ @ T
+    transfer: Tensor  # (n_blocks, K, K) complex stacked P~ @ T
     exec_prob: Tensor  # (n_blocks,) soft execution weights m_{b,2}
+
+    @property
+    def block_transfer(self) -> List[Tensor]:
+        """Per-block (K, K) views of :attr:`transfer` (reference path)."""
+        return [self.transfer[b] for b in range(self.transfer.shape[0])]
 
 
 class SuperMeshSpace(Module):
@@ -94,6 +108,14 @@ class SuperMeshSpace(Module):
             [self._searchable_index_static(b) is not None
              for b in range(self.n_blocks)]
         )
+        # Vectorized block bookkeeping for the fast sample path: the
+        # theta row feeding each global block (0 for always-on blocks,
+        # which the mask filters out).
+        self._searchable_mask = searchable
+        self._theta_rows = np.array(
+            [si if si is not None else 0
+             for si in map(self._searchable_index_static, range(self.n_blocks))]
+        )
         self.perms = PermutationLearner(
             k,
             self.n_blocks,
@@ -105,6 +127,19 @@ class SuperMeshSpace(Module):
             rng=rng,
         )
         self.couplers = CouplerLearner(k, self.n_blocks, rng=rng)
+        # Flattened (block, slot, waveguide) indices of every valid DC
+        # slot plus the pass-through diagonal of each column — the
+        # scatter pattern of the batched DC-column assembly.
+        blk, slot = np.nonzero(self.couplers.slot_mask)
+        pos = self.couplers.offsets[blk] + 2 * slot
+        self._dc_blk, self._dc_slot, self._dc_pos = blk, slot, pos
+        covered = np.zeros((self.n_blocks, k), dtype=bool)
+        covered[blk, pos] = True
+        covered[blk, pos + 1] = True
+        diag = np.zeros((self.n_blocks, k, k), dtype=complex)
+        idx = np.arange(k)
+        diag[:, idx, idx] = (~covered).astype(complex)
+        self._dc_diag = diag
         n_search = 2 * self.n_searchable_per_side
         # theta[:, 0] = skip logit, theta[:, 1] = execute logit.
         self.theta = Parameter(np.zeros((max(1, n_search), 2)))
@@ -137,6 +172,35 @@ class SuperMeshSpace(Module):
         return self._searchable_index_static(global_b)
 
     # -- sampling ------------------------------------------------------------
+    def _dc_columns(self) -> Tensor:
+        """(n_blocks, K, K) differentiable DC-column matrices.
+
+        Batched equivalent of :func:`_dc_matrix_from_transmissions`:
+        all blocks' quantized transmissions are turned into column
+        matrices with a single scatter, so STE gradients reach the
+        coupler latents through one graph node instead of O(B).
+        """
+        tq = self.couplers.quantized()  # (n_blocks, max_slots)
+        one_minus = T.clip(1.0 - tq * tq, 0.0, 1.0)
+        s = T.sqrt(one_minus + 1e-12)
+        js = T.mul(Tensor(np.array(1j)), s)
+        tc = tq.astype(np.complex128)
+        blk, slot, pos = self._dc_blk, self._dc_slot, self._dc_pos
+        out = self._dc_diag.copy()
+        out[blk, pos, pos] = tc.data[blk, slot]
+        out[blk, pos + 1, pos + 1] = tc.data[blk, slot]
+        out[blk, pos, pos + 1] = js.data[blk, slot]
+        out[blk, pos + 1, pos] = js.data[blk, slot]
+
+        def backward(g: np.ndarray):
+            gt = np.zeros(tc.shape, dtype=complex)
+            gj = np.zeros(js.shape, dtype=complex)
+            gt[blk, slot] = g[blk, pos, pos] + g[blk, pos + 1, pos + 1]
+            gj[blk, slot] = g[blk, pos, pos + 1] + g[blk, pos + 1, pos]
+            return gt, gj
+
+        return custom_grad(out, (tc, js), backward)
+
     def sample(
         self,
         tau: float = 1.0,
@@ -147,31 +211,27 @@ class SuperMeshSpace(Module):
 
         ``stochastic=False`` uses noise-free selection probabilities
         (used for expected-footprint evaluation and deterministic eval).
+
+        The whole sample is assembled with batched ops: one scatter for
+        all DC columns, one batched matmul against the relaxed
+        permutations, and one gather/where pair for the execution
+        probabilities.
         """
         rng = rng if rng is not None else self._rng
         p_tilde = self.perms.relaxed()  # (n_blocks, K, K)
-        exec_parts: List[Tensor] = []
-        transfers: List[Tensor] = []
+        transfer = p_tilde.astype(np.complex128) @ self._dc_columns()
         if self._has_search:
             if stochastic:
                 m = gumbel_softmax(self.theta, tau, rng=rng)  # (n_search, 2)
             else:
                 m = categorical_probs(self.theta)
-        else:
-            m = None
-        for b in range(self.n_blocks):
-            ts = self.couplers.block_transmissions(b)
-            t_mat = _dc_matrix_from_transmissions(
-                ts, self.k, int(self.couplers.offsets[b])
+            gathered = m[self._theta_rows, np.ones(self.n_blocks, dtype=int)]
+            exec_prob = T.where(
+                self._searchable_mask, gathered, Tensor(np.ones(self.n_blocks))
             )
-            transfers.append(p_tilde[b].astype(np.complex128) @ t_mat)
-            si = self._searchable_index(b)
-            if si is None or m is None:
-                exec_parts.append(Tensor(np.array(1.0)))
-            else:
-                exec_parts.append(m[si, 1])
-        exec_prob = T.stack(exec_parts)
-        sample = SuperMeshSample(block_transfer=transfers, exec_prob=exec_prob)
+        else:
+            exec_prob = Tensor(np.ones(self.n_blocks))
+        sample = SuperMeshSample(transfer=transfer, exec_prob=exec_prob)
         self.current = sample
         return sample
 
@@ -180,10 +240,8 @@ class SuperMeshSpace(Module):
         probs = np.ones(self.n_blocks)
         if self._has_search:
             soft = categorical_probs(self.theta).data
-            for b in range(self.n_blocks):
-                si = self._searchable_index(b)
-                if si is not None:
-                    probs[b] = soft[si, 1]
+            mask = self._searchable_mask
+            probs[mask] = soft[self._theta_rows[mask], 1]
         return probs
 
     # -- architecture parameter group ---------------------------------------
@@ -326,10 +384,29 @@ class SuperMeshCore(Module):
     topology state lives in the shared :class:`SuperMeshSpace`.  The
     forward pass consumes ``space.current`` — the trainer samples the
     architecture once per step so all layers see the same SubMesh.
+
+    ``backend="fast"`` (default) builds each unitary as one fused
+    cascade node; ``backend="reference"`` keeps the per-block op loop
+    (see the module docstring).
     """
 
-    def __init__(self, space: SuperMeshSpace, rows: int, cols: int, rng=None):
+    def __init__(
+        self,
+        space: SuperMeshSpace,
+        rows: int,
+        cols: int,
+        rng=None,
+        backend: Optional[str] = None,
+    ):
         super().__init__()
+        # Imported lazily: repro.ptc pulls in repro.core.topology at
+        # package-import time, so a module-level import would cycle.
+        from ..ptc.unitary import _BACKENDS, DEFAULT_BACKEND
+
+        backend = DEFAULT_BACKEND if backend is None else backend
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.backend = backend
         self.space = space
         self.rows = rows
         self.cols = cols
@@ -346,21 +423,63 @@ class SuperMeshCore(Module):
         self.sigma = Parameter(rng_.uniform(-bound, bound, size=(self.n_units, k)))
         self.noise_std = 0.0
         self._rng = rng_
+        # Constant tensors reused across fast forwards (graph leaves
+        # without gradients are safe to share between graphs).
+        self._neg_j = Tensor(np.array(-1j))
+        self._tile_consts = Tensor(np.ones((2, self.n_units, 1, 1, 1)))
+        self._tile_gates = Tensor(np.ones((2, self.n_units, 1)))
 
-    def _unitary(self, sample: SuperMeshSample, side: str) -> Tensor:
-        k = self.k
-        u: Optional[Tensor] = None
-        eye = Tensor(np.eye(k, dtype=complex))
+    def _noisy_phases(self) -> Tensor:
         phases = self.phases
         if self.noise_std > 0.0:
             phases = phases + Tensor(
                 self._rng.normal(0.0, self.noise_std, size=phases.shape)
             )
+        return phases
+
+    def _unitaries_fast(self, sample: SuperMeshSample) -> Tuple[Tensor, Tensor]:
+        """Fused build of BOTH unitaries as one cascade node.
+
+        The U and V sides are independent chains of equal length
+        (``half_max`` blocks each), so they fold into the cascade's
+        batch dimension: one call runs half as many sequential batched
+        matmuls as two per-side calls would.
+        """
+        n, k = self.n_units, self.k
+        half = self.space.half_max
+        ps_all = T.exp(
+            T.mul(self._neg_j, self._noisy_phases())
+        )  # (n_units, n_blocks, K)
+        # Fold the side axis into the mesh batch: (2 * n_units, half, ...).
+        ps = (
+            ps_all.reshape((n, 2, half, k))
+            .transpose((1, 0, 2, 3))
+            .reshape((2 * n, half, k))
+        )
+        # Per-mesh constants/gates: tile each side's blocks across its
+        # n_units meshes (the ones-multiply broadcast keeps gradients
+        # flowing back to the shared sample tensors).
+        consts = (
+            sample.transfer.reshape((2, 1, half, k, k)) * self._tile_consts
+        ).reshape((2 * n, half, k, k))
+        gates = (
+            sample.exec_prob.reshape((2, 1, half)) * self._tile_gates
+        ).reshape((2 * n, half))
+        uv = phase_column_cascade(consts, ps, gates).reshape((2, n, k, k))
+        return uv[0], uv[1]
+
+    def _unitary(self, sample: SuperMeshSample, side: str) -> Tensor:
+        """Reference per-block build (ground truth for the fast path)."""
+        k = self.k
+        u: Optional[Tensor] = None
+        eye = Tensor(np.eye(k, dtype=complex))
+        phases = self._noisy_phases()
+        block_transfer = sample.block_transfer
         for b in self.space.side_blocks(side):
             ps = T.exp(
                 T.mul(Tensor(np.array(-1j)), phases[:, b, :])
             )  # (n_units, K)
-            cb = sample.block_transfer[b]  # (K, K)
+            cb = block_transfer[b]  # (K, K)
             if u is None:
                 block = cb * ps.reshape((self.n_units, 1, k))
             else:
@@ -375,17 +494,22 @@ class SuperMeshCore(Module):
         sample = self.space.current
         if sample is None:
             sample = self.space.sample(stochastic=False)
-        u = self._unitary(sample, "u")
-        v = self._unitary(sample, "v")
         # Stabilization (paper 3.3.2): row-normalize U, column-normalize V
         # so the cascade of relaxed (non-orthogonal) CR layers keeps
         # healthy statistics.  No-op once U, V are true unitaries.
-        u = u / (T.sum_(u * u.conj(), axis=-1, keepdims=True).real() + 1e-12).sqrt().astype(
-            np.complex128
-        )
-        v = v / (T.sum_(v * v.conj(), axis=-2, keepdims=True).real() + 1e-12).sqrt().astype(
-            np.complex128
-        )
+        if self.backend == "fast":
+            u, v = self._unitaries_fast(sample)
+            u = l2_normalize(u, axis=-1)
+            v = l2_normalize(v, axis=-2)
+        else:
+            u = self._unitary(sample, "u")
+            v = self._unitary(sample, "v")
+            u = u / (T.sum_(u * u.conj(), axis=-1, keepdims=True).real() + 1e-12).sqrt().astype(
+                np.complex128
+            )
+            v = v / (T.sum_(v * v.conj(), axis=-2, keepdims=True).real() + 1e-12).sqrt().astype(
+                np.complex128
+            )
         sv = self.sigma.astype(np.complex128).reshape((self.n_units, self.k, 1)) * v
         blocks = (u @ sv).real()
         w = blocks.reshape((self.p, self.q, self.k, self.k))

@@ -1,5 +1,6 @@
-"""Synthetic datasets and loaders (offline stand-ins for the paper's
-MNIST / FashionMNIST / SVHN / CIFAR-10; see DESIGN.md section 1)."""
+"""Synthetic datasets and loaders — offline stand-ins for the paper's
+MNIST / FashionMNIST / SVHN / CIFAR-10 (structured class-conditional
+generators in :mod:`repro.data.synthetic`; no downloads required)."""
 
 from .loader import DataLoader
 from .transforms import (

@@ -1,6 +1,8 @@
 """Paper-reproduction experiments: one module per table/figure.
 
-See DESIGN.md section 3 for the experiment index and shape targets.
+The artifact map in the top-level README.md lists which module
+regenerates which table/figure and which benchmark exercises it; each
+module's docstring states its exact-reproduction and shape targets.
 """
 
 from .ablations import (

@@ -1,4 +1,4 @@
-"""Ablation studies for the design choices DESIGN.md calls out.
+"""Ablation studies for the reproduction's load-bearing design choices.
 
 1. **Permutation init**: smoothed identity vs random legal permutation.
    The paper states random-permutation init fails because zero entries

@@ -9,7 +9,7 @@ from .layers import (
     set_model_phase_noise,
 )
 from .models import MODEL_BUILDERS, build_cnn2, build_lenet5, build_model, build_vgg8
-from .trainer import TrainConfig, TrainResult, evaluate, train
+from .trainer import TrainConfig, TrainResult, evaluate, evaluate_population, train
 
 __all__ = [
     "BlockUSV",
@@ -26,6 +26,7 @@ __all__ = [
     "build_model",
     "build_vgg8",
     "evaluate",
+    "evaluate_population",
     "model_ptc_footprint",
     "set_model_phase_noise",
     "train",

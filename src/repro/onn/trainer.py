@@ -52,17 +52,41 @@ class TrainResult:
 
 
 def evaluate(model: Module, dataset: Dataset, batch_size: int = 256) -> float:
-    """Top-1 accuracy of ``model`` on ``dataset`` (eval mode, no grad)."""
-    model.eval()
-    correct = 0
+    """Top-1 accuracy of ``model`` on ``dataset`` (eval mode, no grad).
+
+    Runs under ``no_grad``, which lets the photonic mesh factories
+    serve their transfer matrices from the eval-mode build cache
+    (:mod:`repro.ptc.cache`): with unchanged phases only the first
+    batch pays for a mesh build.
+    """
+    return evaluate_population([model], dataset, batch_size=batch_size)[0]
+
+
+def evaluate_population(
+    models: List[Module], dataset: Dataset, batch_size: int = 256
+) -> List[float]:
+    """Top-1 accuracy of a population of candidate models on ``dataset``.
+
+    Shares one pass over the data across all candidates (each batch is
+    materialized once and fed to every model) — the evaluation-side
+    companion of the single-graph topology scoring in
+    :func:`repro.core.search.rank_candidate_topologies`.  Combined with
+    the eval-mode unitary build cache, scoring P retrained candidate
+    topologies costs one mesh build per candidate, not one per batch.
+    """
+    for m in models:
+        m.eval()
+    correct = np.zeros(len(models), dtype=int)
     with no_grad():
         for start in range(0, len(dataset), batch_size):
-            xb = dataset.images[start : start + batch_size]
+            xb = Tensor(dataset.images[start : start + batch_size])
             yb = dataset.labels[start : start + batch_size]
-            logits = model(Tensor(xb))
-            correct += int((np.argmax(logits.data, axis=-1) == yb).sum())
-    model.train()
-    return correct / len(dataset)
+            for i, m in enumerate(models):
+                logits = m(xb)
+                correct[i] += int((np.argmax(logits.data, axis=-1) == yb).sum())
+    for m in models:
+        m.train()
+    return [c / len(dataset) for c in correct]
 
 
 def train(

@@ -20,7 +20,18 @@ from .butterfly import (
     n_free_parameters,
 )
 from .mzi import MZIOp, max_mzi_count, mzi_2x2, reck_decompose, reconstruct_from_ops
+from .cache import (
+    UnitaryBuildCache,
+    set_unitary_cache_enabled,
+    unitary_cache_enabled,
+)
+from .population import (
+    PopulationFitResult,
+    TopologyPopulation,
+    fit_unitary_population,
+)
 from .unitary import (
+    DEFAULT_BACKEND,
     ButterflyFactory,
     FixedTopologyFactory,
     MZIMeshFactory,
@@ -30,6 +41,13 @@ from .unitary import (
 
 __all__ = [
     "ButterflyFactory",
+    "DEFAULT_BACKEND",
+    "PopulationFitResult",
+    "TopologyPopulation",
+    "UnitaryBuildCache",
+    "fit_unitary_population",
+    "set_unitary_cache_enabled",
+    "unitary_cache_enabled",
     "ClementsDecomposition",
     "clements_decompose",
     "factor_two_by_two",

@@ -27,16 +27,16 @@ def butterfly_stage_matrix(k: int, stage: int) -> np.ndarray:
     stride = 2 ** stage
     if 2 * stride > k:
         raise ValueError(f"stage {stage} invalid for size {k}")
-    mat = np.zeros((k, k), dtype=complex)
     t = T_5050
     js = 1j * math.sqrt(1.0 - t * t)
-    for base in range(0, k, 2 * stride):
-        for i in range(base, base + stride):
-            j = i + stride
-            mat[i, i] = t
-            mat[j, j] = t
-            mat[i, j] = js
-            mat[j, i] = js
+    # Waveguide i pairs with i + stride when the stride-bit of i is 0.
+    idx = np.arange(k)
+    lo = idx[(idx & stride) == 0]
+    hi = lo + stride
+    mat = np.zeros((k, k), dtype=complex)
+    mat[idx, idx] = t
+    mat[lo, hi] = js
+    mat[hi, lo] = js
     return mat
 
 

@@ -1,0 +1,99 @@
+"""Memoizing cache for eval-mode unitary builds.
+
+Evaluation loops rebuild the same mesh transfer matrices over and over:
+``repro.onn.trainer.evaluate`` calls ``factory.build()`` once per batch
+with *unchanged* phases, and the robustness/expressivity sweeps in
+:mod:`repro.experiments` and :mod:`repro.analysis` re-realize identical
+(topology, phase) configurations across noise draws and targets.
+
+:class:`UnitaryBuildCache` memoizes those builds.  Keys are content
+hashes of ``(topology digest, phase snapshot)`` so invalidation is
+automatic: any optimizer step that touches a phase parameter changes
+the snapshot bytes and therefore misses the cache.  The cache is only
+consulted on the *eval* path — grad mode off, no phase noise, no phase
+transform — where the build output is a pure function of the key (see
+``UnitaryFactory.build`` in :mod:`repro.ptc.unitary`).
+
+A small LRU bound keeps memory flat; the common access pattern is one
+hot entry reused across an entire evaluation pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "UnitaryBuildCache",
+    "content_digest",
+    "set_unitary_cache_enabled",
+    "unitary_cache_enabled",
+]
+
+# Global kill-switch (e.g. for memory-constrained sweeps or debugging).
+_CACHE_ENABLED = True
+
+
+def set_unitary_cache_enabled(enabled: bool) -> bool:
+    """Enable/disable all unitary build caches; returns the prior state."""
+    global _CACHE_ENABLED
+    prev = _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+    return prev
+
+
+def unitary_cache_enabled() -> bool:
+    """Whether eval-mode unitary builds may be served from cache."""
+    return _CACHE_ENABLED
+
+
+def content_digest(*arrays: np.ndarray) -> bytes:
+    """Stable digest of the raw bytes of one or more arrays."""
+    h = hashlib.blake2b(digest_size=16)
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        h.update(str(a.shape).encode())
+        h.update(str(a.dtype).encode())
+        h.update(a.tobytes())
+    return h.digest()
+
+
+class UnitaryBuildCache:
+    """Bounded LRU map from content keys to built transfer matrices.
+
+    Stored values are the raw ``(n_units, K, K)`` complex arrays; the
+    caller wraps them back into constant tensors.  ``hits``/``misses``
+    counters make cache behavior observable in tests and benchmarks.
+    """
+
+    def __init__(self, maxsize: int = 8):
+        self.maxsize = maxsize
+        self._store: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: bytes) -> Optional[np.ndarray]:
+        hit = self._store.get(key)
+        if hit is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return hit
+
+    def put(self, key: bytes, value: np.ndarray) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0

@@ -20,6 +20,26 @@ the paper:
 All factories support Gaussian phase-noise injection (``noise_std``)
 used for variation-aware training and robustness evaluation (paper
 Fig. 4).
+
+Backends
+--------
+Every factory builds its transfer matrices through one of two paths:
+
+* ``backend="fast"`` (default) — vectorized column application: the
+  phase factors of *all* columns are computed in one tensor op and the
+  whole column cascade runs as a single fused graph node
+  (:func:`repro.autograd.phase_column_cascade` /
+  :func:`repro.autograd.matmul_chain`).
+* ``backend="reference"`` — the original one-op-per-column loop, kept
+  as executable documentation and as the ground truth for the parity
+  tests in ``tests/ptc/test_fast_path_parity.py``.
+
+Both paths compute the same math; they differ only in how many graph
+nodes (and Python round-trips) the build costs.  On the eval path
+(grad mode off, no noise) fast builds are additionally memoized in a
+:class:`repro.ptc.cache.UnitaryBuildCache` keyed on the (topology,
+phase snapshot) content, so repeated evaluation of an unchanged mesh
+is a dictionary lookup.
 """
 
 from __future__ import annotations
@@ -29,12 +49,27 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, custom_grad, ensure_tensor
+from ..autograd import (
+    Tensor,
+    custom_grad,
+    ensure_tensor,
+    is_grad_enabled,
+    matmul_chain,
+    phase_column_cascade,
+)
 from ..autograd import tensor as T
 from ..nn.module import Module, Parameter
 from ..photonics.crossings import perm_to_matrix
 from ..photonics.devices import T_5050, dc_layer_matrix_np
 from ..utils.rng import get_rng
+from .cache import UnitaryBuildCache, content_digest, unitary_cache_enabled
+
+#: Build backend used when a factory is constructed without an explicit
+#: ``backend`` argument.  ``"fast"`` = fused cascade, ``"reference"`` =
+#: per-column op loop.
+DEFAULT_BACKEND = "fast"
+
+_BACKENDS = ("fast", "reference")
 
 
 def batched_scatter(
@@ -61,6 +96,26 @@ def _phase_factor(phases: Tensor) -> Tensor:
     return T.exp(T.mul(Tensor(np.array(-1j)), phases))
 
 
+def block_constant_matrix(
+    k: int,
+    perm: Optional[Sequence[int]],
+    coupler_mask: np.ndarray,
+    offset: int,
+) -> np.ndarray:
+    """Constant ``P @ T`` matrix of one searched block.
+
+    The single source of truth for turning a block spec (CR
+    permutation, DC coupler mask, column offset) into its transfer
+    matrix — shared by :class:`FixedTopologyFactory`, the population
+    scorer (:mod:`repro.ptc.population`), and the nonideality model
+    (which left-multiplies its loss diagonal onto this).
+    """
+    ts = [T_5050 if placed else 1.0 for placed in np.asarray(coupler_mask, dtype=bool)]
+    t_mat = dc_layer_matrix_np(ts, k, int(offset))
+    p_mat = np.eye(k) if perm is None else perm_to_matrix(perm)
+    return p_mat @ t_mat
+
+
 class UnitaryFactory(Module):
     """Base class: builds ``n_units`` trainable K x K transfer matrices.
 
@@ -71,9 +126,13 @@ class UnitaryFactory(Module):
         weight block of the owning ONN layer).
     noise_std: std-dev of Gaussian phase noise added at build time
         (0 disables).  Used by variation-aware training / Fig. 4.
+    backend: ``"fast"`` (fused cascade, default) or ``"reference"``
+        (per-column loop); see the module docstring.
+    build_cache: eval-mode memoization of built transfer matrices
+        (:class:`repro.ptc.cache.UnitaryBuildCache`).
     """
 
-    def __init__(self, k: int, n_units: int, rng=None):
+    def __init__(self, k: int, n_units: int, rng=None, backend: Optional[str] = None):
         super().__init__()
         self.k = k
         self.n_units = n_units
@@ -82,6 +141,12 @@ class UnitaryFactory(Module):
         #: noise injection — e.g. an STE quantizer modelling a low-bit
         #: phase-control DAC (:mod:`repro.core.quantization`).
         self.phase_transform = None
+        backend = DEFAULT_BACKEND if backend is None else backend
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.backend = backend
+        self.build_cache = UnitaryBuildCache()
+        self._topology_digest = b""
         self._rng = get_rng(rng)
 
     def _noisy(self, phases: Tensor) -> Tensor:
@@ -92,8 +157,43 @@ class UnitaryFactory(Module):
             return phases + Tensor(noise)
         return phases
 
+    # -- build dispatch -------------------------------------------------
     def build(self) -> Tensor:
-        """Return transfer matrices of shape (n_units, K, K), complex."""
+        """Return transfer matrices of shape (n_units, K, K), complex.
+
+        Dispatches to the configured backend; on the eval path (grad
+        mode off, no noise, no phase transform) fast builds are served
+        from / recorded into :attr:`build_cache`.
+        """
+        if self.backend == "reference":
+            return self._build_reference()
+        if self._cacheable():
+            key = self._cache_key()
+            hit = self.build_cache.get(key)
+            if hit is not None:
+                return Tensor(hit)
+            out = self._build_fast()
+            self.build_cache.put(key, out.data)
+            return out
+        return self._build_fast()
+
+    def _cacheable(self) -> bool:
+        return (
+            unitary_cache_enabled()
+            and not is_grad_enabled()
+            and self.noise_std == 0.0
+            and self.phase_transform is None
+        )
+
+    def _cache_key(self) -> bytes:
+        return self._topology_digest + content_digest(
+            *(p.data for p in self.parameters())
+        )
+
+    def _build_fast(self) -> Tensor:
+        raise NotImplementedError
+
+    def _build_reference(self) -> Tensor:
         raise NotImplementedError
 
     def forward(self) -> Tensor:
@@ -118,10 +218,15 @@ class MZIMeshFactory(UnitaryFactory):
         a = exp(-j theta)
 
     which is the closed form of DC @ PS(theta) @ DC @ PS(phi).
+
+    The fast backend computes the four 2x2 entries of *every* MZI in
+    the mesh with whole-array ops, scatters them into a stack of
+    column matrices in one custom op, and folds the stack with
+    :func:`repro.autograd.matmul_chain`.
     """
 
-    def __init__(self, k: int, n_units: int, rng=None):
-        super().__init__(k, n_units, rng=rng)
+    def __init__(self, k: int, n_units: int, rng=None, backend: Optional[str] = None):
+        super().__init__(k, n_units, rng=rng, backend=backend)
         self.n_layers = k
         layout = []
         for layer in range(self.n_layers):
@@ -133,8 +238,65 @@ class MZIMeshFactory(UnitaryFactory):
         max_m = max(m for _, m in layout) if layout else 0
         self.theta = Parameter(rng_.uniform(0, 2 * math.pi, size=(n_units, self.n_layers, max_m)))
         self.phi = Parameter(rng_.uniform(0, 2 * math.pi, size=(n_units, self.n_layers, max_m)))
+        # Flattened (layer, slot, waveguide) indices of every MZI in the
+        # mesh plus the pass-through diagonal of each column — the
+        # scatter pattern of the fast backend.
+        lay, slot, pos = [], [], []
+        diag = np.zeros((self.n_layers, k, k), dtype=complex)
+        for layer, (offset, m) in enumerate(layout):
+            p = offset + 2 * np.arange(m)
+            lay.append(np.full(m, layer, dtype=int))
+            slot.append(np.arange(m))
+            pos.append(p)
+            covered = np.zeros(k, dtype=bool)
+            covered[p] = True
+            covered[p + 1] = True
+            diag[layer] = np.diag((~covered).astype(complex))
+        self._mzi_lay = np.concatenate(lay) if lay else np.zeros(0, dtype=int)
+        self._mzi_slot = np.concatenate(slot) if slot else np.zeros(0, dtype=int)
+        self._mzi_pos = np.concatenate(pos) if pos else np.zeros(0, dtype=int)
+        self._column_diag = diag
+        self._topology_digest = content_digest(
+            np.array([k, self.n_layers]), self._mzi_lay, self._mzi_pos
+        )
 
-    def build(self) -> Tensor:
+    def _assemble_columns(self, m00, m01, m10, m11) -> Tensor:
+        """Scatter per-MZI 2x2 entries into (n_units, L, K, K) columns."""
+        lay, slot, pos = self._mzi_lay, self._mzi_slot, self._mzi_pos
+        parts = (m00, m01, m10, m11)
+        rows = (pos, pos, pos + 1, pos + 1)
+        cols = (pos, pos + 1, pos, pos + 1)
+        out = np.broadcast_to(
+            self._column_diag, (self.n_units,) + self._column_diag.shape
+        ).copy()
+        for part, r, c in zip(parts, rows, cols):
+            out[:, lay, r, c] = part.data[:, lay, slot]
+
+        def backward(g: np.ndarray):
+            grads = []
+            for _part, r, c in zip(parts, rows, cols):
+                gp = np.zeros((self.n_units,) + self.theta.shape[1:], dtype=complex)
+                gp[:, lay, slot] = g[:, lay, r, c]
+                grads.append(gp)
+            return tuple(grads)
+
+        return custom_grad(out, parts, backward)
+
+    def _build_fast(self) -> Tensor:
+        theta = self._noisy(self.theta)
+        phi = self._noisy(self.phi)
+        a = _phase_factor(theta)  # (n_units, L, max_m)
+        e = _phase_factor(phi)
+        half = Tensor(np.array(0.5))
+        jj = Tensor(np.array(1j))
+        m00 = (a - 1.0) * e * half
+        m01 = jj * (a + 1.0) * half
+        m10 = jj * (a + 1.0) * e * half
+        m11 = (1.0 - a) * half
+        columns = self._assemble_columns(m00, m01, m10, m11)
+        return matmul_chain(columns)
+
+    def _build_reference(self) -> Tensor:
         theta = self._noisy(self.theta)
         phi = self._noisy(self.phi)
         u: Optional[Tensor] = None
@@ -180,36 +342,34 @@ class ButterflyFactory(UnitaryFactory):
     pairing is realized on chip with waveguide crossings, whose count
     is accounted analytically in
     :func:`repro.photonics.footprint.butterfly_footprint`.
+
+    The stage coupling matrices are constant, so the fast backend is a
+    single :func:`repro.autograd.phase_column_cascade` over the stacked
+    stages.
     """
 
-    def __init__(self, k: int, n_units: int, rng=None):
-        super().__init__(k, n_units, rng=rng)
+    def __init__(self, k: int, n_units: int, rng=None, backend: Optional[str] = None):
+        super().__init__(k, n_units, rng=rng, backend=backend)
         stages = int(math.log2(k))
         if 2 ** stages != k:
             raise ValueError(f"butterfly mesh requires power-of-two K, got {k}")
         self.stages = stages
         rng_ = get_rng(rng)
         self.phases = Parameter(rng_.uniform(0, 2 * math.pi, size=(n_units, stages, k)))
-        # Precompute constant coupler matrices per stage.
-        self._stage_dc: List[np.ndarray] = []
-        for s in range(stages):
-            stride = 2 ** s
-            mat = np.zeros((k, k), dtype=complex)
-            t = T_5050
-            js = 1j * math.sqrt(1 - t * t)
-            paired = np.zeros(k, dtype=bool)
-            for base in range(0, k, 2 * stride):
-                for i in range(base, base + stride):
-                    jdx = i + stride
-                    mat[i, i] = t
-                    mat[jdx, jdx] = t
-                    mat[i, jdx] = js
-                    mat[jdx, i] = js
-                    paired[i] = paired[jdx] = True
-            assert paired.all()
-            self._stage_dc.append(mat)
+        # Constant coupler matrices per stage, stacked for the cascade.
+        from .butterfly import butterfly_stage_matrix
 
-    def build(self) -> Tensor:
+        self._stage_dc: List[np.ndarray] = [
+            butterfly_stage_matrix(k, s) for s in range(stages)
+        ]
+        self._stage_stack = np.stack(self._stage_dc) if stages else np.zeros((0, k, k), complex)
+        self._topology_digest = content_digest(self._stage_stack)
+
+    def _build_fast(self) -> Tensor:
+        ps = _phase_factor(self._noisy(self.phases))  # (n_units, stages, K)
+        return phase_column_cascade(Tensor(self._stage_stack), ps)
+
+    def _build_reference(self) -> Tensor:
         phases = self._noisy(self.phases)
         u: Optional[Tensor] = None
         for s in range(self.stages):
@@ -247,6 +407,12 @@ class FixedTopologyFactory(UnitaryFactory):
       (slot i couples waveguides offset+2i, offset+2i+1); True means a
       50:50 DC is placed, False means pass-through;
     * ``offset``: 0 or 1, the interleaving of the DC column.
+
+    The per-block constant ``P_b @ T_b`` matrices live in
+    :attr:`_const`; assigning a new list (as the nonideality model in
+    :mod:`repro.photonics.nonideality` does to substitute fabricated
+    device responses) re-stacks the fast-path constants and invalidates
+    the build cache.
     """
 
     def __init__(
@@ -255,8 +421,9 @@ class FixedTopologyFactory(UnitaryFactory):
         n_units: int,
         blocks: Sequence[Tuple[Optional[Sequence[int]], np.ndarray, int]],
         rng=None,
+        backend: Optional[str] = None,
     ):
-        super().__init__(k, n_units, rng=rng)
+        super().__init__(k, n_units, rng=rng, backend=backend)
         self.blocks_spec = [
             (None if perm is None else np.asarray(perm, dtype=int),
              np.asarray(mask, dtype=bool),
@@ -268,15 +435,36 @@ class FixedTopologyFactory(UnitaryFactory):
         self.phases = Parameter(
             rng_.uniform(0, 2 * math.pi, size=(n_units, self.n_blocks, k))
         )
-        # Precompute the constant (P_b @ T_b) matrix of each block.
-        self._const: List[np.ndarray] = []
-        for perm, mask, offset in self.blocks_spec:
-            ts = [T_5050 if placed else 1.0 for placed in mask]
-            t_mat = dc_layer_matrix_np(ts, k, offset)
-            p_mat = np.eye(k) if perm is None else perm_to_matrix(perm)
-            self._const.append(p_mat @ t_mat)
+        # Constant (P_b @ T_b) matrix of each block (see _const property).
+        self._const = [
+            block_constant_matrix(k, perm, mask, offset)
+            for perm, mask, offset in self.blocks_spec
+        ]
 
-    def build(self) -> Tensor:
+    @property
+    def _const(self) -> List[np.ndarray]:
+        """Per-block constant (P @ T) matrices, in application order."""
+        return self._const_list
+
+    @_const.setter
+    def _const(self, value: Sequence[np.ndarray]) -> None:
+        self._const_list = [np.asarray(c, dtype=complex) for c in value]
+        self._const_stack = (
+            np.stack(self._const_list)
+            if self._const_list
+            else np.zeros((0, self.k, self.k), dtype=complex)
+        )
+        self._topology_digest = content_digest(self._const_stack)
+        self.build_cache.clear()
+
+    def _build_fast(self) -> Tensor:
+        if self.n_blocks == 0:
+            eye = np.broadcast_to(np.eye(self.k, dtype=complex), (self.n_units, self.k, self.k))
+            return Tensor(eye.copy())
+        ps = _phase_factor(self._noisy(self.phases))  # (n_units, B, K)
+        return phase_column_cascade(Tensor(self._const_stack), ps)
+
+    def _build_reference(self) -> Tensor:
         phases = self._noisy(self.phases)
         u: Optional[Tensor] = None
         for b in range(self.n_blocks):

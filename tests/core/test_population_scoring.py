@@ -1,0 +1,59 @@
+"""Candidate sampling + single-graph population ranking entry points."""
+
+import numpy as np
+
+from repro.core import (
+    rank_candidate_topologies,
+    sample_candidate_topologies,
+)
+from repro.core.supermesh import SuperMeshSpace
+from repro.photonics import AMF
+
+
+def _space(seed=7):
+    return SuperMeshSpace(
+        k=8, pdk=AMF, f_min=240_000, f_max=300_000,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestCandidateSampling:
+    def test_candidates_are_feasible_and_distinct(self):
+        space = _space()
+        cands = sample_candidate_topologies(
+            space, n_candidates=4, rng=np.random.default_rng(0)
+        )
+        assert 1 <= len(cands) <= 4
+        seen = set()
+        for topo in cands:
+            f = topo.footprint(AMF).total
+            assert space.f_min <= f <= space.f_max
+            key = topo.to_json()
+            assert key not in seen
+            seen.add(key)
+
+
+class TestPopulationRanking:
+    def test_rank_returns_one_score_per_candidate(self):
+        space = _space()
+        cands = sample_candidate_topologies(
+            space, n_candidates=3, rng=np.random.default_rng(1)
+        )
+        res = rank_candidate_topologies(
+            cands, steps=40, rng=np.random.default_rng(2)
+        )
+        assert res.errors.shape == (len(cands),)
+        assert np.isfinite(res.errors).all()
+        assert set(res.ranking) == set(range(len(cands)))
+        assert res.errors[res.best] == res.errors.min()
+
+    def test_fit_actually_reduces_error(self):
+        space = _space()
+        cands = sample_candidate_topologies(
+            space, n_candidates=2, rng=np.random.default_rng(3)
+        )
+        res = rank_candidate_topologies(
+            cands, steps=120, rng=np.random.default_rng(4)
+        )
+        # history[0] is the error at step 0, history[-1] the final error.
+        assert (res.history[-1] <= res.history[0] + 1e-12).all()

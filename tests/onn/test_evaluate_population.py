@@ -1,0 +1,30 @@
+"""Shared-pass population evaluation vs per-model evaluation."""
+
+import numpy as np
+
+from repro.onn import PTCLinear, evaluate, evaluate_population
+from repro.nn import Flatten, ReLU, Sequential
+
+
+def _model(seed):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Flatten(),
+        PTCLinear(64, 10, k=8, mesh="butterfly", rng=rng),
+        ReLU(),
+    )
+
+
+def test_population_matches_individual_evaluate(tiny_mnist):
+    train_set, _ = tiny_mnist
+    # Crop images to 8x8 to keep the layer small.
+    import copy
+
+    ds = copy.copy(train_set)
+    ds.images = train_set.images[:, :, :8, :8].copy()
+    models = [_model(s) for s in (0, 1, 2)]
+    pop = evaluate_population(models, ds, batch_size=32)
+    solo = [evaluate(m, ds, batch_size=32) for m in models]
+    assert pop == solo
+    for m in models:
+        assert m.training  # restored to train mode afterwards

@@ -1,0 +1,121 @@
+"""Eval-mode unitary build cache: hits, invalidation, correctness."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.ptc import (
+    ButterflyFactory,
+    FixedTopologyFactory,
+    MZIMeshFactory,
+    set_unitary_cache_enabled,
+)
+from repro.ptc.cache import UnitaryBuildCache, content_digest
+
+
+@pytest.fixture(autouse=True)
+def _cache_on():
+    prev = set_unitary_cache_enabled(True)
+    yield
+    set_unitary_cache_enabled(prev)
+
+
+def _fixed(k=8, n_units=2, seed=0):
+    rng = np.random.default_rng(seed)
+    blocks = [(rng.permutation(k), rng.random((k // 2,)) < 0.5, b % 2) for b in range(4)]
+    return FixedTopologyFactory(k, n_units, blocks, rng=rng)
+
+
+class TestCacheBehavior:
+    def test_eval_rebuild_hits_cache(self):
+        f = _fixed()
+        with no_grad():
+            u1 = f.build()
+            u2 = f.build()
+        assert f.build_cache.hits == 1
+        assert f.build_cache.misses == 1
+        assert np.array_equal(u1.data, u2.data)
+
+    def test_phase_update_invalidates(self):
+        f = _fixed()
+        with no_grad():
+            u1 = f.build().data.copy()
+            f.phases.data += 0.1  # optimizer-style in-place update
+            u2 = f.build().data
+        assert f.build_cache.hits == 0
+        assert f.build_cache.misses == 2
+        assert not np.allclose(u1, u2)
+
+    def test_cached_result_matches_fresh_build(self):
+        f = _fixed()
+        with no_grad():
+            first = f.build().data.copy()
+            cached = f.build().data
+        f.build_cache.clear()
+        with no_grad():
+            fresh = f.build().data
+        assert np.array_equal(cached, first)
+        assert np.array_equal(cached, fresh)
+
+    def test_no_cache_under_grad_mode(self):
+        f = _fixed()
+        f.build()
+        f.build()
+        assert f.build_cache.hits == 0
+        assert f.build_cache.misses == 0
+
+    def test_no_cache_with_phase_noise(self):
+        f = _fixed()
+        f.noise_std = 0.05
+        with no_grad():
+            u1 = f.build().data
+            u2 = f.build().data
+        assert f.build_cache.misses == 0
+        assert not np.allclose(u1, u2)  # noise must stay fresh per build
+
+    def test_global_disable(self):
+        f = _fixed()
+        set_unitary_cache_enabled(False)
+        with no_grad():
+            f.build()
+            f.build()
+        assert f.build_cache.hits == 0
+
+    def test_const_substitution_clears_cache(self):
+        """The nonideality model swaps _const; stale entries must die."""
+        f = _fixed()
+        with no_grad():
+            u1 = f.build().data.copy()
+        rng = np.random.default_rng(3)
+        f._const = [
+            c * np.exp(1j * rng.normal(0, 0.01, size=c.shape)) for c in f._const
+        ]
+        with no_grad():
+            u2 = f.build().data
+        assert not np.allclose(u1, u2)
+
+    @pytest.mark.parametrize("factory_cls", [MZIMeshFactory, ButterflyFactory])
+    def test_all_factory_families_cache(self, factory_cls):
+        f = factory_cls(8, 2, rng=np.random.default_rng(1))
+        with no_grad():
+            f.build()
+            f.build()
+        assert f.build_cache.hits == 1
+
+
+class TestCachePrimitives:
+    def test_lru_eviction(self):
+        cache = UnitaryBuildCache(maxsize=2)
+        a, b, c = (np.full((1,), i) for i in range(3))
+        cache.put(b"a", a)
+        cache.put(b"b", b)
+        cache.put(b"c", c)  # evicts "a"
+        assert cache.get(b"a") is None
+        assert cache.get(b"b") is b
+        assert len(cache) == 2
+
+    def test_content_digest_sensitivity(self):
+        x = np.arange(6.0)
+        assert content_digest(x) == content_digest(x.copy())
+        assert content_digest(x) != content_digest(x + 1e-12)
+        assert content_digest(x) != content_digest(x.reshape(2, 3))
