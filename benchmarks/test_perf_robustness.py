@@ -1,0 +1,123 @@
+"""Micro-benchmark: trial-batched Monte-Carlo robustness engine vs the
+sequential reference loop.
+
+A Fig.4-scale sweep (K = 8, 5 noise levels x 5 runs, multi-batch test
+set) must run >= 3x faster through the trial-batched engine
+(``backend="fast"``: one fused noisy build for all trials + one shared
+pass over the test data) than through the sequential loop it replaces
+(``backend="reference"``: per trial, install the noise offsets and run
+a full evaluation pass, rebuilding every mesh each batch) — while
+producing *identical* per-run accuracies, since both backends consume
+the same pre-drawn noise offsets.
+
+Timings use interleaved per-trial ratios and a median so a scheduler
+hiccup cannot flip the verdict (same protocol as
+``test_perf_supermesh.py``).  The CI workflow additionally runs this
+file as a non-gating smoke job on shared runners (see
+``.github/workflows/ci.yml``).
+"""
+
+import time
+
+import numpy as np
+
+from repro import nn
+from repro.core import evaluate_noise_grid, scenario_robustness_grid
+from repro.core.topology import random_topology
+from repro.data import train_test_split
+from repro.onn import PTCLinear
+from repro.photonics.nonideality import NonidealitySpec
+
+K = 8
+NOISE_STDS = (0.02, 0.04, 0.06, 0.08, 0.10)
+N_RUNS = 5
+BATCH_SIZE = 32
+SPEEDUP_FLOOR = 3.0
+
+
+def _median_ratio(fn_ref, fn_fast, trials=5):
+    """Interleaved ref/fast ratio; the median cancels common-mode
+    machine-load drift."""
+    ratios = []
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        fn_ref()
+        t_ref = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fn_fast()
+        t_fast = time.perf_counter() - t0
+        ratios.append(t_ref / t_fast)
+    return float(np.median(ratios))
+
+
+def _mzi_model():
+    rng = np.random.default_rng(11)
+    return nn.Sequential(nn.Flatten(), PTCLinear(784, 10, k=K, mesh="mzi", rng=rng))
+
+
+class TestRobustnessEngine:
+    def test_noise_grid_speedup_and_parity_at_k8(self):
+        _, test_set = train_test_split("mnist", 64, 256, seed=0)
+        model = _mzi_model()
+        model.eval()
+
+        def fast():
+            return evaluate_noise_grid(
+                model, test_set, NOISE_STDS, N_RUNS, seed=3,
+                backend="fast", batch_size=BATCH_SIZE,
+            )
+
+        def ref():
+            return evaluate_noise_grid(
+                model, test_set, NOISE_STDS, N_RUNS, seed=3,
+                backend="reference", batch_size=BATCH_SIZE,
+            )
+
+        g_fast, g_ref = fast(), ref()  # warmup + parity
+        assert g_fast.shape == (len(NOISE_STDS), N_RUNS)
+        assert np.array_equal(g_fast, g_ref), (
+            "trial-batched engine diverged from the sequential reference "
+            f"loop at fixed seeds: max |diff| = {np.abs(g_fast - g_ref).max()}"
+        )
+        speedup = _median_ratio(ref, fast)
+        print(
+            f"\nnoise grid K={K}, {len(NOISE_STDS)}x{N_RUNS} trials, "
+            f"{len(test_set)} samples @ bs={BATCH_SIZE}: speedup {speedup:.1f}x"
+        )
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"trial-batched engine only {speedup:.2f}x over the sequential "
+            f"reference loop (floor {SPEEDUP_FLOOR}x)"
+        )
+
+    def test_scenario_grid_faster_than_reference(self):
+        """Companion number: fabrication x noise scenario grid on a
+        searched topology (non-gating margin, parity gates)."""
+        _, test_set = train_test_split("mnist", 64, 256, seed=0)
+        topo = random_topology(K, 8, 8, np.random.default_rng(2))
+        model = nn.Sequential(
+            nn.Flatten(), PTCLinear(784, 10, k=K, mesh=topo, rng=np.random.default_rng(1))
+        )
+        model.eval()
+        spec = NonidealitySpec(
+            dc_t_std=0.02, loss_ps_db=0.05, loss_dc_db=0.1, crosstalk_gamma=0.05
+        )
+
+        def run(backend):
+            return scenario_robustness_grid(
+                model, test_set, spec, noise_stds=(0.02, 0.06, 0.10),
+                n_fab_samples=3, n_runs=3, seed=1, backend=backend,
+                batch_size=BATCH_SIZE,
+            )
+
+        t0 = time.perf_counter()
+        g_fast = run("fast")
+        t_fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        g_ref = run("reference")
+        t_ref = time.perf_counter() - t0
+        assert np.array_equal(g_fast.accs, g_ref.accs)
+        print(
+            f"\nscenario grid 3x3x3: fast {t_fast * 1e3:.0f} ms, "
+            f"reference {t_ref * 1e3:.0f} ms, speedup {t_ref / t_fast:.1f}x"
+        )
+        assert t_fast < t_ref

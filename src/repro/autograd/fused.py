@@ -38,7 +38,13 @@ import numpy as np
 
 from .tensor import Tensor, _make, ensure_tensor
 
-__all__ = ["l2_normalize", "matmul_chain", "phase_column_cascade"]
+__all__ = [
+    "l2_normalize",
+    "matmul_chain",
+    "matmul_chain_forward",
+    "phase_column_cascade",
+    "phase_column_cascade_forward",
+]
 
 
 def l2_normalize(x: Tensor, axis: int, eps: float = 1e-12) -> Tensor:
@@ -64,6 +70,63 @@ def l2_normalize(x: Tensor, axis: int, eps: float = 1e-12) -> Tensor:
         return (g / d - xd * (dot / (n2 * d)),)
 
     return _make(out, (x,), backward)
+
+
+def phase_column_cascade_forward(consts: np.ndarray, ps: np.ndarray) -> np.ndarray:
+    """Forward-only numpy twin of :func:`phase_column_cascade`.
+
+    Computes ``C_{B-1} @ diag(ps_{B-1}) @ ... @ C_0 @ diag(ps_0)`` for a
+    batch of ``N`` meshes without building a graph node or retaining
+    per-block intermediates — the inner kernel of the trial-batched
+    Monte-Carlo robustness engine (:mod:`repro.core.variation`), where
+    ``N`` is (trials x units) and no gradients are ever needed.
+
+    ``consts`` has shape ``(B, K, K)`` (shared) or ``(N, B, K, K)``
+    (per-mesh); ``ps`` has shape ``(N, B, K)``.  The arithmetic is
+    identical, op for op, to the autograd kernel's forward loop, so
+    results agree bit-for-bit with the trainable path.
+    """
+    ps = np.asarray(ps)
+    consts = np.asarray(consts)
+    if ps.ndim != 3:
+        raise ValueError(f"ps must have shape (N, B, K), got {ps.shape}")
+    n, n_blocks, k = ps.shape
+    shared_c = consts.ndim == 3
+    if shared_c:
+        if consts.shape != (n_blocks, k, k):
+            raise ValueError(f"consts shape {consts.shape} != ({n_blocks}, {k}, {k})")
+    elif consts.shape != (n, n_blocks, k, k):
+        raise ValueError(f"consts shape {consts.shape} != ({n}, {n_blocks}, {k}, {k})")
+    if n_blocks == 0:
+        return np.broadcast_to(np.eye(k, dtype=complex), (n, k, k)).copy()
+    u: Optional[np.ndarray] = None
+    for b in range(n_blocks):
+        c_b = consts[b] if shared_c else consts[:, b]
+        ps_b = ps[:, b, :]
+        if u is None:
+            u = c_b * ps_b[:, None, :]
+        else:
+            u = c_b @ (ps_b[:, :, None] * u)
+    return np.ascontiguousarray(u)
+
+
+def matmul_chain_forward(mats: np.ndarray) -> np.ndarray:
+    """Forward-only numpy twin of :func:`matmul_chain`.
+
+    ``mats`` has shape ``(N, B, K, K)``; returns
+    ``mats[:, B-1] @ ... @ mats[:, 0]`` of shape ``(N, K, K)`` without
+    graph bookkeeping or stored prefixes.
+    """
+    mats = np.asarray(mats)
+    if mats.ndim != 4 or mats.shape[-1] != mats.shape[-2]:
+        raise ValueError(f"mats must have shape (N, B, K, K), got {mats.shape}")
+    n, n_blocks, k, _ = mats.shape
+    if n_blocks == 0:
+        return np.broadcast_to(np.eye(k, dtype=complex), (n, k, k)).copy()
+    u: Optional[np.ndarray] = None
+    for b in range(n_blocks):
+        u = mats[:, b] if u is None else mats[:, b] @ u
+    return np.ascontiguousarray(u)
 
 
 def phase_column_cascade(

@@ -66,7 +66,10 @@ from .supermesh import (
 from .topology import BlockSpec, PTCTopology, random_topology
 from .variation import (
     RobustnessPoint,
+    ScenarioGrid,
+    evaluate_noise_grid,
     noise_robustness_curve,
+    scenario_robustness_grid,
     variation_aware_train,
 )
 
@@ -85,6 +88,7 @@ __all__ = [
     "QuantizationPoint",
     "PermutationLearner",
     "RobustnessPoint",
+    "ScenarioGrid",
     "SearchHistory",
     "SuperMeshConv2d",
     "SuperMeshCore",
@@ -108,7 +112,9 @@ __all__ = [
     "make_expressivity_evaluator",
     "mutate_topology",
     "random_feasible_topology",
+    "evaluate_noise_grid",
     "noise_robustness_curve",
+    "scenario_robustness_grid",
     "quantize_t",
     "make_phase_quantizer",
     "phase_grid",

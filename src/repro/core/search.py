@@ -252,6 +252,9 @@ class ADEPTSearch:
         )
         step = 0
         for epoch in range(cfg.epochs):
+            # Start-of-epoch step: the final search epoch runs at the
+            # annealed LR floor (see CosineAnnealingLR).
+            w_sched.step()
             tau = self.tau_schedule.at_epoch(epoch)
             in_search = epoch >= cfg.warmup_epochs
             if epoch == cfg.spl_epoch and not self.space.perms.frozen:
@@ -307,7 +310,6 @@ class ADEPTSearch:
                 self.history.rho.append(self.space.perms.rho)
                 step += 1
             self.history.epoch_boundaries.append(step)
-            w_sched.step()
             if cfg.verbose:
                 probs = np.round(self.space.exec_probabilities(), 2)
                 print(

@@ -38,7 +38,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..utils.rng import spawn_rng
+from ..utils.rng import spawn_rng, stable_seed
 
 Segment = Tuple[float, float, float, float]  # x0, y0, x1, y1 in [0, 1]
 
@@ -304,7 +304,9 @@ def make_dataset(
     if name not in SPECS:
         raise KeyError(f"unknown dataset {name!r}; choose from {sorted(SPECS)}")
     spec = SPECS[name]
-    rng = spawn_rng(hash((name, seed)) % (2**31))
+    # stable_seed, not hash(): builtin string hashing is randomized per
+    # process, which silently made every dataset draw irreproducible.
+    rng = spawn_rng(stable_seed(name, seed))
     n_cls = len(spec.glyphs)
     labels = np.arange(n_samples) % n_cls
     rng.shuffle(labels)

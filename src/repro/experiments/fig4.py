@@ -21,7 +21,7 @@ import numpy as np
 from ..core import PTCTopology, noise_robustness_curve, variation_aware_train
 from ..onn import TrainConfig, build_model
 from .common import ExperimentScale, get_data
-from ..utils.rng import spawn_rng
+from ..utils.rng import spawn_rng, stable_hash
 
 NOISE_STDS = (0.02, 0.04, 0.06, 0.08, 0.10)
 
@@ -40,8 +40,17 @@ def run_fig4_part(
     k: int = 16,
     scale: Optional[ExperimentScale] = None,
     noise_stds: Sequence[float] = NOISE_STDS,
+    backend: str = "fast",
 ) -> RobustnessCurves:
-    """One subfigure: part 'a' = cnn2/mnist, part 'b' = lenet5/fmnist."""
+    """One subfigure: part 'a' = cnn2/mnist, part 'b' = lenet5/fmnist.
+
+    The noise sweep runs through the trial-batched Monte-Carlo engine
+    (``backend="fast"``; see :func:`repro.core.evaluate_noise_grid`);
+    ``backend="reference"`` replays the sequential per-run loop.  All
+    seeds derive from :func:`repro.utils.rng.stable_hash`, so repeated
+    invocations produce identical curves regardless of
+    ``PYTHONHASHSEED``.
+    """
     scale = scale or ExperimentScale.from_env()
     model_name, dataset = {
         "a": ("cnn2", "mnist"),
@@ -54,7 +63,7 @@ def run_fig4_part(
     out = RobustnessCurves(part=part)
     print(f"\n=== Fig. 4({part}) - {model_name} on {dataset}, noise sweep ===")
     for mesh_name, mesh in meshes:
-        rng = spawn_rng(scale.seed + hash((part, mesh_name)) % 1000)
+        rng = spawn_rng(scale.seed + stable_hash(part, mesh_name) % 1000)
         model = build_model(
             model_name,
             mesh,
@@ -76,7 +85,7 @@ def run_fig4_part(
         )
         points = noise_robustness_curve(
             model, test_set, noise_stds=noise_stds, n_runs=scale.noise_runs,
-            seed=scale.seed,
+            seed=scale.seed, backend=backend,
         )
         curve = [(p.noise_std, 100 * p.mean_acc, 100 * p.std_acc) for p in points]
         out.curves[mesh_name] = curve

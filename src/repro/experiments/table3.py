@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import PTCTopology
 from ..photonics import AMF, butterfly_footprint, mzi_onn_footprint
+from ..utils.rng import stable_hash
 from .common import ExperimentScale, TABLE1_WINDOWS, run_search, train_eval_mesh
 
 #: Paper Table 3 reference accuracies (%), for printed comparison.
@@ -77,7 +78,7 @@ def run_table3(
             for mesh_name, mesh in meshes:
                 acc, _ = train_eval_mesh(
                     mesh, k, scale, dataset=ds, model_name=model_name,
-                    seed=scale.seed + hash((model_name, ds, mesh_name)) % 1000,
+                    seed=scale.seed + stable_hash(model_name, ds, mesh_name) % 1000,
                 )
                 result.accuracy[(model_name, ds, mesh_name)] = acc
                 cells.append(f"{mesh_name}={acc:5.1f}%")

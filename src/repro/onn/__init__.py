@@ -3,9 +3,11 @@
 from .calibration import CalibrationResult, calibrate_adjoint, calibrate_spsa
 from .layers import (
     BlockUSV,
+    FrozenPhotonicView,
     PTCConv2d,
     PTCLinear,
     model_ptc_footprint,
+    photonic_cores,
     set_model_phase_noise,
 )
 from .models import MODEL_BUILDERS, build_cnn2, build_lenet5, build_model, build_vgg8
@@ -13,6 +15,7 @@ from .trainer import TrainConfig, TrainResult, evaluate, evaluate_population, tr
 
 __all__ = [
     "BlockUSV",
+    "FrozenPhotonicView",
     "CalibrationResult",
     "calibrate_adjoint",
     "calibrate_spsa",
@@ -28,6 +31,7 @@ __all__ = [
     "evaluate",
     "evaluate_population",
     "model_ptc_footprint",
+    "photonic_cores",
     "set_model_phase_noise",
     "train",
 ]

@@ -14,7 +14,7 @@ inputs — the convention used here.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -80,6 +80,11 @@ class BlockUSV(Module):
         # ~2/fan_in: E|W_ij|^2 ~= sigma_rms^2 / K and Re() halves it.
         bound = 2.0 * math.sqrt(3.0 * k / max(1, cols))
         self.sigma = Parameter(rng_.uniform(-bound, bound, size=(self.n_units, k)))
+        #: When set (a (rows, cols) float array), :meth:`forward` returns
+        #: it verbatim instead of building the meshes — the hook the
+        #: Monte-Carlo robustness engine uses to evaluate precomputed
+        #: noisy weight realizations (see :class:`FrozenPhotonicView`).
+        self.frozen_weight: Optional[np.ndarray] = None
 
     def build_complex(self) -> Tensor:
         """Stacked complex blocks, shape (P*Q, K, K)."""
@@ -90,12 +95,45 @@ class BlockUSV(Module):
 
     def forward(self) -> Tensor:
         """Effective real weight matrix of shape (rows, cols)."""
+        if self.frozen_weight is not None:
+            return Tensor(self.frozen_weight)
         blocks = self.build_complex().real()  # (P*Q, K, K)
         w = blocks.reshape((self.p, self.q, self.k, self.k))
         w = w.transpose((0, 2, 1, 3)).reshape((self.p * self.k, self.q * self.k))
         if self.p * self.k != self.rows or self.q * self.k != self.cols:
             w = w[: self.rows, : self.cols]
         return w
+
+    def build_weight_trials(
+        self,
+        offsets_u: Sequence[np.ndarray],
+        offsets_v: Sequence[np.ndarray],
+        backend: Optional[str] = None,
+        const_stacks_u: Optional[np.ndarray] = None,
+        const_stacks_v: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Effective real weights of T noisy trials, shape (T, rows, cols).
+
+        The U and V meshes are built for all trials in one fused pass
+        (:meth:`repro.ptc.unitary.UnitaryFactory.build_trials`) and
+        folded with the shared sigma exactly as :meth:`forward` does,
+        so trial t's weight equals what a single forward would produce
+        under that trial's phase offsets.
+        """
+        kw_u = {} if const_stacks_u is None else {"const_stacks": const_stacks_u}
+        kw_v = {} if const_stacks_v is None else {"const_stacks": const_stacks_v}
+        u = self.u_factory.build_trials(offsets_u, backend=backend, **kw_u)
+        v = self.v_factory.build_trials(offsets_v, backend=backend, **kw_v)
+        t = u.shape[0]
+        sv = self.sigma.data.reshape((1, self.n_units, self.k, 1)) * v
+        blocks = (u @ sv).real  # (T, P*Q, K, K)
+        w = blocks.reshape((t, self.p, self.q, self.k, self.k))
+        w = w.transpose((0, 1, 3, 2, 4)).reshape(
+            (t, self.p * self.k, self.q * self.k)
+        )
+        if self.p * self.k != self.rows or self.q * self.k != self.cols:
+            w = w[:, : self.rows, : self.cols]
+        return np.ascontiguousarray(w)
 
     # -- hardware accounting -------------------------------------------
     def set_phase_noise(self, std: float) -> None:
@@ -191,6 +229,44 @@ class PTCConv2d(Module):
             f"PTCConv2d({self.in_channels}, {self.out_channels}, "
             f"kernel_size={self.kernel_size}, k={self.core.k})"
         )
+
+
+class FrozenPhotonicView(Module):
+    """A lightweight view of ``model`` with fixed per-core weights.
+
+    The Monte-Carlo robustness engine precomputes one noisy weight
+    realization per (core, trial) with :meth:`BlockUSV.build_weight_trials`
+    and wraps the *shared* base model in one view per trial: during the
+    view's forward, each core serves its assigned frozen weight instead
+    of rebuilding its meshes, and is restored afterwards.  All
+    non-photonic state (biases, norm statistics, activations) is the
+    base model's own, so a population of views costs one weight matrix
+    per core per trial — not a model copy.
+    """
+
+    def __init__(
+        self, model: Module, assignments: Sequence[Tuple["BlockUSV", np.ndarray]]
+    ):
+        super().__init__()
+        self.base = model
+        self._assignments = list(assignments)
+        # Match the base model's mode so evaluation helpers that
+        # save/restore modes do not clobber it through the view.
+        self.train(model.training)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for core, w in self._assignments:
+            core.frozen_weight = w
+        try:
+            return self.base(x)
+        finally:
+            for core, _ in self._assignments:
+                core.frozen_weight = None
+
+
+def photonic_cores(model: Module) -> List[BlockUSV]:
+    """All :class:`BlockUSV` cores of ``model`` in traversal order."""
+    return [m for m in model.modules() if isinstance(m, BlockUSV)]
 
 
 def set_model_phase_noise(model: Module, std: float) -> int:

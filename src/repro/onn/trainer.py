@@ -73,20 +73,31 @@ def evaluate_population(
     :func:`repro.core.search.rank_candidate_topologies`.  Combined with
     the eval-mode unitary build cache, scoring P retrained candidate
     topologies costs one mesh build per candidate, not one per batch.
+
+    Each model's train/eval mode is saved on entry and restored on
+    exit, so evaluating a model that was already in eval mode leaves
+    it in eval mode.  An empty dataset scores 0.0 (no samples, no
+    correct predictions) instead of dividing by zero.
     """
-    for m in models:
-        m.eval()
-    correct = np.zeros(len(models), dtype=int)
-    with no_grad():
-        for start in range(0, len(dataset), batch_size):
-            xb = Tensor(dataset.images[start : start + batch_size])
-            yb = dataset.labels[start : start + batch_size]
-            for i, m in enumerate(models):
-                logits = m(xb)
-                correct[i] += int((np.argmax(logits.data, axis=-1) == yb).sum())
-    for m in models:
-        m.train()
-    return [c / len(dataset) for c in correct]
+    n = len(dataset)
+    prior_modes = [m.training for m in models]
+    try:
+        for m in models:
+            m.eval()
+        correct = np.zeros(len(models), dtype=int)
+        with no_grad():
+            for start in range(0, n, batch_size):
+                xb = Tensor(dataset.images[start : start + batch_size])
+                yb = dataset.labels[start : start + batch_size]
+                for i, m in enumerate(models):
+                    logits = m(xb)
+                    correct[i] += int((np.argmax(logits.data, axis=-1) == yb).sum())
+    finally:
+        for m, mode in zip(models, prior_modes):
+            m.train(mode)
+    if n == 0:
+        return [0.0 for _ in models]
+    return [c / n for c in correct]
 
 
 def train(
@@ -113,6 +124,11 @@ def train(
     model.train()
 
     for epoch in range(cfg.epochs):
+        # Step at the start of each epoch: epoch 0 trains at the base
+        # LR and the final epoch trains at the fully annealed floor
+        # (stepping at the end left the last cosine point unused).
+        if sched is not None:
+            sched.step()
         epoch_loss, epoch_correct, n_seen = 0.0, 0, 0
         for i, (xb, yb) in enumerate(loader):
             logits = model(Tensor(xb))
@@ -137,8 +153,6 @@ def train(
                 f"epoch {epoch}: loss {result.train_losses[-1]:.4f} "
                 f"train_acc {result.train_accs[-1]:.4f} test_acc {acc:.4f}"
             )
-        if sched is not None:
-            sched.step()
         if epoch_hook is not None:
             epoch_hook(epoch, model)
 

@@ -30,7 +30,15 @@ class LRScheduler:
 
 
 class CosineAnnealingLR(LRScheduler):
-    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` steps."""
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` steps.
+
+    The schedule spans the *closed* interval: the first :meth:`step`
+    yields the base LR and the ``t_max``-th yields exactly ``eta_min``
+    (further steps stay at the floor).  A training loop that steps once
+    at the start of each of ``t_max`` epochs therefore trains its final
+    epoch at the annealed floor — previously the floor landed one step
+    past the last epoch and was never used.
+    """
 
     def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
         self.t_max = max(1, t_max)
@@ -38,9 +46,10 @@ class CosineAnnealingLR(LRScheduler):
         super().__init__(optimizer)
 
     def get_lr(self, base_lr: float) -> float:
-        t = min(self.last_epoch, self.t_max)
+        span = max(1, self.t_max - 1)
+        t = min(max(self.last_epoch, 0), span)
         return self.eta_min + 0.5 * (base_lr - self.eta_min) * (
-            1 + math.cos(math.pi * t / self.t_max)
+            1 + math.cos(math.pi * t / span)
         )
 
 

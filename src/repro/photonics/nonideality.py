@@ -44,10 +44,13 @@ __all__ = [
     "NonidealTopologyFactory",
     "crossings_per_wire",
     "db_to_amplitude",
+    "fabrication_const_stack",
     "fidelity",
     "noisy_block_matrix",
     "noisy_unitary",
+    "noisy_unitary_trials",
     "sample_fabrication",
+    "sample_fabrication_batch",
     "thermal_crosstalk_matrix",
     "unitary_fidelity_under_noise",
 ]
@@ -218,6 +221,122 @@ def sample_fabrication(
     return draw(topology.blocks_u), draw(topology.blocks_v)
 
 
+def sample_fabrication_batch(
+    topology: PTCTopology,
+    spec: NonidealitySpec,
+    n_samples: int,
+    rng=None,
+) -> List[Tuple[FabricationSample, FabricationSample]]:
+    """``n_samples`` independent fabrication outcomes (U, V) — the
+    fabrication axis of a scenario grid."""
+    rng = get_rng(rng)
+    return [sample_fabrication(topology, spec, rng=rng) for _ in range(n_samples)]
+
+
+def fabrication_const_stack(
+    blocks: Sequence[BlockSpec],
+    k: int,
+    spec: NonidealitySpec,
+    sample: Optional[FabricationSample] = None,
+) -> np.ndarray:
+    """Stacked constant ``L @ P @ T(t)`` matrices of every block,
+    shape (n_blocks, K, K).
+
+    This is the passive (phase-independent) part of
+    :func:`noisy_block_matrix`, precomputed once per fabrication
+    sample so the per-trial work reduces to a phase-column cascade.
+    With ``sample=None``, couplers are nominal and loss follows the
+    spec deterministically.
+    """
+    const = np.empty((len(blocks), k, k), dtype=complex)
+    for b, block in enumerate(blocks):
+        mask = np.asarray(block.coupler_mask, dtype=bool)
+        dc_t = (
+            np.where(mask, T_5050, 1.0).astype(float)
+            if sample is None
+            else sample.dc_t[b]
+        )
+        t_mat = dc_layer_matrix_np(list(dc_t), k, block.offset)
+        p_mat = np.eye(k) if block.perm is None else perm_to_matrix(block.perm)
+        loss = (
+            _block_loss_diag(block, k, spec)
+            if sample is None
+            else sample.loss_diag[b]
+        )
+        const[b] = np.diag(loss) @ p_mat @ t_mat
+    return const
+
+
+def noisy_unitary_trials(
+    blocks: Sequence[BlockSpec],
+    phases: np.ndarray,
+    k: int,
+    spec: NonidealitySpec,
+    samples=None,
+    n_trials: Optional[int] = None,
+    rng=None,
+) -> np.ndarray:
+    """Vectorized Monte-Carlo twin of :func:`noisy_unitary`:
+    ``T`` independent noisy realizations of one mesh in one batched
+    cascade, shape (T, K, K).
+
+    ``samples`` selects the fabrication axis: ``None`` (nominal chip,
+    ``n_trials`` required), one :class:`FabricationSample` (shared by
+    all trials), or a sequence of samples (one per trial).  Runtime
+    phase noise is redrawn per trial from ``rng`` — with the same seed
+    the draws match a sequential loop of ``noisy_unitary`` calls
+    exactly, because numpy generators produce identical streams for
+    one batched ``normal`` draw and the equivalent per-trial draws.
+    """
+    rng = get_rng(rng)
+    phases = np.asarray(phases, dtype=float)
+    n_blocks = len(blocks)
+    if phases.shape != (n_blocks, k):
+        raise ValueError(
+            f"phases must have shape ({n_blocks}, {k}), got {phases.shape}"
+        )
+    if samples is None:
+        if n_trials is None:
+            raise ValueError("n_trials is required when samples is None")
+        sample_list: List[Optional[FabricationSample]] = [None]
+        trial_sample = np.zeros(n_trials, dtype=int)
+    elif isinstance(samples, FabricationSample):
+        if n_trials is None:
+            raise ValueError("n_trials is required with a single shared sample")
+        sample_list = [samples]
+        trial_sample = np.zeros(n_trials, dtype=int)
+    else:
+        sample_list = list(samples)
+        if n_trials is not None and n_trials != len(sample_list):
+            raise ValueError(
+                f"n_trials={n_trials} != len(samples)={len(sample_list)}"
+            )
+        n_trials = len(sample_list)
+        trial_sample = np.arange(n_trials)
+    if n_trials == 0:
+        return np.zeros((0, k, k), dtype=complex)
+
+    consts = np.stack(
+        [fabrication_const_stack(blocks, k, spec, s) for s in sample_list]
+    )  # (n_samples, B, K, K)
+    # Effective programmed phases per trial: crosstalk mixes the drive
+    # of neighbouring heaters *before* runtime noise is added (same
+    # order as noisy_block_matrix).
+    phi = np.broadcast_to(phases, (n_trials, n_blocks, k)).copy()
+    for i, s in enumerate(sample_list):
+        if s is not None and s.crosstalk is not None:
+            sel = trial_sample == i
+            phi[sel] = phases @ s.crosstalk.T
+    if spec.phase_noise_std > 0.0:
+        phi = phi + rng.normal(0.0, spec.phase_noise_std, size=phi.shape)
+    ps = np.exp(-1j * phi)  # (T, B, K)
+    from ..autograd import phase_column_cascade_forward
+
+    if len(sample_list) == 1:
+        return phase_column_cascade_forward(consts[0], ps)
+    return phase_column_cascade_forward(consts[trial_sample], ps)
+
+
 def noisy_block_matrix(
     block: BlockSpec,
     phases: np.ndarray,
@@ -356,12 +475,7 @@ class NonidealTopologyFactory:
             rng=rng,
         )
         # Rebuild the constant per-block matrices with realized devices.
-        const: List[np.ndarray] = []
-        for b, block in enumerate(blocks):
-            t_mat = dc_layer_matrix_np(list(sample.dc_t[b]), k, block.offset)
-            p_mat = np.eye(k) if block.perm is None else perm_to_matrix(block.perm)
-            const.append(np.diag(sample.loss_diag[b]) @ p_mat @ t_mat)
-        factory._const = const
+        factory._const = list(fabrication_const_stack(blocks, k, spec, sample))
         factory.noise_std = spec.phase_noise_std
         factory.fabrication_sample = sample
         factory.nonideality_spec = spec

@@ -55,7 +55,9 @@ from ..autograd import (
     ensure_tensor,
     is_grad_enabled,
     matmul_chain,
+    no_grad,
     phase_column_cascade,
+    phase_column_cascade_forward,
 )
 from ..autograd import tensor as T
 from ..nn.module import Module, Parameter
@@ -148,10 +150,25 @@ class UnitaryFactory(Module):
         self.build_cache = UnitaryBuildCache()
         self._topology_digest = b""
         self._rng = get_rng(rng)
+        #: Deterministic additive phase offsets, one array per entry of
+        #: :meth:`phase_parameters` (or None).  When installed they
+        #: replace random noise injection entirely: every build adds
+        #: exactly these offsets — how the Monte-Carlo engine's
+        #: sequential reference backend replays a frozen noise
+        #: realization through the normal per-batch build path.
+        self.trial_phase_offsets: Optional[Tuple[np.ndarray, ...]] = None
 
     def _noisy(self, phases: Tensor) -> Tensor:
+        fixed = None
+        if self.trial_phase_offsets is not None:
+            for p, off in zip(self.phase_parameters(), self.trial_phase_offsets):
+                if p is phases:
+                    fixed = off
+                    break
         if self.phase_transform is not None:
             phases = self.phase_transform(phases)
+        if fixed is not None:
+            return phases + Tensor(np.asarray(fixed))
         if self.noise_std > 0.0:
             noise = self._rng.normal(0.0, self.noise_std, size=phases.shape)
             return phases + Tensor(noise)
@@ -183,6 +200,7 @@ class UnitaryFactory(Module):
             and not is_grad_enabled()
             and self.noise_std == 0.0
             and self.phase_transform is None
+            and self.trial_phase_offsets is None
         )
 
     def _cache_key(self) -> bytes:
@@ -194,6 +212,100 @@ class UnitaryFactory(Module):
         raise NotImplementedError
 
     def _build_reference(self) -> Tensor:
+        raise NotImplementedError
+
+    # -- trial-batched Monte-Carlo builds -------------------------------
+    #
+    # The robustness engine (:mod:`repro.core.variation`) evaluates a
+    # model under T = (noise levels x runs) independent phase-noise
+    # realizations.  Instead of re-seeding ``_rng`` and rebuilding the
+    # mesh T times, it pre-draws additive phase offsets for all trials
+    # and asks the factory for the whole (T, n_units, K, K) stack in
+    # one forward-only fused kernel.  No graph nodes are created —
+    # trial builds are eval-only by construction.
+
+    def phase_parameters(self) -> List[Parameter]:
+        """The phase parameters noise is injected into, in a fixed
+        order shared by :meth:`draw_trial_noise` and
+        :meth:`build_trials`."""
+        raise NotImplementedError
+
+    def draw_trial_noise(
+        self, stds: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, ...]:
+        """Draw additive phase offsets for ``T`` trials in one call.
+
+        ``stds`` has shape (T,): the Gaussian phase-noise std-dev of
+        each trial (entries may differ — that is how a noise-level
+        sweep becomes a single batched build).  Returns one array of
+        shape ``(T,) + param.shape`` per entry of
+        :meth:`phase_parameters`.
+        """
+        stds = np.asarray(stds, dtype=float)
+        if stds.ndim != 1:
+            raise ValueError(f"stds must be 1-D (one per trial), got {stds.shape}")
+        out = []
+        for p in self.phase_parameters():
+            scale = stds.reshape((len(stds),) + (1,) * p.data.ndim)
+            out.append(scale * rng.standard_normal((len(stds),) + p.data.shape))
+        return tuple(out)
+
+    def build_trials(
+        self,
+        offsets: Sequence[np.ndarray],
+        backend: Optional[str] = None,
+        const_stacks: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Build noisy transfer matrices for all trials at once.
+
+        ``offsets`` is the tuple returned by :meth:`draw_trial_noise`
+        (additive, per-trial phase offsets).  Returns a plain numpy
+        array of shape ``(T, n_units, K, K)``.
+
+        ``backend`` overrides the factory's configured backend:
+        ``"fast"`` runs every trial through one fused cascade,
+        ``"reference"`` loops trials through the per-column math —
+        kept as the parity/benchmark baseline of the Monte-Carlo
+        engine.  ``const_stacks`` (searched topologies only) supplies
+        per-trial constant block matrices of shape ``(T, B, K, K)``,
+        which is how fabrication-sample scenario grids ride through
+        the same kernel.
+        """
+        backend = self.backend if backend is None else backend
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        if const_stacks is not None:
+            raise ValueError(
+                f"{type(self).__name__} does not support per-trial const_stacks"
+            )
+        if backend == "reference":
+            return self._build_trials_reference(offsets)
+        return self._build_trials_fast(offsets)
+
+    def _transformed_phase_data(self, param: Parameter) -> np.ndarray:
+        """``param``'s phase values after the optional phase transform
+        (e.g. a DAC quantizer) — the programmed drive that noise and
+        crosstalk act on."""
+        if self.phase_transform is None:
+            return param.data
+        with no_grad():
+            return self.phase_transform(ensure_tensor(param)).data
+
+    def _trial_phases(self, param: Parameter, offset: np.ndarray) -> np.ndarray:
+        """Base phases (+ optional transform) plus per-trial offsets,
+        shape ``(T,) + param.shape``."""
+        offset = np.asarray(offset, dtype=float)
+        if offset.shape[1:] != param.data.shape:
+            raise ValueError(
+                f"offset shape {offset.shape} does not broadcast over "
+                f"phases of shape {param.data.shape}"
+            )
+        return self._transformed_phase_data(param)[None] + offset
+
+    def _build_trials_fast(self, offsets: Sequence[np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def _build_trials_reference(self, offsets: Sequence[np.ndarray]) -> np.ndarray:
         raise NotImplementedError
 
     def forward(self) -> Tensor:
@@ -326,6 +438,81 @@ class MZIMeshFactory(UnitaryFactory):
         assert u is not None
         return u
 
+    # -- trial-batched builds ------------------------------------------
+    def phase_parameters(self) -> List[Parameter]:
+        return [self.theta, self.phi]
+
+    @staticmethod
+    def _mzi_entries(a: np.ndarray, e: np.ndarray):
+        """The four 2x2 entries of every MZI given ``a = exp(-j theta)``
+        and ``e = exp(-j phi)`` (same closed form as the graph path)."""
+        m00 = (a - 1.0) * e * 0.5
+        m01 = 1j * (a + 1.0) * 0.5
+        m10 = 1j * (a + 1.0) * e * 0.5
+        m11 = (1.0 - a) * 0.5
+        return m00, m01, m10, m11
+
+    def _build_trials_fast(self, offsets: Sequence[np.ndarray]) -> np.ndarray:
+        # Each MZI column is block-diagonal in 2x2 units, so applying it
+        # to the running product is a paired *row rotation* — O(K^2)
+        # per column instead of the O(K^3) matmul fold, and no (T, L,
+        # K, K) column scatter to materialize.  This is what makes the
+        # trial-batched build cheaper per realization than replaying
+        # the graph build T times, not just a loop-fusion win.
+        off_theta, off_phi = offsets
+        theta = self._trial_phases(self.theta, off_theta)  # (T, n_units, L, M)
+        phi = self._trial_phases(self.phi, off_phi)
+        t = theta.shape[0]
+        n = t * self.n_units
+        a = np.exp(-1j * theta).reshape((n,) + self.theta.shape[1:])
+        e = np.exp(-1j * phi).reshape((n,) + self.phi.shape[1:])
+        m00, m01, m10, m11 = self._mzi_entries(a, e)
+        u = np.broadcast_to(np.eye(self.k, dtype=complex), (n, self.k, self.k)).copy()
+        for layer, (offset, m) in enumerate(self._layout):
+            if m == 0:
+                continue
+            pos = offset + 2 * np.arange(m)
+            top = u[:, pos, :]  # (n, m, K) — fancy indexing copies
+            bot = u[:, pos + 1, :]
+            c00 = m00[:, layer, :m, None]
+            c01 = m01[:, layer, :m, None]
+            c10 = m10[:, layer, :m, None]
+            c11 = m11[:, layer, :m, None]
+            u[:, pos, :] = c00 * top + c01 * bot
+            u[:, pos + 1, :] = c10 * top + c11 * bot
+        return u.reshape(t, self.n_units, self.k, self.k)
+
+    def _build_trials_reference(self, offsets: Sequence[np.ndarray]) -> np.ndarray:
+        off_theta, off_phi = offsets
+        theta = self._trial_phases(self.theta, off_theta)
+        phi = self._trial_phases(self.phi, off_phi)
+        t = theta.shape[0]
+        out = np.empty((t, self.n_units, self.k, self.k), dtype=complex)
+        for trial in range(t):
+            u: Optional[np.ndarray] = None
+            for layer, (offset, m) in enumerate(self._layout):
+                if m == 0:
+                    continue
+                a = np.exp(-1j * theta[trial, :, layer, :m])
+                e = np.exp(-1j * phi[trial, :, layer, :m])
+                m00, m01, m10, m11 = self._mzi_entries(a, e)
+                pos = offset + 2 * np.arange(m)
+                covered = np.zeros(self.k, dtype=bool)
+                covered[pos] = True
+                covered[pos + 1] = True
+                mat = np.broadcast_to(
+                    np.diag((~covered).astype(complex)),
+                    (self.n_units, self.k, self.k),
+                ).copy()
+                mat[:, pos, pos] = m00
+                mat[:, pos, pos + 1] = m01
+                mat[:, pos + 1, pos] = m10
+                mat[:, pos + 1, pos + 1] = m11
+                u = mat if u is None else mat @ u
+            assert u is not None
+            out[trial] = u
+        return out
+
     def device_counts(self) -> Tuple[int, int, int]:
         # Paper accounting (Table 1): each MZI column is two blocks, and
         # every block is billed a full K-wide PS column, so one mesh has
@@ -382,6 +569,36 @@ class ButterflyFactory(UnitaryFactory):
                 u = dc @ (ps.reshape((self.n_units, self.k, 1)) * u)
         assert u is not None
         return u
+
+    # -- trial-batched builds ------------------------------------------
+    def phase_parameters(self) -> List[Parameter]:
+        return [self.phases]
+
+    def _build_trials_fast(self, offsets: Sequence[np.ndarray]) -> np.ndarray:
+        (off,) = offsets
+        phases = self._trial_phases(self.phases, off)  # (T, n_units, S, K)
+        t = phases.shape[0]
+        ps = np.exp(-1j * phases).reshape(t * self.n_units, self.stages, self.k)
+        u = phase_column_cascade_forward(self._stage_stack, ps)
+        return u.reshape(t, self.n_units, self.k, self.k)
+
+    def _build_trials_reference(self, offsets: Sequence[np.ndarray]) -> np.ndarray:
+        (off,) = offsets
+        phases = self._trial_phases(self.phases, off)
+        t = phases.shape[0]
+        out = np.empty((t, self.n_units, self.k, self.k), dtype=complex)
+        for trial in range(t):
+            u: Optional[np.ndarray] = None
+            for s in range(self.stages):
+                ps = np.exp(-1j * phases[trial, :, s, :])
+                dc = self._stage_dc[s]
+                if u is None:
+                    u = dc * ps[:, None, :]
+                else:
+                    u = dc @ (ps[:, :, None] * u)
+            assert u is not None
+            out[trial] = u
+        return out
 
     def device_counts(self) -> Tuple[int, int, int]:
         from ..photonics.footprint import _butterfly_crossings
@@ -478,6 +695,79 @@ class FixedTopologyFactory(UnitaryFactory):
             eye = np.broadcast_to(np.eye(self.k, dtype=complex), (self.n_units, self.k, self.k))
             return Tensor(eye.copy())
         return u
+
+    # -- trial-batched builds ------------------------------------------
+    def phase_parameters(self) -> List[Parameter]:
+        return [self.phases]
+
+    def build_trials(
+        self,
+        offsets: Sequence[np.ndarray],
+        backend: Optional[str] = None,
+        const_stacks: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        backend = self.backend if backend is None else backend
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        if const_stacks is not None:
+            const_stacks = np.asarray(const_stacks, dtype=complex)
+            if const_stacks.shape[1:] != (self.n_blocks, self.k, self.k):
+                raise ValueError(
+                    f"const_stacks shape {const_stacks.shape} != "
+                    f"(T, {self.n_blocks}, {self.k}, {self.k})"
+                )
+        if backend == "reference":
+            return self._build_trials_reference(offsets, const_stacks)
+        return self._build_trials_fast(offsets, const_stacks)
+
+    def _build_trials_fast(
+        self,
+        offsets: Sequence[np.ndarray],
+        const_stacks: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        (off,) = offsets
+        phases = self._trial_phases(self.phases, off)  # (T, n_units, B, K)
+        t = phases.shape[0]
+        if self.n_blocks == 0:
+            eye = np.eye(self.k, dtype=complex)
+            return np.broadcast_to(eye, (t, self.n_units, self.k, self.k)).copy()
+        ps = np.exp(-1j * phases).reshape(t * self.n_units, self.n_blocks, self.k)
+        if const_stacks is None:
+            consts = self._const_stack  # (B, K, K), shared by all trials
+        else:
+            # One constant stack per trial, repeated across the trial's
+            # n_units meshes to match the flattened batch axis.
+            consts = np.repeat(const_stacks, self.n_units, axis=0)
+        u = phase_column_cascade_forward(consts, ps)
+        return u.reshape(t, self.n_units, self.k, self.k)
+
+    def _build_trials_reference(
+        self,
+        offsets: Sequence[np.ndarray],
+        const_stacks: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        (off,) = offsets
+        phases = self._trial_phases(self.phases, off)
+        t = phases.shape[0]
+        out = np.empty((t, self.n_units, self.k, self.k), dtype=complex)
+        for trial in range(t):
+            consts = (
+                self._const_list if const_stacks is None else const_stacks[trial]
+            )
+            u: Optional[np.ndarray] = None
+            for b in range(self.n_blocks):
+                ps = np.exp(-1j * phases[trial, :, b, :])
+                cb = consts[b]
+                if u is None:
+                    u = cb * ps[:, None, :]
+                else:
+                    u = cb @ (ps[:, :, None] * u)
+            if u is None:
+                u = np.broadcast_to(
+                    np.eye(self.k, dtype=complex), (self.n_units, self.k, self.k)
+                ).copy()
+            out[trial] = u
+        return out
 
     def device_counts(self) -> Tuple[int, int, int]:
         from ..photonics.crossings import count_inversions

@@ -2,7 +2,7 @@
 
 from .ascii_plot import bar_chart, line_plot, sparkline
 from .logging import TraceLogger
-from .rng import get_rng, set_seed, spawn_rng
+from .rng import get_rng, set_seed, spawn_rng, stable_hash, stable_seed
 from .serialization import load_checkpoint, save_checkpoint
 
 __all__ = [
@@ -15,4 +15,6 @@ __all__ = [
     "save_checkpoint",
     "set_seed",
     "spawn_rng",
+    "stable_hash",
+    "stable_seed",
 ]

@@ -200,3 +200,39 @@ class TestMatmulChain:
     def test_empty_chain_is_identity(self):
         out = matmul_chain(Tensor(np.zeros((2, 0, 3, 3), dtype=complex)))
         assert np.allclose(out.data, np.eye(3))
+
+
+class TestForwardOnlyKernels:
+    """The graph-free twins used by the Monte-Carlo robustness engine
+    must agree bit-for-bit with the autograd kernels' forwards."""
+
+    def test_phase_column_cascade_forward_matches_graph(self, rng):
+        from repro.autograd import phase_column_cascade_forward
+
+        for per_mesh in (False, True):
+            consts, phases, _ = _random_inputs(rng, per_mesh_consts=per_mesh)
+            ps = np.exp(-1j * phases.data)
+            graph = phase_column_cascade(Tensor(consts.data), Tensor(ps))
+            plain = phase_column_cascade_forward(consts.data, ps)
+            assert np.array_equal(graph.data, plain)
+
+    def test_matmul_chain_forward_matches_graph(self, rng):
+        from repro.autograd import matmul_chain_forward
+
+        mats = rng.normal(size=(3, 5, 4, 4)) + 1j * rng.normal(size=(3, 5, 4, 4))
+        graph = matmul_chain(Tensor(mats))
+        plain = matmul_chain_forward(mats)
+        assert np.array_equal(graph.data, plain)
+
+    def test_forward_kernels_empty_and_bad_shapes(self):
+        from repro.autograd import matmul_chain_forward, phase_column_cascade_forward
+
+        out = phase_column_cascade_forward(
+            np.zeros((0, 3, 3), complex), np.zeros((2, 0, 3), complex)
+        )
+        assert np.allclose(out, np.eye(3))
+        assert np.allclose(matmul_chain_forward(np.zeros((2, 0, 3, 3))), np.eye(3))
+        with pytest.raises(ValueError):
+            phase_column_cascade_forward(np.zeros((2, 3, 3)), np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            matmul_chain_forward(np.zeros((2, 3, 3)))

@@ -1,0 +1,203 @@
+"""Trial-batched Monte-Carlo robustness engine: backend parity,
+non-mutation guarantees, and the fabrication x noise scenario grid."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    evaluate_noise_grid,
+    noise_robustness_curve,
+    scenario_robustness_grid,
+)
+from repro.core.topology import random_topology
+from repro.onn import PTCLinear, evaluate
+from repro.photonics.nonideality import NonidealitySpec
+
+K = 8
+
+
+def small_dataset(tiny_mnist):
+    _, te = tiny_mnist
+    return te
+
+
+def make_model(mesh, seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(nn.Flatten(), PTCLinear(784, 10, k=K, mesh=mesh, rng=rng))
+
+
+MESHES = ["mzi", "butterfly", "topology"]
+
+
+def resolve_mesh(name):
+    if name == "topology":
+        return random_topology(K, 6, 6, np.random.default_rng(4))
+    return name
+
+
+class TestNoiseGridParity:
+    @pytest.mark.parametrize("mesh", MESHES)
+    def test_fast_matches_sequential_reference(self, tiny_mnist, mesh):
+        te = small_dataset(tiny_mnist)
+        model = make_model(resolve_mesh(mesh))
+        g_fast = evaluate_noise_grid(
+            model, te, (0.02, 0.08), 3, seed=5, backend="fast", batch_size=16
+        )
+        g_ref = evaluate_noise_grid(
+            model, te, (0.02, 0.08), 3, seed=5, backend="reference", batch_size=16
+        )
+        assert g_fast.shape == (2, 3)
+        assert np.array_equal(g_fast, g_ref)
+
+    def test_zero_noise_grid_equals_clean_accuracy(self, tiny_mnist):
+        te = small_dataset(tiny_mnist)
+        model = make_model("butterfly")
+        clean = evaluate(model, te)
+        grid = evaluate_noise_grid(model, te, (0.0,), 2, backend="fast")
+        assert np.allclose(grid, clean)
+
+    def test_deterministic_across_calls(self, tiny_mnist):
+        te = small_dataset(tiny_mnist)
+        model = make_model("mzi")
+        a = evaluate_noise_grid(model, te, (0.05,), 4, seed=9)
+        b = evaluate_noise_grid(model, te, (0.05,), 4, seed=9)
+        assert np.array_equal(a, b)
+        c = evaluate_noise_grid(model, te, (0.05,), 4, seed=10)
+        assert not np.array_equal(a, c)
+
+    def test_model_state_untouched(self, tiny_mnist):
+        te = small_dataset(tiny_mnist)
+        model = make_model("mzi")
+        model.eval()
+        before = evaluate(model, te)
+        evaluate_noise_grid(model, te, (0.1,), 2, backend="fast")
+        evaluate_noise_grid(model, te, (0.1,), 2, backend="reference")
+        core = model.m1.core
+        assert core.frozen_weight is None
+        assert core.u_factory.trial_phase_offsets is None
+        assert core.u_factory.noise_std == 0.0
+        assert not model.training  # eval mode preserved
+        assert np.isclose(evaluate(model, te), before)
+
+    def test_rejects_non_photonic_model(self, tiny_mnist):
+        te = small_dataset(tiny_mnist)
+        model = nn.Sequential(nn.Flatten(), nn.Linear(784, 10))
+        with pytest.raises(ValueError):
+            evaluate_noise_grid(model, te, (0.02,), 2)
+
+    def test_rejects_unknown_backend(self, tiny_mnist):
+        te = small_dataset(tiny_mnist)
+        model = make_model("butterfly")
+        with pytest.raises(ValueError):
+            evaluate_noise_grid(model, te, (0.02,), 2, backend="nope")
+
+
+class TestCurveOnEngine:
+    def test_curve_matches_grid(self, tiny_mnist):
+        te = small_dataset(tiny_mnist)
+        model = make_model("butterfly")
+        points = noise_robustness_curve(
+            model, te, noise_stds=(0.02, 0.1), n_runs=3, seed=2
+        )
+        grid = evaluate_noise_grid(model, te, (0.02, 0.1), 3, seed=2)
+        assert [p.noise_std for p in points] == [0.02, 0.1]
+        for p, runs in zip(points, grid):
+            assert p.runs == [float(a) for a in runs]
+            assert np.isclose(p.mean_acc, runs.mean())
+            assert np.isclose(p.std_acc, runs.std())
+
+
+class TestScenarioGrid:
+    def spec(self):
+        return NonidealitySpec(
+            dc_t_std=0.02, loss_ps_db=0.05, loss_dc_db=0.1,
+            crosstalk_gamma=0.05,
+        )
+
+    def test_parity_and_shape(self, tiny_mnist):
+        te = small_dataset(tiny_mnist)
+        model = make_model(resolve_mesh("topology"), seed=1)
+        kw = dict(
+            noise_stds=(0.02, 0.06), n_fab_samples=2, n_runs=2, seed=3,
+            batch_size=16,
+        )
+        g_fast = scenario_robustness_grid(model, te, self.spec(), backend="fast", **kw)
+        g_ref = scenario_robustness_grid(
+            model, te, self.spec(), backend="reference", **kw
+        )
+        assert g_fast.accs.shape == (2, 2, 2)
+        assert np.array_equal(g_fast.accs, g_ref.accs)
+        assert g_fast.mean_over_runs().shape == (2, 2)
+        curve = g_fast.curve()
+        assert len(curve) == 2 and len(curve[0].runs) == 4
+
+    def test_restores_factory_constants(self, tiny_mnist):
+        te = small_dataset(tiny_mnist)
+        model = make_model(resolve_mesh("topology"), seed=1)
+        factory = model.m1.core.u_factory
+        before = [c.copy() for c in factory._const]
+        for backend in ("fast", "reference"):
+            scenario_robustness_grid(
+                model, te, self.spec(), noise_stds=(0.05,), n_fab_samples=2,
+                n_runs=1, backend=backend, batch_size=16,
+            )
+        assert all(np.array_equal(a, b) for a, b in zip(before, factory._const))
+
+    def test_requires_searched_topology(self, tiny_mnist):
+        te = small_dataset(tiny_mnist)
+        model = make_model("mzi")
+        with pytest.raises(ValueError, match="FixedTopologyFactory"):
+            scenario_robustness_grid(model, te, self.spec())
+
+    def test_crosstalk_acts_on_transformed_phases(self, tiny_mnist, monkeypatch):
+        """Crosstalk must mix the *programmed* drive (post phase
+        transform): with zero runtime noise the engine's additive
+        offsets must equal C @ Q(phi) - Q(phi), not C @ phi - phi
+        (regression: the correction used to be derived from the raw,
+        untransformed phases)."""
+        import repro.core.variation as variation_mod
+        from repro.photonics.nonideality import thermal_crosstalk_matrix
+
+        te = small_dataset(tiny_mnist)
+        model = make_model(resolve_mesh("topology"), seed=6)
+        shift = 0.37
+        for factory in (model.m1.core.u_factory, model.m1.core.v_factory):
+            factory.phase_transform = lambda t: t + shift
+        captured = {}
+        orig = variation_mod._run_weight_trials
+
+        def spy(model_, cores, offsets, *args, **kwargs):
+            captured["offsets"] = offsets
+            return orig(model_, cores, offsets, *args, **kwargs)
+
+        monkeypatch.setattr(variation_mod, "_run_weight_trials", spy)
+        spec = NonidealitySpec(crosstalk_gamma=0.2, crosstalk_radius=2)
+        scenario_robustness_grid(
+            model, te, spec, noise_stds=(0.0,), n_fab_samples=1, n_runs=1,
+            seed=0, batch_size=16,
+        )
+        xtalk = thermal_crosstalk_matrix(K, 0.2, 2)
+        ((off_u,), (off_v,)) = captured["offsets"][0]
+        for factory, off in (
+            (model.m1.core.u_factory, off_u),
+            (model.m1.core.v_factory, off_v),
+        ):
+            programmed = factory.phases.data + shift
+            expected = programmed @ xtalk.T - programmed
+            assert np.allclose(off[0], expected)
+            # The wrong (raw-phase) correction differs measurably.
+            raw = factory.phases.data
+            assert not np.allclose(off[0], raw @ xtalk.T - raw)
+
+    def test_ideal_spec_reduces_to_noise_grid(self, tiny_mnist):
+        """With no passive nonidealities every fabrication sample is the
+        nominal chip, so fabrication rows are identical."""
+        te = small_dataset(tiny_mnist)
+        model = make_model(resolve_mesh("topology"), seed=1)
+        grid = scenario_robustness_grid(
+            model, te, NonidealitySpec(), noise_stds=(0.0,), n_fab_samples=2,
+            n_runs=1, batch_size=16,
+        )
+        clean = evaluate(model, te)
+        assert np.allclose(grid.accs, clean)

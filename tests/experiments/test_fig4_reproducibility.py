@@ -1,0 +1,44 @@
+"""Fig. 4 driver reproducibility: identical curves regardless of
+PYTHONHASHSEED (regression for seed derivation via randomized
+``hash((part, mesh_name))``)."""
+
+import os
+import subprocess
+import sys
+
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+)
+
+SNIPPET = """
+from repro.experiments.common import ExperimentScale
+from repro.experiments.fig4 import run_fig4_part
+scale = ExperimentScale(n_train=32, n_test=24, retrain_epochs=1, batch_size=16,
+                        model_width=0.25, noise_runs=2, seed=0)
+res = run_fig4_part("a", {}, k=8, scale=scale, noise_stds=(0.02, 0.06))
+for name in sorted(res.curves):
+    print(name, [(s, round(m, 9), round(sd, 9)) for s, m, sd in res.curves[name]])
+"""
+
+
+def _run(hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FULL", None)
+    out = subprocess.run(
+        [sys.executable, "-c", SNIPPET],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    # Drop the progress prints; keep only the curve lines.
+    return "\n".join(
+        line for line in out.stdout.splitlines()
+        if line.startswith(("MZI", "FFT"))
+    )
+
+
+def test_fig4_curves_independent_of_hash_randomization():
+    a = _run("1")
+    b = _run("987654")
+    assert a == b
+    assert "MZI" in a and "FFT" in a

@@ -28,3 +28,35 @@ def test_population_matches_individual_evaluate(tiny_mnist):
     assert pop == solo
     for m in models:
         assert m.training  # restored to train mode afterwards
+
+
+def test_eval_mode_is_preserved(tiny_mnist):
+    """Models already in eval mode must stay in eval mode — evaluation
+    used to flip everything back to train mode unconditionally."""
+    train_set, _ = tiny_mnist
+    import copy
+
+    ds = copy.copy(train_set)
+    ds.images = train_set.images[:, :, :8, :8].copy()
+    m_eval, m_train = _model(0), _model(1)
+    m_eval.eval()
+    evaluate_population([m_eval, m_train], ds, batch_size=32)
+    assert not m_eval.training
+    assert m_train.training
+    # Submodules follow the restored mode too.
+    assert all(not sub.training for sub in m_eval.modules())
+    evaluate(m_eval, ds, batch_size=32)
+    assert not m_eval.training
+
+
+def test_empty_dataset_scores_zero(tiny_mnist):
+    train_set, _ = tiny_mnist
+    import copy
+
+    ds = copy.copy(train_set)
+    ds.images = train_set.images[:0, :, :8, :8].copy()
+    ds.labels = train_set.labels[:0].copy()
+    model = _model(0)
+    assert evaluate(model, ds) == 0.0
+    assert evaluate_population([model, _model(1)], ds) == [0.0, 0.0]
+    assert model.training  # mode still restored on the empty path

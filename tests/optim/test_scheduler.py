@@ -16,8 +16,14 @@ class TestCosine:
         sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
         sched.step()  # epoch 0
         assert np.isclose(opt.lr, 1.0)
-        for _ in range(10):
+        for _ in range(9):
             sched.step()
+        # The t_max-th step — i.e. the *last training epoch* of a
+        # t_max-epoch run with start-of-epoch stepping — sits exactly
+        # at the annealed floor (this used to land one step past the
+        # final epoch and was never used).
+        assert np.isclose(opt.lr, 0.1)
+        sched.step()  # extra steps stay at the floor
         assert np.isclose(opt.lr, 0.1)
 
     def test_monotone_decreasing(self):
@@ -31,10 +37,63 @@ class TestCosine:
 
     def test_midpoint_half(self):
         opt = make_opt(2.0)
-        sched = CosineAnnealingLR(opt, t_max=10)
+        sched = CosineAnnealingLR(opt, t_max=11)  # odd span: exact midpoint
         for _ in range(6):
             sched.step()
         assert np.isclose(opt.lr, 1.0)
+
+    def test_pinned_schedule_values(self):
+        """The full closed-interval schedule for t_max=5, base 1.0."""
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=5, eta_min=0.2)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        expected = [
+            0.2 + 0.4 * (1 + np.cos(np.pi * t / 4)) for t in range(5)
+        ]
+        assert np.allclose(lrs, expected)
+        assert np.isclose(lrs[0], 1.0)
+        assert np.isclose(lrs[-1], 0.2)
+
+    def test_t_max_one_stays_at_base(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=1, eta_min=0.0)
+        sched.step()
+        assert np.isclose(opt.lr, 1.0)
+
+    def test_final_training_epoch_uses_floor(self):
+        """End-to-end: train() with cosine LR anneals the optimizer to
+        eta_min (0 by default) during its final epoch."""
+        from repro.data.synthetic import train_test_split
+        from repro.nn import Flatten, Linear, Sequential
+        from repro.onn import TrainConfig, train
+
+        tr, _ = train_test_split("mnist", 32, 8, seed=0)
+        model = Sequential(Flatten(), Linear(784, 10))
+        cfg = TrainConfig(epochs=3, batch_size=16, lr=0.5, cosine_lr=True)
+        # Capture the LR the optimizer actually used each epoch.
+        import repro.onn.trainer as trainer_mod
+
+        captured = []
+        orig_adam = trainer_mod.Adam
+
+        class SpyAdam(orig_adam):
+            def step(self):
+                captured.append(self.param_groups[0]["lr"])
+                super().step()
+
+        trainer_mod.Adam = SpyAdam
+        try:
+            train(model, tr, config=cfg)
+        finally:
+            trainer_mod.Adam = orig_adam
+        n_batches = len(captured) // 3
+        first_epoch = captured[:n_batches]
+        last_epoch = captured[-n_batches:]
+        assert all(np.isclose(lr, 0.5) for lr in first_epoch)
+        assert all(np.isclose(lr, 0.0) for lr in last_epoch)
 
 
 class TestStepExp:

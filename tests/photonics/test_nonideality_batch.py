@@ -1,0 +1,111 @@
+"""Vectorized noisy_unitary_trials vs the sequential noisy_unitary loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.topology import random_topology
+from repro.photonics.nonideality import (
+    NonidealitySpec,
+    fabrication_const_stack,
+    noisy_unitary,
+    noisy_unitary_trials,
+    sample_fabrication_batch,
+)
+
+K = 8
+TOL = 1e-12
+
+
+@pytest.fixture
+def topo():
+    return random_topology(K, 6, 6, np.random.default_rng(3))
+
+
+@pytest.fixture
+def phases(topo):
+    return np.random.default_rng(1).uniform(0, 2 * np.pi, size=(len(topo.blocks_u), K))
+
+
+FULL_SPEC = NonidealitySpec(
+    phase_noise_std=0.05, dc_t_std=0.02, loss_ps_db=0.1, loss_dc_db=0.2,
+    loss_cr_db=0.1, crosstalk_gamma=0.1,
+)
+
+
+class TestNoisyUnitaryTrials:
+    def test_per_trial_samples_match_loop(self, topo, phases):
+        samples = [
+            u for u, _ in sample_fabrication_batch(
+                topo, FULL_SPEC, 4, rng=np.random.default_rng(9)
+            )
+        ]
+        rng1 = np.random.default_rng(42)
+        loop = np.stack([
+            noisy_unitary(topo.blocks_u, phases, K, FULL_SPEC, sample=s, rng=rng1)
+            for s in samples
+        ])
+        rng2 = np.random.default_rng(42)
+        batch = noisy_unitary_trials(
+            topo.blocks_u, phases, K, FULL_SPEC, samples=samples, rng=rng2
+        )
+        assert batch.shape == (4, K, K)
+        assert np.abs(loop - batch).max() <= TOL
+
+    def test_shared_sample_matches_loop(self, topo, phases):
+        (sample, _), = sample_fabrication_batch(
+            topo, FULL_SPEC, 1, rng=np.random.default_rng(2)
+        )
+        rng1, rng2 = np.random.default_rng(5), np.random.default_rng(5)
+        loop = np.stack([
+            noisy_unitary(topo.blocks_u, phases, K, FULL_SPEC, sample=sample, rng=rng1)
+            for _ in range(5)
+        ])
+        batch = noisy_unitary_trials(
+            topo.blocks_u, phases, K, FULL_SPEC, samples=sample, n_trials=5, rng=rng2
+        )
+        assert np.abs(loop - batch).max() <= TOL
+
+    def test_nominal_chip_matches_loop(self, topo, phases):
+        spec = NonidealitySpec(phase_noise_std=0.08)
+        rng1, rng2 = np.random.default_rng(6), np.random.default_rng(6)
+        loop = np.stack([
+            noisy_unitary(topo.blocks_u, phases, K, spec, rng=rng1) for _ in range(3)
+        ])
+        batch = noisy_unitary_trials(
+            topo.blocks_u, phases, K, spec, n_trials=3, rng=rng2
+        )
+        assert np.abs(loop - batch).max() <= TOL
+
+    def test_ideal_spec_is_exact_mesh(self, topo, phases):
+        ideal = noisy_unitary(topo.blocks_u, phases, K, NonidealitySpec())
+        batch = noisy_unitary_trials(
+            topo.blocks_u, phases, K, NonidealitySpec(), n_trials=2
+        )
+        assert np.abs(batch - ideal).max() <= TOL
+        # Ideal meshes are unitary.
+        for u in batch:
+            assert np.abs(u @ u.conj().T - np.eye(K)).max() < 1e-9
+
+    def test_requires_trial_count(self, topo, phases):
+        with pytest.raises(ValueError, match="n_trials"):
+            noisy_unitary_trials(topo.blocks_u, phases, K, NonidealitySpec())
+
+    def test_rejects_bad_phase_shape(self, topo):
+        with pytest.raises(ValueError):
+            noisy_unitary_trials(
+                topo.blocks_u, np.zeros((2, K)), K, NonidealitySpec(), n_trials=1
+            )
+
+
+def test_fabrication_const_stack_matches_factory_substitution(topo):
+    """The stack helper must produce exactly the constants that
+    NonidealTopologyFactory bakes into a FixedTopologyFactory."""
+    from repro.photonics.nonideality import NonidealTopologyFactory, sample_fabrication
+
+    spec = NonidealitySpec(dc_t_std=0.03, loss_dc_db=0.2)
+    sample, _ = sample_fabrication(topo, spec, rng=np.random.default_rng(4))
+    stack = fabrication_const_stack(topo.blocks_u, K, spec, sample)
+    factory = NonidealTopologyFactory(
+        K, 2, topo.blocks_u, spec, sample=sample, rng=np.random.default_rng(0)
+    )
+    assert np.abs(stack - np.stack(factory._const)).max() == 0.0
