@@ -1,0 +1,154 @@
+"""Micro-benchmark: the complex64 execution backend's forward fast lane.
+
+The ``"numpy-c64"`` backend exists to make forward-only workloads
+(Monte-Carlo robustness trials, eval passes, population scoring) pay
+single-precision cost.  This file gates that claim at the paper's
+transfer mesh size: the complex64 cascade forward over a K = 16 trial
+stack must run >= 1.5x faster than the complex128 reference engine,
+while agreeing with it to 1e-4 relative (the precision contract of
+``tests/autograd/test_backend_parity.py``).
+
+Timing methodology follows ``test_perf_supermesh.py``: interleaved
+per-trial ratios with a median verdict, so common-mode machine-load
+drift cancels.  The CI workflow runs this file as a non-gating smoke
+job on shared runners (see ``.github/workflows/ci.yml``).
+"""
+
+import time
+
+import numpy as np
+
+from repro.autograd.backend import get_backend
+from repro.ptc import FixedTopologyFactory
+from repro.ptc.unitary import block_constant_matrix
+
+K = 16
+N_BLOCKS = 16
+N_STACK = 256  # trials x meshes in the flattened batch axis
+SPEEDUP_FLOOR = 1.5
+C64_TOL = 1e-4
+
+
+def _median_ratio(fn_ref, fn_fast, reps=10, trials=9):
+    """Per-trial interleaved ref/fast ratio; the median cancels the
+    common-mode machine-load drift a sequential A-then-B timing keeps."""
+    ratios = []
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn_ref()
+        t_ref = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn_fast()
+        t_fast = time.perf_counter() - t0
+        ratios.append(t_ref / t_fast)
+    return float(np.median(ratios))
+
+
+def _median_seconds(fn, reps=10, trials=9):
+    best = []
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best.append((time.perf_counter() - t0) / reps)
+    return float(np.median(best))
+
+
+def _cascade_workload(seed=7):
+    """A realistic K=16 cascade: unitary block constants, unit-modulus
+    phase columns, N_STACK parallel realizations."""
+    rng = np.random.default_rng(seed)
+    consts = np.stack(
+        [
+            block_constant_matrix(
+                K, rng.permutation(K), rng.random(K // 2) < 0.7, b % 2
+            )
+            for b in range(N_BLOCKS)
+        ]
+    )
+    ps = np.exp(-1j * rng.uniform(0, 2 * np.pi, size=(N_STACK, N_BLOCKS, K)))
+    return consts, ps
+
+
+class TestC64FastLane:
+    def test_cascade_forward_speedup_at_k16(self):
+        consts, ps = _cascade_workload()
+        b128 = get_backend("numpy")
+        b64 = get_backend("numpy-c64")
+
+        def run128():
+            b128.phase_column_cascade_forward(consts, ps)
+
+        def run64():
+            b64.phase_column_cascade_forward(consts, ps)
+
+        run128()  # warmup (allocator, BLAS thread pools)
+        run64()
+        t128 = _median_seconds(run128)
+        t64 = _median_seconds(run64)
+        speedup = _median_ratio(run128, run64)
+        print(
+            f"\ncascade forward K={K} B={N_BLOCKS} N={N_STACK}: "
+            f"c128 {t128 * 1e3:.2f} ms, c64 {t64 * 1e3:.2f} ms, "
+            f"speedup {speedup:.2f}x"
+        )
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"complex64 lane only {speedup:.2f}x over complex128 "
+            f"(floor {SPEEDUP_FLOOR}x)"
+        )
+
+    def test_cascade_forward_parity_on_benchmark_workload(self):
+        """The speed gate is meaningless if the lanes diverge — pin the
+        precision contract on the exact benchmark workload."""
+        consts, ps = _cascade_workload()
+        ref = get_backend("numpy").phase_column_cascade_forward(consts, ps)
+        fast = get_backend("numpy-c64").phase_column_cascade_forward(consts, ps)
+        assert fast.dtype == np.complex64
+        rel = np.abs(fast.astype(np.complex128) - ref).max() / np.abs(ref).max()
+        assert rel <= C64_TOL
+
+    def test_matmul_chain_forward_companion(self):
+        """Companion numbers for the MZI-mesh chain kernel (soft gate:
+        the fast lane must not be slower)."""
+        rng = np.random.default_rng(11)
+        q, _ = np.linalg.qr(
+            rng.standard_normal((N_STACK, N_BLOCKS, K, K))
+            + 1j * rng.standard_normal((N_STACK, N_BLOCKS, K, K))
+        )
+        b128 = get_backend("numpy")
+        b64 = get_backend("numpy-c64")
+        b128.matmul_chain_forward(q)
+        b64.matmul_chain_forward(q)
+        speedup = _median_ratio(
+            lambda: b128.matmul_chain_forward(q),
+            lambda: b64.matmul_chain_forward(q),
+        )
+        print(f"\nmatmul_chain K={K} B={N_BLOCKS} N={N_STACK}: {speedup:.2f}x")
+        assert speedup > 1.0
+
+    def test_factory_trial_stack_companion(self):
+        """End-to-end Monte-Carlo trial stack (phase prep + cascade)
+        through a K=16 factory — the workload ``repro.core.variation``
+        runs under its complex64 default (soft gate)."""
+        blocks = [(None, np.ones(K // 2, bool), i % 2) for i in range(8)]
+        f = FixedTopologyFactory(K, 16, blocks, rng=np.random.default_rng(3))
+        offsets = f.draw_trial_noise(np.full(64, 0.02), np.random.default_rng(9))
+
+        def run128():
+            f.build_trials(offsets, exec_backend="numpy")
+
+        def run64():
+            f.build_trials(offsets, exec_backend="numpy-c64")
+
+        run128()
+        run64()
+        t128 = _median_seconds(run128, reps=5)
+        t64 = _median_seconds(run64, reps=5)
+        speedup = _median_ratio(run128, run64, reps=5)
+        print(
+            f"\ntrial stack K={K} T=64: c128 {t128 * 1e3:.1f} ms, "
+            f"c64 {t64 * 1e3:.1f} ms, speedup {speedup:.2f}x"
+        )
+        assert speedup > 1.0

@@ -17,20 +17,34 @@ Quickstart::
 """
 
 from . import analysis, autograd, core, data, layout, nn, onn, optim, photonics, ptc, utils
+from .autograd.backend import (
+    available_backends,
+    backend_scope,
+    default_backend,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
     "autograd",
+    "available_backends",
+    "backend_scope",
     "core",
     "data",
+    "default_backend",
+    "get_backend",
     "layout",
     "nn",
     "onn",
     "optim",
     "photonics",
     "ptc",
+    "register_backend",
+    "set_default_backend",
     "utils",
     "__version__",
 ]

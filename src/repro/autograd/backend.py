@@ -1,0 +1,391 @@
+"""Pluggable execution backends for the fused forward kernels.
+
+The fused kernels in :mod:`repro.autograd.fused` used to call NumPy
+directly in complex128.  Every *forward-only* workload — Monte-Carlo
+robustness trials, eval passes, population scoring — paid double the
+memory bandwidth it needed, and no alternative array engine could be
+slotted in.  This module breaks that coupling: an
+:class:`ExecutionBackend` bundles a name, a complex/real dtype pair,
+and the forward kernel implementations, and a small registry dispatches
+per-call or via a process-wide default.
+
+Two backends are registered out of the box:
+
+* ``"numpy"`` — the reference engine: complex128, grad-capable.  Its
+  forward kernels are, op for op, the seed implementation, so results
+  agree bit-for-bit with the autograd graph kernels.
+* ``"numpy-c64"`` — the complex64 **fast lane**: forward-only, half
+  the memory traffic and flop cost, sized for K = 16/32 meshes (the
+  cascade is folded as large-batch single-precision GEMMs writing into
+  a pair of reused ping-pong buffers, so the hot loop allocates
+  nothing per block).
+
+Forward-only backends cannot record gradients.  The graph kernels
+(:func:`repro.autograd.fused.phase_column_cascade`,
+:func:`repro.autograd.fused.matmul_chain`) therefore *demote*
+automatically: when grad recording is active and the resolved backend
+is forward-only, the kernel silently runs on the backend's
+``grad_fallback`` (complex128) instead.  That makes
+``set_default_backend("numpy-c64")`` globally safe — training stays at
+full precision while eval/Monte-Carlo paths take the fast lane.
+
+Selection
+---------
+* per call: every fused kernel and factory build method accepts a
+  ``backend=`` / ``exec_backend=`` argument (a name or an
+  :class:`ExecutionBackend`);
+* process-wide: :func:`set_default_backend` (also re-exported as
+  ``repro.set_default_backend``) switches the default immediately and
+  returns a guard usable as a context manager that restores the prior
+  default on exit;
+* environment: the ``REPRO_EXEC_BACKEND`` variable picks the initial
+  default at import time (used by the CI complex64 matrix leg).
+
+Precision guarantees are spelled out in ``docs/ARCHITECTURE.md``
+("Execution backends") and locked down by
+``tests/autograd/test_backend_parity.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ExecutionBackend",
+    "available_backends",
+    "backend_scope",
+    "default_backend",
+    "get_backend",
+    "grad_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
+]
+
+BackendLike = Union[str, "ExecutionBackend"]
+
+
+def _check_cascade_shapes(
+    consts: np.ndarray, ps: np.ndarray, exec_prob
+) -> Tuple[int, int, int, bool, Optional[np.ndarray]]:
+    """Shared argument validation of the cascade kernels.
+
+    Returns ``(n, n_blocks, k, shared_consts, exec_data)``.
+    """
+    if ps.ndim != 3:
+        raise ValueError(f"ps must have shape (N, B, K), got {ps.shape}")
+    n, n_blocks, k = ps.shape
+    shared_c = consts.ndim == 3
+    if shared_c:
+        if consts.shape != (n_blocks, k, k):
+            raise ValueError(f"consts shape {consts.shape} != ({n_blocks}, {k}, {k})")
+    elif consts.shape != (n, n_blocks, k, k):
+        raise ValueError(f"consts shape {consts.shape} != ({n}, {n_blocks}, {k}, {k})")
+    ed = None
+    if exec_prob is not None:
+        ed = np.asarray(exec_prob)
+        if ed.shape not in ((n_blocks,), (n, n_blocks)):
+            raise ValueError(f"exec_prob shape {ed.shape} invalid for B={n_blocks}")
+    return n, n_blocks, k, shared_c, ed
+
+
+class ExecutionBackend:
+    """One array engine + dtype lane for the fused forward kernels.
+
+    Attributes
+    ----------
+    name: registry key (also part of every build-cache key).
+    complex_dtype / real_dtype: the dtype lane the kernels compute in.
+    forward_only: True if the backend cannot participate in autograd
+        graph recording; the graph kernels then demote to
+        :attr:`grad_fallback` whenever gradients are being recorded.
+    grad_fallback: name of the grad-capable backend substituted for a
+        forward-only backend under grad recording.
+    """
+
+    name: str = "abstract"
+    complex_dtype = np.complex128
+    real_dtype = np.float64
+    forward_only: bool = False
+    grad_fallback: Optional[str] = None
+
+    def cache_token(self) -> bytes:
+        """Backend identity folded into unitary build-cache keys.
+
+        Covers both the engine name and the complex dtype so a cached
+        complex128 build can never be served to a complex64 request
+        (or vice versa) — see ``tests/ptc/test_unitary_cache.py``.
+        """
+        return f"|{self.name}|{np.dtype(self.complex_dtype)}|".encode()
+
+    # -- forward kernels -----------------------------------------------
+    def phase_column_cascade_forward(
+        self,
+        consts: np.ndarray,
+        ps: np.ndarray,
+        exec_prob: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def matmul_chain_forward(self, mats: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "forward-only" if self.forward_only else "grad-capable"
+        return f"ExecutionBackend({self.name!r}, {np.dtype(self.complex_dtype)}, {kind})"
+
+
+class NumpyBackend(ExecutionBackend):
+    """Reference engine: complex128 NumPy, grad-capable.
+
+    The kernels below keep the exact op order of the seed
+    implementation, so they agree **bit-for-bit** with the forwards of
+    the autograd graph kernels (locked by
+    ``tests/autograd/test_fused.py::TestForwardOnlyKernels``).
+    """
+
+    name = "numpy"
+    complex_dtype = np.complex128
+    real_dtype = np.float64
+    forward_only = False
+
+    def phase_column_cascade_forward(self, consts, ps, exec_prob=None):
+        ps = np.asarray(ps)
+        consts = np.asarray(consts)
+        n, n_blocks, k, shared_c, ed = _check_cascade_shapes(consts, ps, exec_prob)
+        eye = np.eye(k, dtype=complex)
+        if n_blocks == 0:
+            return np.broadcast_to(eye, (n, k, k)).copy()
+        u: Optional[np.ndarray] = None
+        for b in range(n_blocks):
+            c_b = consts[b] if shared_c else consts[:, b]
+            ps_b = ps[:, b, :]
+            if u is None:
+                block = c_b * ps_b[:, None, :]
+            else:
+                block = c_b @ (ps_b[:, :, None] * u)
+            if ed is None:
+                u = block
+            else:
+                # Same gating arithmetic, in the same order, as the
+                # graph kernel: u = m * block + (1 - m) * skip.
+                m = ed[b] if ed.ndim == 1 else ed[:, b][:, None, None]
+                skip = eye if u is None else u
+                u = m * block + (1.0 - m) * skip
+        return np.ascontiguousarray(u)
+
+    def matmul_chain_forward(self, mats):
+        mats = np.asarray(mats)
+        if mats.ndim != 4 or mats.shape[-1] != mats.shape[-2]:
+            raise ValueError(f"mats must have shape (N, B, K, K), got {mats.shape}")
+        n, n_blocks, k, _ = mats.shape
+        if n_blocks == 0:
+            return np.broadcast_to(np.eye(k, dtype=complex), (n, k, k)).copy()
+        u: Optional[np.ndarray] = None
+        for b in range(n_blocks):
+            u = mats[:, b] if u is None else mats[:, b] @ u
+        return np.ascontiguousarray(u)
+
+
+class NumpyC64Backend(ExecutionBackend):
+    """Forward-only complex64 fast lane with buffered batched-BLAS folds.
+
+    Inputs are cast to complex64 once on entry, then the cascade is
+    folded block by block as large-batch ``(N, K, K)`` GEMMs — single
+    precision halves both the memory traffic and the BLAS flop cost —
+    with a pair of ping-pong output buffers so the hot loop performs no
+    per-block allocations (``np.multiply``/``np.matmul`` with ``out=``).
+    This is what ``benchmarks/test_perf_lowprec.py`` gates at K = 16:
+    the trial-stack forward must run >= 1.5x faster than the complex128
+    reference engine.
+
+    The gated path (``exec_prob`` given) folds the gate linearly per
+    block, ``m_b * C_b D_b u + (1 - m_b) * u``, matching the graph
+    kernel's arithmetic.
+    """
+
+    name = "numpy-c64"
+    complex_dtype = np.complex64
+    real_dtype = np.float32
+    forward_only = True
+    grad_fallback = "numpy"
+
+    def phase_column_cascade_forward(self, consts, ps, exec_prob=None):
+        ps = np.asarray(ps)
+        consts = np.asarray(consts)
+        n, n_blocks, k, shared_c, ed = _check_cascade_shapes(consts, ps, exec_prob)
+        cdt = self.complex_dtype
+        if n_blocks == 0:
+            return np.broadcast_to(np.eye(k, dtype=cdt), (n, k, k)).copy()
+        ps = ps.astype(cdt, copy=False)
+        consts = consts.astype(cdt, copy=False)
+        if ed is not None:
+            return self._gated_cascade(consts, ps, ed, n, n_blocks, k, shared_c)
+        c0 = consts[0] if shared_c else consts[:, 0]
+        u = np.multiply(c0, ps[:, 0, None, :])  # (N, K, K)
+        buf = np.empty_like(u)
+        for b in range(1, n_blocks):
+            c_b = consts[b] if shared_c else consts[:, b]
+            np.multiply(ps[:, b, :, None], u, out=u)
+            np.matmul(c_b, u, out=buf)
+            u, buf = buf, u
+        return u
+
+    def _gated_cascade(self, consts, ps, ed, n, n_blocks, k, shared_c):
+        eye = np.eye(k, dtype=consts.dtype)
+        m = ed.astype(self.real_dtype, copy=False)
+        u = None
+        for b in range(n_blocks):
+            c_b = consts[b] if shared_c else consts[:, b]
+            ps_b = ps[:, b, :]
+            if u is None:
+                block = c_b * ps_b[:, None, :]
+            else:
+                block = c_b @ (ps_b[:, :, None] * u)
+            m_b = m[b] if m.ndim == 1 else m[:, b][:, None, None]
+            skip = eye if u is None else u
+            u = m_b * block + (1.0 - m_b) * skip
+        return np.ascontiguousarray(u)
+
+    def matmul_chain_forward(self, mats):
+        mats = np.asarray(mats)
+        if mats.ndim != 4 or mats.shape[-1] != mats.shape[-2]:
+            raise ValueError(f"mats must have shape (N, B, K, K), got {mats.shape}")
+        n, n_blocks, k, _ = mats.shape
+        cdt = self.complex_dtype
+        if n_blocks == 0:
+            return np.broadcast_to(np.eye(k, dtype=cdt), (n, k, k)).copy()
+        mats = mats.astype(cdt, copy=False)
+        u = np.ascontiguousarray(mats[:, 0])
+        buf = np.empty_like(u)
+        for b in range(1, n_blocks):
+            np.matmul(mats[:, b], u, out=buf)
+            u, buf = buf, u
+        return u
+
+
+# ----------------------------------------------------------------------
+# Registry and process-wide default
+# ----------------------------------------------------------------------
+
+_REGISTRY: "OrderedDict[str, ExecutionBackend]" = OrderedDict()
+
+
+def register_backend(backend: ExecutionBackend, overwrite: bool = False) -> ExecutionBackend:
+    """Register ``backend`` under ``backend.name``; returns it."""
+    if not isinstance(backend, ExecutionBackend):
+        raise TypeError(f"expected an ExecutionBackend, got {type(backend).__name__}")
+    if backend.name in _REGISTRY and not overwrite:
+        raise ValueError(f"execution backend {backend.name!r} already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered execution backends."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(backend: BackendLike) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        return _REGISTRY[backend]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown execution backend {backend!r}; "
+            f"registered: {available_backends()}"
+        ) from None
+
+
+register_backend(NumpyBackend())
+register_backend(NumpyC64Backend())
+
+#: Process-wide default, overridable at import time for CI matrix legs.
+_DEFAULT: ExecutionBackend = get_backend(os.environ.get("REPRO_EXEC_BACKEND", "numpy"))
+
+
+def default_backend() -> ExecutionBackend:
+    """The process-wide default execution backend."""
+    return _DEFAULT
+
+
+def resolve_backend(backend: Optional[BackendLike] = None) -> ExecutionBackend:
+    """Per-call resolution: ``None`` means the process default."""
+    if backend is None:
+        return _DEFAULT
+    return get_backend(backend)
+
+
+def grad_backend(backend: Optional[BackendLike] = None) -> ExecutionBackend:
+    """Like :func:`resolve_backend`, but demoted to a grad-capable
+    engine: forward-only backends resolve to their ``grad_fallback``."""
+    eb = resolve_backend(backend)
+    if eb.forward_only:
+        eb = get_backend(eb.grad_fallback or "numpy")
+    return eb
+
+
+class _DefaultBackendGuard:
+    """Returned by :func:`set_default_backend`.
+
+    The new default is already active when this object is handed back;
+    using it as a context manager (or calling :meth:`restore`) puts the
+    *prior* default back — so
+    ``with set_default_backend("numpy-c64"): ...`` scopes the switch.
+    """
+
+    def __init__(self, previous: ExecutionBackend):
+        self.previous = previous
+        self._restored = False
+
+    def __enter__(self) -> ExecutionBackend:
+        return default_backend()
+
+    def __exit__(self, *exc) -> bool:
+        self.restore()
+        return False
+
+    def restore(self) -> None:
+        if not self._restored:
+            global _DEFAULT
+            _DEFAULT = self.previous
+            self._restored = True
+
+
+def set_default_backend(backend: BackendLike) -> _DefaultBackendGuard:
+    """Switch the process-wide default backend immediately.
+
+    Returns a guard that restores the previous default when used as a
+    context manager (or via ``.restore()``).  Ignoring the guard makes
+    the switch permanent for the process.
+    """
+    global _DEFAULT
+    prev = _DEFAULT
+    _DEFAULT = get_backend(backend)
+    return _DefaultBackendGuard(prev)
+
+
+@contextmanager
+def backend_scope(backend: Optional[BackendLike]):
+    """Temporarily install ``backend`` as the default (``None`` = no-op).
+
+    The keyword-threading convenience used by eval paths
+    (:func:`repro.onn.trainer.evaluate_population`): scoping the
+    default lets every nested build — including ones that never see the
+    keyword — pick up the requested lane.
+    """
+    if backend is None:
+        yield _DEFAULT
+        return
+    guard = set_default_backend(backend)
+    try:
+        yield _DEFAULT
+    finally:
+        guard.restore()

@@ -36,7 +36,8 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor, _make, ensure_tensor
+from .backend import BackendLike, resolve_backend
+from .tensor import Tensor, _make, ensure_tensor, is_grad_enabled
 
 __all__ = [
     "l2_normalize",
@@ -45,6 +46,15 @@ __all__ = [
     "phase_column_cascade",
     "phase_column_cascade_forward",
 ]
+
+
+def _recording(*tensors: Optional[Tensor]) -> bool:
+    """True when a graph node would actually be created for ``tensors``
+    — the condition under which a forward-only backend must demote to
+    its grad-capable fallback."""
+    return is_grad_enabled() and any(
+        t is not None and (t.requires_grad or t._parents) for t in tensors
+    )
 
 
 def l2_normalize(x: Tensor, axis: int, eps: float = 1e-12) -> Tensor:
@@ -72,8 +82,13 @@ def l2_normalize(x: Tensor, axis: int, eps: float = 1e-12) -> Tensor:
     return _make(out, (x,), backward)
 
 
-def phase_column_cascade_forward(consts: np.ndarray, ps: np.ndarray) -> np.ndarray:
-    """Forward-only numpy twin of :func:`phase_column_cascade`.
+def phase_column_cascade_forward(
+    consts: np.ndarray,
+    ps: np.ndarray,
+    exec_prob: Optional[np.ndarray] = None,
+    backend: Optional[BackendLike] = None,
+) -> np.ndarray:
+    """Forward-only twin of :func:`phase_column_cascade`.
 
     Computes ``C_{B-1} @ diag(ps_{B-1}) @ ... @ C_0 @ diag(ps_0)`` for a
     batch of ``N`` meshes without building a graph node or retaining
@@ -82,57 +97,38 @@ def phase_column_cascade_forward(consts: np.ndarray, ps: np.ndarray) -> np.ndarr
     ``N`` is (trials x units) and no gradients are ever needed.
 
     ``consts`` has shape ``(B, K, K)`` (shared) or ``(N, B, K, K)``
-    (per-mesh); ``ps`` has shape ``(N, B, K)``.  The arithmetic is
-    identical, op for op, to the autograd kernel's forward loop, so
-    results agree bit-for-bit with the trainable path.
+    (per-mesh); ``ps`` has shape ``(N, B, K)``; ``exec_prob``, when
+    given, has shape ``(B,)`` or ``(N, B)`` and soft-gates each block
+    exactly like the graph kernel.  ``backend`` selects the execution
+    backend (:mod:`repro.autograd.backend`); ``None`` uses the process
+    default.  On the ``"numpy"`` backend the arithmetic is identical,
+    op for op, to the autograd kernel's forward loop, so results agree
+    bit-for-bit with the trainable path; the ``"numpy-c64"`` fast lane
+    trades that for complex64 stacked-GEMM folding.
     """
-    ps = np.asarray(ps)
-    consts = np.asarray(consts)
-    if ps.ndim != 3:
-        raise ValueError(f"ps must have shape (N, B, K), got {ps.shape}")
-    n, n_blocks, k = ps.shape
-    shared_c = consts.ndim == 3
-    if shared_c:
-        if consts.shape != (n_blocks, k, k):
-            raise ValueError(f"consts shape {consts.shape} != ({n_blocks}, {k}, {k})")
-    elif consts.shape != (n, n_blocks, k, k):
-        raise ValueError(f"consts shape {consts.shape} != ({n}, {n_blocks}, {k}, {k})")
-    if n_blocks == 0:
-        return np.broadcast_to(np.eye(k, dtype=complex), (n, k, k)).copy()
-    u: Optional[np.ndarray] = None
-    for b in range(n_blocks):
-        c_b = consts[b] if shared_c else consts[:, b]
-        ps_b = ps[:, b, :]
-        if u is None:
-            u = c_b * ps_b[:, None, :]
-        else:
-            u = c_b @ (ps_b[:, :, None] * u)
-    return np.ascontiguousarray(u)
+    return resolve_backend(backend).phase_column_cascade_forward(
+        consts, ps, exec_prob
+    )
 
 
-def matmul_chain_forward(mats: np.ndarray) -> np.ndarray:
-    """Forward-only numpy twin of :func:`matmul_chain`.
+def matmul_chain_forward(
+    mats: np.ndarray, backend: Optional[BackendLike] = None
+) -> np.ndarray:
+    """Forward-only twin of :func:`matmul_chain`.
 
     ``mats`` has shape ``(N, B, K, K)``; returns
     ``mats[:, B-1] @ ... @ mats[:, 0]`` of shape ``(N, K, K)`` without
-    graph bookkeeping or stored prefixes.
+    graph bookkeeping or stored prefixes.  ``backend`` selects the
+    execution backend (``None`` = process default).
     """
-    mats = np.asarray(mats)
-    if mats.ndim != 4 or mats.shape[-1] != mats.shape[-2]:
-        raise ValueError(f"mats must have shape (N, B, K, K), got {mats.shape}")
-    n, n_blocks, k, _ = mats.shape
-    if n_blocks == 0:
-        return np.broadcast_to(np.eye(k, dtype=complex), (n, k, k)).copy()
-    u: Optional[np.ndarray] = None
-    for b in range(n_blocks):
-        u = mats[:, b] if u is None else mats[:, b] @ u
-    return np.ascontiguousarray(u)
+    return resolve_backend(backend).matmul_chain_forward(mats)
 
 
 def phase_column_cascade(
     consts: Tensor,
     ps: Tensor,
     exec_prob: Optional[Tensor] = None,
+    backend: Optional[BackendLike] = None,
 ) -> Tensor:
     """Fused forward of a phase-shifter/constant-column mesh cascade.
 
@@ -157,9 +153,22 @@ def phase_column_cascade(
         Optional per-block execution weights ``m_b``; shape ``(B,)``
         (shared) or ``(N, B)``.  ``None`` means every block executes
         (``m_b = 1``), which skips the gating arithmetic entirely.
+    backend:
+        Execution backend (:mod:`repro.autograd.backend`); ``None``
+        uses the process default.  A forward-only backend (e.g. the
+        complex64 fast lane) is honored only when no gradients would be
+        recorded; under grad recording the kernel demotes to the
+        backend's grad-capable fallback so training code can run
+        unchanged with a low-precision default installed.
     """
     consts = ensure_tensor(consts)
     ps = ensure_tensor(ps)
+    if exec_prob is not None:
+        exec_prob = ensure_tensor(exec_prob)
+    eb = resolve_backend(backend)
+    if eb.forward_only and not _recording(consts, ps, exec_prob):
+        ed_ = None if exec_prob is None else exec_prob.data
+        return Tensor(eb.phase_column_cascade_forward(consts.data, ps.data, ed_))
     pd = ps.data
     if pd.ndim != 3:
         raise ValueError(f"ps must have shape (N, B, K), got {pd.shape}")
@@ -274,7 +283,7 @@ def phase_column_cascade(
     return _make(np.ascontiguousarray(out), parents, backward)
 
 
-def matmul_chain(mats: Tensor) -> Tensor:
+def matmul_chain(mats: Tensor, backend: Optional[BackendLike] = None) -> Tensor:
     """Fused left-fold of batched matrix products.
 
     ``mats`` has shape ``(N, B, K, K)``; the result is
@@ -286,8 +295,15 @@ def matmul_chain(mats: Tensor) -> Tensor:
     unfused composition would create; the backward pass replays the
     chain with the stored prefixes (``grad_{M_b} = g_b @ conj(P_{b-1})^T``,
     ``g_{b-1} = conj(M_b)^T @ g_b``).
+
+    ``backend`` follows the same rules as :func:`phase_column_cascade`:
+    forward-only backends apply only when no gradients would be
+    recorded, otherwise the grad-capable fallback runs.
     """
     mats = ensure_tensor(mats)
+    eb = resolve_backend(backend)
+    if eb.forward_only and not _recording(mats):
+        return Tensor(eb.matmul_chain_forward(mats.data))
     md = mats.data
     if md.ndim != 4 or md.shape[-1] != md.shape[-2]:
         raise ValueError(f"mats must have shape (N, B, K, K), got {md.shape}")

@@ -397,6 +397,7 @@ class SuperMeshCore(Module):
         cols: int,
         rng=None,
         backend: Optional[str] = None,
+        exec_backend=None,
     ):
         super().__init__()
         # Imported lazily: repro.ptc pulls in repro.core.topology at
@@ -407,6 +408,9 @@ class SuperMeshCore(Module):
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         self.backend = backend
+        #: Execution backend (array engine / dtype) for the fused
+        #: cascade, or None to follow the process-wide default.
+        self.exec_backend = exec_backend
         self.space = space
         self.rows = rows
         self.cols = cols
@@ -465,7 +469,8 @@ class SuperMeshCore(Module):
         gates = (
             sample.exec_prob.reshape((2, 1, half)) * self._tile_gates
         ).reshape((2 * n, half))
-        uv = phase_column_cascade(consts, ps, gates).reshape((2, n, k, k))
+        uv = phase_column_cascade(consts, ps, gates, backend=self.exec_backend)
+        uv = uv.reshape((2, n, k, k))
         return uv[0], uv[1]
 
     def _unitary(self, sample: SuperMeshSample, side: str) -> Tensor:
@@ -510,7 +515,10 @@ class SuperMeshCore(Module):
             v = v / (T.sum_(v * v.conj(), axis=-2, keepdims=True).real() + 1e-12).sqrt().astype(
                 np.complex128
             )
-        sv = self.sigma.astype(np.complex128).reshape((self.n_units, self.k, 1)) * v
+        # Sigma follows the built dtype (complex64 under a forward-only
+        # low-precision execution backend, complex128 otherwise).
+        cdtype = np.result_type(u.data.dtype, np.complex64)
+        sv = self.sigma.astype(cdtype).reshape((self.n_units, self.k, 1)) * v
         blocks = (u @ sv).real()
         w = blocks.reshape((self.p, self.q, self.k, self.k))
         w = w.transpose((0, 2, 1, 3)).reshape((self.p * self.k, self.q * self.k))

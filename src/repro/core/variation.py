@@ -32,6 +32,12 @@ benchmark baseline (``benchmarks/test_perf_robustness.py`` gates the
 speedup).  Both backends consume the *same* pre-drawn noise offsets,
 so their per-run accuracies agree exactly at a fixed seed.
 
+Trial stacks default to the complex64 execution backend
+(:data:`TRIAL_EXEC_BACKEND`) — Monte-Carlo builds are forward-only, so
+the half-precision complex lane halves their memory traffic without
+touching any training numerics; pass ``exec_backend="numpy"`` for full
+double precision.
+
 Noise semantics: each run is one frozen noisy chip realization (drawn
 once per trial), matching the paper's "repeated noisy runs".  Models
 containing :class:`SuperMeshCore` fall back to the legacy resampling
@@ -113,6 +119,14 @@ class RobustnessPoint:
 
 _ENGINE_BACKENDS = ("fast", "reference")
 
+#: Default execution backend for Monte-Carlo trial stacks.  Trials are
+#: forward-only by construction, so they default to the complex64 fast
+#: lane — halving the memory traffic of the (T, n_units, K, K) builds —
+#: while accuracies stay within Monte-Carlo resolution of complex128.
+#: Pass ``exec_backend="numpy"`` to any grid entry point to force full
+#: precision.
+TRIAL_EXEC_BACKEND = "numpy-c64"
+
 
 def _draw_grid_offsets(
     cores: Sequence[BlockUSV],
@@ -141,6 +155,7 @@ def _run_weight_trials(
     backend: str,
     batch_size: int,
     const_stacks=None,
+    exec_backend=None,
 ) -> np.ndarray:
     """Score T frozen noisy realizations of ``model``; returns (T,).
 
@@ -156,11 +171,18 @@ def _run_weight_trials(
     within a run and understated the run-to-run variance.  Both
     backends consume identical offsets, so their per-run accuracies
     agree at a fixed seed.
+
+    ``exec_backend`` selects the array engine / dtype of the trial
+    builds; None uses :data:`TRIAL_EXEC_BACKEND` (the complex64 fast
+    lane).  The reference backend installs the same execution backend
+    on the factories, so both engine backends produce bitwise-identical
+    noisy weights at a fixed seed regardless of precision.
     """
     if backend not in _ENGINE_BACKENDS:
         raise ValueError(
             f"backend must be one of {_ENGINE_BACKENDS}, got {backend!r}"
         )
+    eb = TRIAL_EXEC_BACKEND if exec_backend is None else exec_backend
     if const_stacks is None:
         const_stacks = [(None, None)] * len(cores)
     n_trials = len(offsets[0][0][0])
@@ -172,6 +194,7 @@ def _run_weight_trials(
                 backend="fast",
                 const_stacks_u=cu,
                 const_stacks_v=cv,
+                exec_backend=eb,
             )
             for core, (off_u, off_v), (cu, cv) in zip(cores, offsets, const_stacks)
         ]
@@ -189,7 +212,14 @@ def _run_weight_trials(
         )
         for core, (cu, cv) in zip(cores, const_stacks)
     ]
+    saved_exec = [
+        (core.u_factory.exec_backend, core.v_factory.exec_backend)
+        for core in cores
+    ]
     try:
+        for core in cores:
+            core.u_factory.exec_backend = eb
+            core.v_factory.exec_backend = eb
         for t in range(n_trials):
             for core, (off_u, off_v), (cu, cv) in zip(cores, offsets, const_stacks):
                 core.u_factory.trial_phase_offsets = tuple(o[t] for o in off_u)
@@ -200,9 +230,11 @@ def _run_weight_trials(
                     core.v_factory._const = list(cv[t])
             accs[t] = evaluate(model, test_set, batch_size=batch_size)
     finally:
-        for core, (su, sv) in zip(cores, saved_consts):
+        for core, (su, sv), (eu, ev) in zip(cores, saved_consts, saved_exec):
             core.u_factory.trial_phase_offsets = None
             core.v_factory.trial_phase_offsets = None
+            core.u_factory.exec_backend = eu
+            core.v_factory.exec_backend = ev
             if su is not None:
                 core.u_factory._const = su
             if sv is not None:
@@ -218,12 +250,15 @@ def evaluate_noise_grid(
     seed: int = 0,
     backend: str = "fast",
     batch_size: int = 256,
+    exec_backend=None,
 ) -> np.ndarray:
     """Accuracies of the full (noise level x run) Monte-Carlo grid,
     shape ``(len(noise_stds), n_runs)``.
 
     See the module docstring for the engine; at a fixed ``seed`` the
-    two backends return identical grids.
+    two backends return identical grids.  ``exec_backend`` selects the
+    trial-build precision (None = :data:`TRIAL_EXEC_BACKEND`, the
+    complex64 lane).
     """
     cores = photonic_cores(model)
     if not cores:
@@ -233,7 +268,8 @@ def evaluate_noise_grid(
     rng = spawn_rng(stable_seed("noise-grid", seed))
     offsets = _draw_grid_offsets(cores, scenario_stds, rng)
     accs = _run_weight_trials(
-        model, cores, offsets, test_set, backend=backend, batch_size=batch_size
+        model, cores, offsets, test_set, backend=backend, batch_size=batch_size,
+        exec_backend=exec_backend,
     )
     return accs.reshape(len(stds), n_runs)
 
@@ -246,6 +282,7 @@ def noise_robustness_curve(
     seed: int = 0,
     backend: str = "fast",
     batch_size: int = 256,
+    exec_backend=None,
 ) -> List[RobustnessPoint]:
     """Accuracy-vs-noise curve (paper Fig. 4; +-3 sigma over n_runs).
 
@@ -263,7 +300,7 @@ def noise_robustness_curve(
         )
     grid = evaluate_noise_grid(
         model, test_set, noise_stds, n_runs, seed=seed, backend=backend,
-        batch_size=batch_size,
+        batch_size=batch_size, exec_backend=exec_backend,
     )
     points = []
     for std, runs in zip(noise_stds, grid):
@@ -328,6 +365,7 @@ def scenario_robustness_grid(
     seed: int = 0,
     backend: str = "fast",
     batch_size: int = 256,
+    exec_backend=None,
 ) -> ScenarioGrid:
     """Monte-Carlo sweep over fabrication samples x phase noise x runs.
 
@@ -406,7 +444,7 @@ def scenario_robustness_grid(
 
     accs = _run_weight_trials(
         model, cores, offsets, test_set, backend=backend, batch_size=batch_size,
-        const_stacks=const_stacks,
+        const_stacks=const_stacks, exec_backend=exec_backend,
     )
     return ScenarioGrid(
         noise_stds=tuple(float(s) for s in stds),

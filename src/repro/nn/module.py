@@ -115,7 +115,15 @@ class Module:
         own_params = dict(self.named_parameters())
         for name, val in state.items():
             if name in own_params:
-                np.copyto(own_params[name].data, val)
+                p = own_params[name]
+                val = np.asarray(val)
+                if val.dtype == p.data.dtype:
+                    np.copyto(p.data, val)
+                else:
+                    # Adopt the stored dtype instead of silently casting
+                    # into the destination array: a complex64-built
+                    # artifact must reload as complex64.
+                    p.data = np.array(val, copy=True)
         # Buffers must be re-bound on the owning module.
         self._load_buffers(state, prefix="")
 

@@ -90,7 +90,10 @@ class BlockUSV(Module):
         """Stacked complex blocks, shape (P*Q, K, K)."""
         u = self.u_factory.build()
         v = self.v_factory.build()
-        sv = self.sigma.astype(np.complex128).reshape((self.n_units, self.k, 1)) * v
+        # Sigma follows the built dtype so a complex64 execution
+        # backend is not silently promoted back to complex128.
+        cdtype = np.result_type(u.data.dtype, v.data.dtype)
+        sv = self.sigma.astype(cdtype).reshape((self.n_units, self.k, 1)) * v
         return u @ sv
 
     def forward(self) -> Tensor:
@@ -111,6 +114,7 @@ class BlockUSV(Module):
         backend: Optional[str] = None,
         const_stacks_u: Optional[np.ndarray] = None,
         const_stacks_v: Optional[np.ndarray] = None,
+        exec_backend=None,
     ) -> np.ndarray:
         """Effective real weights of T noisy trials, shape (T, rows, cols).
 
@@ -118,14 +122,25 @@ class BlockUSV(Module):
         (:meth:`repro.ptc.unitary.UnitaryFactory.build_trials`) and
         folded with the shared sigma exactly as :meth:`forward` does,
         so trial t's weight equals what a single forward would produce
-        under that trial's phase offsets.
+        under that trial's phase offsets.  ``exec_backend`` selects the
+        array engine / dtype of the trial stacks (e.g. ``"numpy-c64"``
+        halves their memory traffic).
         """
         kw_u = {} if const_stacks_u is None else {"const_stacks": const_stacks_u}
         kw_v = {} if const_stacks_v is None else {"const_stacks": const_stacks_v}
-        u = self.u_factory.build_trials(offsets_u, backend=backend, **kw_u)
-        v = self.v_factory.build_trials(offsets_v, backend=backend, **kw_v)
+        u = self.u_factory.build_trials(
+            offsets_u, backend=backend, exec_backend=exec_backend, **kw_u
+        )
+        v = self.v_factory.build_trials(
+            offsets_v, backend=backend, exec_backend=exec_backend, **kw_v
+        )
         t = u.shape[0]
-        sv = self.sigma.data.reshape((1, self.n_units, self.k, 1)) * v
+        # Cast sigma to the matching real dtype first: float64 * c64
+        # would silently promote the whole stack back to complex128.
+        rdt = np.float32 if v.dtype == np.complex64 else np.float64
+        sv = self.sigma.data.astype(rdt, copy=False).reshape(
+            (1, self.n_units, self.k, 1)
+        ) * v
         blocks = (u @ sv).real  # (T, P*Q, K, K)
         w = blocks.reshape((t, self.p, self.q, self.k, self.k))
         w = w.transpose((0, 1, 3, 2, 4)).reshape(

@@ -14,6 +14,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..autograd import Tensor, no_grad
+from ..autograd.backend import backend_scope
 from ..data import DataLoader, Dataset
 from ..nn import CrossEntropyLoss, Module, accuracy
 from ..optim import Adam, CosineAnnealingLR, clip_grad_norm_
@@ -51,19 +52,32 @@ class TrainResult:
         return max(self.test_accs) if self.test_accs else float("nan")
 
 
-def evaluate(model: Module, dataset: Dataset, batch_size: int = 256) -> float:
+def evaluate(
+    model: Module,
+    dataset: Dataset,
+    batch_size: int = 256,
+    exec_backend=None,
+) -> float:
     """Top-1 accuracy of ``model`` on ``dataset`` (eval mode, no grad).
 
     Runs under ``no_grad``, which lets the photonic mesh factories
     serve their transfer matrices from the eval-mode build cache
     (:mod:`repro.ptc.cache`): with unchanged phases only the first
-    batch pays for a mesh build.
+    batch pays for a mesh build.  ``exec_backend`` selects the array
+    engine / dtype for the duration of the pass (e.g. ``"numpy-c64"``
+    runs all mesh builds through the complex64 forward lane); None
+    keeps the process-wide default.
     """
-    return evaluate_population([model], dataset, batch_size=batch_size)[0]
+    return evaluate_population(
+        [model], dataset, batch_size=batch_size, exec_backend=exec_backend
+    )[0]
 
 
 def evaluate_population(
-    models: List[Module], dataset: Dataset, batch_size: int = 256
+    models: List[Module],
+    dataset: Dataset,
+    batch_size: int = 256,
+    exec_backend=None,
 ) -> List[float]:
     """Top-1 accuracy of a population of candidate models on ``dataset``.
 
@@ -85,7 +99,7 @@ def evaluate_population(
         for m in models:
             m.eval()
         correct = np.zeros(len(models), dtype=int)
-        with no_grad():
+        with no_grad(), backend_scope(exec_backend):
             for start in range(0, n, batch_size):
                 xb = Tensor(dataset.images[start : start + batch_size])
                 yb = dataset.labels[start : start + batch_size]

@@ -275,6 +275,7 @@ def noisy_unitary_trials(
     samples=None,
     n_trials: Optional[int] = None,
     rng=None,
+    exec_backend=None,
 ) -> np.ndarray:
     """Vectorized Monte-Carlo twin of :func:`noisy_unitary`:
     ``T`` independent noisy realizations of one mesh in one batched
@@ -284,9 +285,14 @@ def noisy_unitary_trials(
     ``n_trials`` required), one :class:`FabricationSample` (shared by
     all trials), or a sequence of samples (one per trial).  Runtime
     phase noise is redrawn per trial from ``rng`` — with the same seed
-    the draws match a sequential loop of ``noisy_unitary`` calls
+    the draws match a sequential loop of :func:`noisy_unitary` calls
     exactly, because numpy generators produce identical streams for
     one batched ``normal`` draw and the equivalent per-trial draws.
+
+    ``exec_backend`` selects the execution backend of the batched
+    cascade (``None`` = process default).  The exact loop parity above
+    holds on the complex128 ``"numpy"`` backend; the ``"numpy-c64"``
+    fast lane matches within its 1e-4 relative precision contract.
     """
     rng = get_rng(rng)
     phases = np.asarray(phases, dtype=float)
@@ -333,8 +339,8 @@ def noisy_unitary_trials(
     from ..autograd import phase_column_cascade_forward
 
     if len(sample_list) == 1:
-        return phase_column_cascade_forward(consts[0], ps)
-    return phase_column_cascade_forward(consts[trial_sample], ps)
+        return phase_column_cascade_forward(consts[0], ps, backend=exec_backend)
+    return phase_column_cascade_forward(consts[trial_sample], ps, backend=exec_backend)
 
 
 def noisy_block_matrix(

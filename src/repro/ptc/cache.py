@@ -7,12 +7,17 @@ with *unchanged* phases, and the robustness/expressivity sweeps in
 (topology, phase) configurations across noise draws and targets.
 
 :class:`UnitaryBuildCache` memoizes those builds.  Keys are content
-hashes of ``(topology digest, phase snapshot)`` so invalidation is
-automatic: any optimizer step that touches a phase parameter changes
-the snapshot bytes and therefore misses the cache.  The cache is only
-consulted on the *eval* path — grad mode off, no phase noise, no phase
-transform — where the build output is a pure function of the key (see
-``UnitaryFactory.build`` in :mod:`repro.ptc.unitary`).
+hashes of ``(topology digest, execution-backend token, phase
+snapshot)`` so invalidation is automatic: any optimizer step that
+touches a phase parameter changes the snapshot bytes and therefore
+misses the cache, and switching the execution backend or dtype (e.g.
+``"numpy"``/complex128 vs ``"numpy-c64"``) changes the backend token —
+a complex64 build can never be served where a complex128 one is
+expected, or vice versa (see
+:meth:`repro.autograd.backend.ExecutionBackend.cache_token`).  The
+cache is only consulted on the *eval* path — grad mode off, no phase
+noise, no phase transform — where the build output is a pure function
+of the key (see ``UnitaryFactory.build`` in :mod:`repro.ptc.unitary`).
 
 A small LRU bound keeps memory flat; the common access pattern is one
 hot entry reused across an entire evaluation pass.

@@ -80,13 +80,18 @@ class TopologyPopulation:
     topologies: sequence of :class:`repro.core.topology.PTCTopology`
         (or any object with ``k`` and ``blocks_u``/``blocks_v``).
     side: which unitary's blocks to stack (``"u"`` or ``"v"``).
+    exec_backend: execution backend for the fused cascade (None =
+        process-wide default).  Forward-only scoring sweeps can pass
+        ``"numpy-c64"`` to halve the memory traffic of large
+        populations.
     """
 
-    def __init__(self, topologies: Sequence, side: str = "u"):
+    def __init__(self, topologies: Sequence, side: str = "u", exec_backend=None):
         if not topologies:
             raise ValueError("population must contain at least one topology")
         if side not in ("u", "v"):
             raise ValueError("side must be 'u' or 'v'")
+        self.exec_backend = exec_backend
         ks = {t.k for t in topologies}
         if len(ks) != 1:
             raise ValueError(f"all topologies must share K, got {sorted(ks)}")
@@ -123,16 +128,21 @@ class TopologyPopulation:
             )
         )
 
-    def transfer(self, phases: Tensor) -> Tensor:
+    def transfer(self, phases: Tensor, exec_backend=None) -> Tensor:
         """All candidate unitaries from one phase bank, (P, K, K).
 
         A single fused cascade over the padded stack; padded blocks are
         exact skips, so ``transfer(...)[p]`` equals the unpadded build
-        of candidate ``p``.
+        of candidate ``p``.  ``exec_backend`` overrides the population's
+        configured execution backend for this call (forward-only lanes
+        apply only when no gradient is being recorded).
         """
         ps = T.exp(T.mul(Tensor(np.array(-1j)), phases))
         return phase_column_cascade(
-            Tensor(self.consts), ps, Tensor(self.exec_mask)
+            Tensor(self.consts),
+            ps,
+            Tensor(self.exec_mask),
+            backend=exec_backend if exec_backend is not None else self.exec_backend,
         )
 
 
@@ -145,6 +155,7 @@ def fit_unitary_population(
     record_every: int = 25,
     output_phases: bool = True,
     rng=None,
+    exec_backend=None,
 ) -> PopulationFitResult:
     """Jointly gradient-fit every candidate's phases to ``target``.
 
@@ -153,9 +164,12 @@ def fit_unitary_population(
     independent fits — at the graph cost of one.
 
     ``target`` is a single (K, K) matrix shared by all candidates or a
-    (P, K, K) stack of per-candidate targets.
+    (P, K, K) stack of per-candidate targets.  ``exec_backend`` is
+    forwarded to the population cascade (the fit itself records
+    gradients, so forward-only lanes demote to their full-precision
+    fallback during optimization).
     """
-    pop = TopologyPopulation(topologies, side=side)
+    pop = TopologyPopulation(topologies, side=side, exec_backend=exec_backend)
     rng = get_rng(rng)
     k, n_cand = pop.k, pop.n_candidates
     target = np.asarray(target, dtype=complex)

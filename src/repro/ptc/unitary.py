@@ -40,6 +40,23 @@ nodes (and Python round-trips) the build costs.  On the eval path
 :class:`repro.ptc.cache.UnitaryBuildCache` keyed on the (topology,
 phase snapshot) content, so repeated evaluation of an unchanged mesh
 is a dictionary lookup.
+
+Execution backends
+------------------
+Orthogonal to the build-path choice above, every factory routes its
+array arithmetic through an *execution backend*
+(:mod:`repro.autograd.backend`): ``exec_backend`` may be set at
+construction, overridden per ``build``/``build_trials`` call, or left
+``None`` to follow the process-wide default.  The stock ``"numpy"``
+backend computes in complex128 and is bit-compatible with the graph
+kernels; the ``"numpy-c64"`` lane computes forward-only builds in
+complex64 for ~2x memory-bandwidth savings.  When a forward-only
+backend is selected and grad mode is off, ``build()`` routes through
+the trial-batched kernels (a T=1 stack) instead of the autograd graph;
+under grad mode the backend demotes to its full-precision fallback so
+training numerics never change.  Cache keys include the backend
+identity token, so complex64 and complex128 artifacts can never serve
+each other's hits.
 """
 
 from __future__ import annotations
@@ -57,9 +74,9 @@ from ..autograd import (
     matmul_chain,
     no_grad,
     phase_column_cascade,
-    phase_column_cascade_forward,
 )
 from ..autograd import tensor as T
+from ..autograd.backend import BackendLike, ExecutionBackend, resolve_backend
 from ..nn.module import Module, Parameter
 from ..photonics.crossings import perm_to_matrix
 from ..photonics.devices import T_5050, dc_layer_matrix_np
@@ -130,11 +147,21 @@ class UnitaryFactory(Module):
         (0 disables).  Used by variation-aware training / Fig. 4.
     backend: ``"fast"`` (fused cascade, default) or ``"reference"``
         (per-column loop); see the module docstring.
+    exec_backend: execution backend (name or
+        :class:`~repro.autograd.backend.ExecutionBackend`) used for the
+        array arithmetic, or None to follow the process-wide default.
     build_cache: eval-mode memoization of built transfer matrices
         (:class:`repro.ptc.cache.UnitaryBuildCache`).
     """
 
-    def __init__(self, k: int, n_units: int, rng=None, backend: Optional[str] = None):
+    def __init__(
+        self,
+        k: int,
+        n_units: int,
+        rng=None,
+        backend: Optional[str] = None,
+        exec_backend: Optional[BackendLike] = None,
+    ):
         super().__init__()
         self.k = k
         self.n_units = n_units
@@ -147,6 +174,7 @@ class UnitaryFactory(Module):
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         self.backend = backend
+        self.exec_backend = exec_backend
         self.build_cache = UnitaryBuildCache()
         self._topology_digest = b""
         self._rng = get_rng(rng)
@@ -175,24 +203,73 @@ class UnitaryFactory(Module):
         return phases
 
     # -- build dispatch -------------------------------------------------
-    def build(self) -> Tensor:
+    def _resolve_exec(
+        self, exec_backend: Optional[BackendLike] = None
+    ) -> ExecutionBackend:
+        """Resolve the per-call > per-factory > process-default chain."""
+        return resolve_backend(
+            exec_backend if exec_backend is not None else self.exec_backend
+        )
+
+    def build(self, exec_backend: Optional[BackendLike] = None) -> Tensor:
         """Return transfer matrices of shape (n_units, K, K), complex.
 
         Dispatches to the configured backend; on the eval path (grad
         mode off, no noise, no phase transform) fast builds are served
-        from / recorded into :attr:`build_cache`.
+        from / recorded into :attr:`build_cache`.  With a forward-only
+        execution backend (e.g. ``"numpy-c64"``) and grad mode off, the
+        build routes through the trial-batched kernels instead of the
+        autograd graph; under grad mode forward-only backends demote to
+        their full-precision fallback.
         """
+        eb = self._resolve_exec(exec_backend)
+        if eb.forward_only and not is_grad_enabled():
+            return self._build_forward_only(eb)
         if self.backend == "reference":
             return self._build_reference()
         if self._cacheable():
-            key = self._cache_key()
+            key = self._cache_key(eb)
             hit = self.build_cache.get(key)
             if hit is not None:
                 return Tensor(hit)
-            out = self._build_fast()
+            out = self._build_fast(eb)
             self.build_cache.put(key, out.data)
             return out
-        return self._build_fast()
+        return self._build_fast(eb)
+
+    def _build_forward_only(self, eb: ExecutionBackend) -> Tensor:
+        """Eval-only build through the trial-batched kernels (T=1)."""
+        if self._cacheable():
+            key = self._cache_key(eb)
+            hit = self.build_cache.get(key)
+            if hit is not None:
+                return Tensor(hit)
+            out = self._forward_only_data(eb)
+            self.build_cache.put(key, out)
+            return Tensor(out)
+        return Tensor(self._forward_only_data(eb))
+
+    def _forward_only_data(self, eb: ExecutionBackend) -> np.ndarray:
+        return self.build_trials(
+            self._single_trial_offsets(), backend="fast", exec_backend=eb
+        )[0]
+
+    def _single_trial_offsets(self) -> Tuple[np.ndarray, ...]:
+        """Additive phase offsets reproducing one :meth:`_noisy` build
+        as a T=1 trial stack: installed replay offsets take precedence,
+        then fresh noise draws (same RNG stream and parameter order as
+        the graph path), else zeros."""
+        params = self.phase_parameters()
+        if self.trial_phase_offsets is not None:
+            return tuple(
+                np.asarray(o, dtype=float)[None] for o in self.trial_phase_offsets
+            )
+        if self.noise_std > 0.0:
+            return tuple(
+                self._rng.normal(0.0, self.noise_std, size=(1,) + p.data.shape)
+                for p in params
+            )
+        return tuple(np.zeros((1,) + p.data.shape) for p in params)
 
     def _cacheable(self) -> bool:
         return (
@@ -203,12 +280,15 @@ class UnitaryFactory(Module):
             and self.trial_phase_offsets is None
         )
 
-    def _cache_key(self) -> bytes:
-        return self._topology_digest + content_digest(
-            *(p.data for p in self.parameters())
+    def _cache_key(self, eb: Optional[ExecutionBackend] = None) -> bytes:
+        eb = self._resolve_exec(None) if eb is None else eb
+        return (
+            self._topology_digest
+            + eb.cache_token()
+            + content_digest(*(p.data for p in self.parameters()))
         )
 
-    def _build_fast(self) -> Tensor:
+    def _build_fast(self, eb: Optional[ExecutionBackend] = None) -> Tensor:
         raise NotImplementedError
 
     def _build_reference(self) -> Tensor:
@@ -255,6 +335,7 @@ class UnitaryFactory(Module):
         offsets: Sequence[np.ndarray],
         backend: Optional[str] = None,
         const_stacks: Optional[np.ndarray] = None,
+        exec_backend: Optional[BackendLike] = None,
     ) -> np.ndarray:
         """Build noisy transfer matrices for all trials at once.
 
@@ -269,18 +350,21 @@ class UnitaryFactory(Module):
         engine.  ``const_stacks`` (searched topologies only) supplies
         per-trial constant block matrices of shape ``(T, B, K, K)``,
         which is how fabrication-sample scenario grids ride through
-        the same kernel.
+        the same kernel.  ``exec_backend`` selects the array engine /
+        dtype (trial builds are forward-only by construction, so
+        forward-only lanes such as ``"numpy-c64"`` apply directly).
         """
         backend = self.backend if backend is None else backend
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        eb = self._resolve_exec(exec_backend)
         if const_stacks is not None:
             raise ValueError(
                 f"{type(self).__name__} does not support per-trial const_stacks"
             )
         if backend == "reference":
-            return self._build_trials_reference(offsets)
-        return self._build_trials_fast(offsets)
+            return self._build_trials_reference(offsets, eb)
+        return self._build_trials_fast(offsets, eb)
 
     def _transformed_phase_data(self, param: Parameter) -> np.ndarray:
         """``param``'s phase values after the optional phase transform
@@ -302,10 +386,14 @@ class UnitaryFactory(Module):
             )
         return self._transformed_phase_data(param)[None] + offset
 
-    def _build_trials_fast(self, offsets: Sequence[np.ndarray]) -> np.ndarray:
+    def _build_trials_fast(
+        self, offsets: Sequence[np.ndarray], eb: ExecutionBackend
+    ) -> np.ndarray:
         raise NotImplementedError
 
-    def _build_trials_reference(self, offsets: Sequence[np.ndarray]) -> np.ndarray:
+    def _build_trials_reference(
+        self, offsets: Sequence[np.ndarray], eb: ExecutionBackend
+    ) -> np.ndarray:
         raise NotImplementedError
 
     def forward(self) -> Tensor:
@@ -337,8 +425,15 @@ class MZIMeshFactory(UnitaryFactory):
     :func:`repro.autograd.matmul_chain`.
     """
 
-    def __init__(self, k: int, n_units: int, rng=None, backend: Optional[str] = None):
-        super().__init__(k, n_units, rng=rng, backend=backend)
+    def __init__(
+        self,
+        k: int,
+        n_units: int,
+        rng=None,
+        backend: Optional[str] = None,
+        exec_backend: Optional[BackendLike] = None,
+    ):
+        super().__init__(k, n_units, rng=rng, backend=backend, exec_backend=exec_backend)
         self.n_layers = k
         layout = []
         for layer in range(self.n_layers):
@@ -394,7 +489,7 @@ class MZIMeshFactory(UnitaryFactory):
 
         return custom_grad(out, parts, backward)
 
-    def _build_fast(self) -> Tensor:
+    def _build_fast(self, eb: Optional[ExecutionBackend] = None) -> Tensor:
         theta = self._noisy(self.theta)
         phi = self._noisy(self.phi)
         a = _phase_factor(theta)  # (n_units, L, max_m)
@@ -406,7 +501,7 @@ class MZIMeshFactory(UnitaryFactory):
         m10 = jj * (a + 1.0) * e * half
         m11 = (1.0 - a) * half
         columns = self._assemble_columns(m00, m01, m10, m11)
-        return matmul_chain(columns)
+        return matmul_chain(columns, backend=self._resolve_exec(eb))
 
     def _build_reference(self) -> Tensor:
         theta = self._noisy(self.theta)
@@ -452,22 +547,27 @@ class MZIMeshFactory(UnitaryFactory):
         m11 = (1.0 - a) * 0.5
         return m00, m01, m10, m11
 
-    def _build_trials_fast(self, offsets: Sequence[np.ndarray]) -> np.ndarray:
+    def _build_trials_fast(
+        self, offsets: Sequence[np.ndarray], eb: ExecutionBackend
+    ) -> np.ndarray:
         # Each MZI column is block-diagonal in 2x2 units, so applying it
         # to the running product is a paired *row rotation* — O(K^2)
         # per column instead of the O(K^3) matmul fold, and no (T, L,
         # K, K) column scatter to materialize.  This is what makes the
         # trial-batched build cheaper per realization than replaying
         # the graph build T times, not just a loop-fusion win.
+        cdt = eb.complex_dtype
         off_theta, off_phi = offsets
         theta = self._trial_phases(self.theta, off_theta)  # (T, n_units, L, M)
         phi = self._trial_phases(self.phi, off_phi)
         t = theta.shape[0]
         n = t * self.n_units
-        a = np.exp(-1j * theta).reshape((n,) + self.theta.shape[1:])
-        e = np.exp(-1j * phi).reshape((n,) + self.phi.shape[1:])
+        # exp in double precision, then cast: matches the rounding a
+        # graph-built matrix shows after a dtype cast.
+        a = np.exp(-1j * theta).reshape((n,) + self.theta.shape[1:]).astype(cdt, copy=False)
+        e = np.exp(-1j * phi).reshape((n,) + self.phi.shape[1:]).astype(cdt, copy=False)
         m00, m01, m10, m11 = self._mzi_entries(a, e)
-        u = np.broadcast_to(np.eye(self.k, dtype=complex), (n, self.k, self.k)).copy()
+        u = np.broadcast_to(np.eye(self.k, dtype=cdt), (n, self.k, self.k)).copy()
         for layer, (offset, m) in enumerate(self._layout):
             if m == 0:
                 continue
@@ -482,26 +582,29 @@ class MZIMeshFactory(UnitaryFactory):
             u[:, pos + 1, :] = c10 * top + c11 * bot
         return u.reshape(t, self.n_units, self.k, self.k)
 
-    def _build_trials_reference(self, offsets: Sequence[np.ndarray]) -> np.ndarray:
+    def _build_trials_reference(
+        self, offsets: Sequence[np.ndarray], eb: ExecutionBackend
+    ) -> np.ndarray:
+        cdt = eb.complex_dtype
         off_theta, off_phi = offsets
         theta = self._trial_phases(self.theta, off_theta)
         phi = self._trial_phases(self.phi, off_phi)
         t = theta.shape[0]
-        out = np.empty((t, self.n_units, self.k, self.k), dtype=complex)
+        out = np.empty((t, self.n_units, self.k, self.k), dtype=cdt)
         for trial in range(t):
             u: Optional[np.ndarray] = None
             for layer, (offset, m) in enumerate(self._layout):
                 if m == 0:
                     continue
-                a = np.exp(-1j * theta[trial, :, layer, :m])
-                e = np.exp(-1j * phi[trial, :, layer, :m])
+                a = np.exp(-1j * theta[trial, :, layer, :m]).astype(cdt, copy=False)
+                e = np.exp(-1j * phi[trial, :, layer, :m]).astype(cdt, copy=False)
                 m00, m01, m10, m11 = self._mzi_entries(a, e)
                 pos = offset + 2 * np.arange(m)
                 covered = np.zeros(self.k, dtype=bool)
                 covered[pos] = True
                 covered[pos + 1] = True
                 mat = np.broadcast_to(
-                    np.diag((~covered).astype(complex)),
+                    np.diag((~covered).astype(cdt)),
                     (self.n_units, self.k, self.k),
                 ).copy()
                 mat[:, pos, pos] = m00
@@ -535,8 +638,15 @@ class ButterflyFactory(UnitaryFactory):
     stages.
     """
 
-    def __init__(self, k: int, n_units: int, rng=None, backend: Optional[str] = None):
-        super().__init__(k, n_units, rng=rng, backend=backend)
+    def __init__(
+        self,
+        k: int,
+        n_units: int,
+        rng=None,
+        backend: Optional[str] = None,
+        exec_backend: Optional[BackendLike] = None,
+    ):
+        super().__init__(k, n_units, rng=rng, backend=backend, exec_backend=exec_backend)
         stages = int(math.log2(k))
         if 2 ** stages != k:
             raise ValueError(f"butterfly mesh requires power-of-two K, got {k}")
@@ -552,9 +662,11 @@ class ButterflyFactory(UnitaryFactory):
         self._stage_stack = np.stack(self._stage_dc) if stages else np.zeros((0, k, k), complex)
         self._topology_digest = content_digest(self._stage_stack)
 
-    def _build_fast(self) -> Tensor:
+    def _build_fast(self, eb: Optional[ExecutionBackend] = None) -> Tensor:
         ps = _phase_factor(self._noisy(self.phases))  # (n_units, stages, K)
-        return phase_column_cascade(Tensor(self._stage_stack), ps)
+        return phase_column_cascade(
+            Tensor(self._stage_stack), ps, backend=self._resolve_exec(eb)
+        )
 
     def _build_reference(self) -> Tensor:
         phases = self._noisy(self.phases)
@@ -574,24 +686,29 @@ class ButterflyFactory(UnitaryFactory):
     def phase_parameters(self) -> List[Parameter]:
         return [self.phases]
 
-    def _build_trials_fast(self, offsets: Sequence[np.ndarray]) -> np.ndarray:
+    def _build_trials_fast(
+        self, offsets: Sequence[np.ndarray], eb: ExecutionBackend
+    ) -> np.ndarray:
         (off,) = offsets
         phases = self._trial_phases(self.phases, off)  # (T, n_units, S, K)
         t = phases.shape[0]
         ps = np.exp(-1j * phases).reshape(t * self.n_units, self.stages, self.k)
-        u = phase_column_cascade_forward(self._stage_stack, ps)
+        u = eb.phase_column_cascade_forward(self._stage_stack, ps)
         return u.reshape(t, self.n_units, self.k, self.k)
 
-    def _build_trials_reference(self, offsets: Sequence[np.ndarray]) -> np.ndarray:
+    def _build_trials_reference(
+        self, offsets: Sequence[np.ndarray], eb: ExecutionBackend
+    ) -> np.ndarray:
+        cdt = eb.complex_dtype
         (off,) = offsets
         phases = self._trial_phases(self.phases, off)
         t = phases.shape[0]
-        out = np.empty((t, self.n_units, self.k, self.k), dtype=complex)
+        out = np.empty((t, self.n_units, self.k, self.k), dtype=cdt)
         for trial in range(t):
             u: Optional[np.ndarray] = None
             for s in range(self.stages):
-                ps = np.exp(-1j * phases[trial, :, s, :])
-                dc = self._stage_dc[s]
+                ps = np.exp(-1j * phases[trial, :, s, :]).astype(cdt, copy=False)
+                dc = self._stage_dc[s].astype(cdt, copy=False)
                 if u is None:
                     u = dc * ps[:, None, :]
                 else:
@@ -639,8 +756,9 @@ class FixedTopologyFactory(UnitaryFactory):
         blocks: Sequence[Tuple[Optional[Sequence[int]], np.ndarray, int]],
         rng=None,
         backend: Optional[str] = None,
+        exec_backend: Optional[BackendLike] = None,
     ):
-        super().__init__(k, n_units, rng=rng, backend=backend)
+        super().__init__(k, n_units, rng=rng, backend=backend, exec_backend=exec_backend)
         self.blocks_spec = [
             (None if perm is None else np.asarray(perm, dtype=int),
              np.asarray(mask, dtype=bool),
@@ -674,12 +792,14 @@ class FixedTopologyFactory(UnitaryFactory):
         self._topology_digest = content_digest(self._const_stack)
         self.build_cache.clear()
 
-    def _build_fast(self) -> Tensor:
+    def _build_fast(self, eb: Optional[ExecutionBackend] = None) -> Tensor:
         if self.n_blocks == 0:
             eye = np.broadcast_to(np.eye(self.k, dtype=complex), (self.n_units, self.k, self.k))
             return Tensor(eye.copy())
         ps = _phase_factor(self._noisy(self.phases))  # (n_units, B, K)
-        return phase_column_cascade(Tensor(self._const_stack), ps)
+        return phase_column_cascade(
+            Tensor(self._const_stack), ps, backend=self._resolve_exec(eb)
+        )
 
     def _build_reference(self) -> Tensor:
         phases = self._noisy(self.phases)
@@ -705,10 +825,12 @@ class FixedTopologyFactory(UnitaryFactory):
         offsets: Sequence[np.ndarray],
         backend: Optional[str] = None,
         const_stacks: Optional[np.ndarray] = None,
+        exec_backend: Optional[BackendLike] = None,
     ) -> np.ndarray:
         backend = self.backend if backend is None else backend
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        eb = self._resolve_exec(exec_backend)
         if const_stacks is not None:
             const_stacks = np.asarray(const_stacks, dtype=complex)
             if const_stacks.shape[1:] != (self.n_blocks, self.k, self.k):
@@ -717,19 +839,20 @@ class FixedTopologyFactory(UnitaryFactory):
                     f"(T, {self.n_blocks}, {self.k}, {self.k})"
                 )
         if backend == "reference":
-            return self._build_trials_reference(offsets, const_stacks)
-        return self._build_trials_fast(offsets, const_stacks)
+            return self._build_trials_reference(offsets, eb, const_stacks)
+        return self._build_trials_fast(offsets, eb, const_stacks)
 
     def _build_trials_fast(
         self,
         offsets: Sequence[np.ndarray],
+        eb: ExecutionBackend,
         const_stacks: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         (off,) = offsets
         phases = self._trial_phases(self.phases, off)  # (T, n_units, B, K)
         t = phases.shape[0]
         if self.n_blocks == 0:
-            eye = np.eye(self.k, dtype=complex)
+            eye = np.eye(self.k, dtype=eb.complex_dtype)
             return np.broadcast_to(eye, (t, self.n_units, self.k, self.k)).copy()
         ps = np.exp(-1j * phases).reshape(t * self.n_units, self.n_blocks, self.k)
         if const_stacks is None:
@@ -738,33 +861,35 @@ class FixedTopologyFactory(UnitaryFactory):
             # One constant stack per trial, repeated across the trial's
             # n_units meshes to match the flattened batch axis.
             consts = np.repeat(const_stacks, self.n_units, axis=0)
-        u = phase_column_cascade_forward(consts, ps)
+        u = eb.phase_column_cascade_forward(consts, ps)
         return u.reshape(t, self.n_units, self.k, self.k)
 
     def _build_trials_reference(
         self,
         offsets: Sequence[np.ndarray],
+        eb: ExecutionBackend,
         const_stacks: Optional[np.ndarray] = None,
     ) -> np.ndarray:
+        cdt = eb.complex_dtype
         (off,) = offsets
         phases = self._trial_phases(self.phases, off)
         t = phases.shape[0]
-        out = np.empty((t, self.n_units, self.k, self.k), dtype=complex)
+        out = np.empty((t, self.n_units, self.k, self.k), dtype=cdt)
         for trial in range(t):
             consts = (
                 self._const_list if const_stacks is None else const_stacks[trial]
             )
             u: Optional[np.ndarray] = None
             for b in range(self.n_blocks):
-                ps = np.exp(-1j * phases[trial, :, b, :])
-                cb = consts[b]
+                ps = np.exp(-1j * phases[trial, :, b, :]).astype(cdt, copy=False)
+                cb = np.asarray(consts[b]).astype(cdt, copy=False)
                 if u is None:
                     u = cb * ps[:, None, :]
                 else:
                     u = cb @ (ps[:, :, None] * u)
             if u is None:
                 u = np.broadcast_to(
-                    np.eye(self.k, dtype=complex), (self.n_units, self.k, self.k)
+                    np.eye(self.k, dtype=cdt), (self.n_units, self.k, self.k)
                 ).copy()
             out[trial] = u
         return out

@@ -4,6 +4,13 @@ State dicts map parameter/buffer names to numpy arrays (complex arrays
 included — photonic phases are real but intermediate buffers may not
 be).  The format is a single ``.npz`` file plus a JSON manifest of
 shapes/dtypes for validation on load.
+
+Round-trips preserve the array dtype end to end: the manifest records
+each array's dtype, the stored ``.npz`` entries are validated against
+it on load, and :meth:`repro.nn.Module.load_state_dict` adopts the
+stored dtype rather than casting into the destination parameter — so
+an artifact built under the complex64 execution backend reloads as
+complex64 and re-scores identically.
 """
 
 from __future__ import annotations
@@ -32,7 +39,9 @@ def load_checkpoint(model: Module, path: Union[str, Path], strict: bool = True) 
     """Load a checkpoint into ``model``.
 
     With ``strict=True`` every model parameter must be present in the
-    checkpoint with a matching shape.
+    checkpoint with a matching shape, and every stored array must match
+    the dtype its manifest entry records (guards against corrupted or
+    hand-edited artifacts silently changing precision).
     """
     path = Path(path)
     with np.load(path, allow_pickle=False) as data:
@@ -49,5 +58,12 @@ def load_checkpoint(model: Module, path: Union[str, Path], strict: bool = True) 
                 raise ValueError(
                     f"shape mismatch for {name}: model {tuple(p.shape)} vs "
                     f"checkpoint {want}"
+                )
+        for name, arr in state.items():
+            recorded = manifest.get(name, {}).get("dtype")
+            if recorded is not None and str(arr.dtype) != recorded:
+                raise ValueError(
+                    f"dtype mismatch for {name}: stored {arr.dtype} vs "
+                    f"manifest {recorded}"
                 )
     model.load_state_dict(state)

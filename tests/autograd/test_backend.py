@@ -1,0 +1,261 @@
+"""Execution-backend registry, selection, and dispatch semantics."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    available_backends,
+    backend_scope,
+    default_backend,
+    get_backend,
+    grad_backend,
+    matmul_chain,
+    no_grad,
+    phase_column_cascade,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.autograd.backend import ExecutionBackend, NumpyBackend
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "numpy-c64" in names
+
+    def test_get_backend_properties(self):
+        nb = get_backend("numpy")
+        assert nb.complex_dtype == np.complex128
+        assert not nb.forward_only
+        c64 = get_backend("numpy-c64")
+        assert c64.complex_dtype == np.complex64
+        assert c64.forward_only
+        assert c64.grad_fallback == "numpy"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="numpy"):
+            get_backend("no-such-backend")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            register_backend(NumpyBackend())
+
+    def test_register_and_overwrite(self):
+        class Custom(NumpyBackend):
+            name = "test-custom"
+
+        register_backend(Custom(), overwrite=True)
+        try:
+            assert get_backend("test-custom").name == "test-custom"
+            # overwrite=True allows re-registration
+            register_backend(Custom(), overwrite=True)
+        finally:
+            from repro.autograd.backend import _REGISTRY
+
+            _REGISTRY.pop("test-custom", None)
+
+    def test_resolve_accepts_instances_and_names(self):
+        nb = get_backend("numpy")
+        assert resolve_backend(nb) is nb
+        assert resolve_backend("numpy") is nb
+        assert resolve_backend(None) is default_backend()
+
+    def test_cache_tokens_distinct(self):
+        tokens = {get_backend(n).cache_token() for n in available_backends()}
+        assert len(tokens) == len(available_backends())
+        for name in available_backends():
+            tok = get_backend(name).cache_token()
+            assert isinstance(tok, bytes)
+            assert name.encode() in tok
+
+
+class TestDefaultSelection:
+    def test_set_default_switches_and_guard_restores(self):
+        prev = default_backend()
+        guard = set_default_backend("numpy-c64")
+        try:
+            assert default_backend().name == "numpy-c64"
+        finally:
+            guard.restore()
+        assert default_backend() is prev
+        # restore() is idempotent
+        guard.restore()
+        assert default_backend() is prev
+
+    def test_set_default_as_context_manager(self):
+        prev = default_backend()
+        with set_default_backend("numpy-c64"):
+            assert default_backend().name == "numpy-c64"
+        assert default_backend() is prev
+
+    def test_context_manager_restores_on_exception(self):
+        prev = default_backend()
+        with pytest.raises(RuntimeError):
+            with set_default_backend("numpy-c64"):
+                raise RuntimeError("boom")
+        assert default_backend() is prev
+
+    def test_nested_guards_restore_in_order(self):
+        prev = default_backend()
+        with set_default_backend("numpy-c64"):
+            with set_default_backend("numpy"):
+                assert default_backend().name == "numpy"
+            assert default_backend().name == "numpy-c64"
+        assert default_backend() is prev
+
+    def test_backend_scope_none_is_noop(self):
+        prev = default_backend()
+        with backend_scope(None):
+            assert default_backend() is prev
+        assert default_backend() is prev
+
+    def test_backend_scope_selects_and_restores(self):
+        prev = default_backend()
+        with backend_scope("numpy-c64"):
+            assert default_backend().name == "numpy-c64"
+        assert default_backend() is prev
+
+    def test_env_var_selects_default(self):
+        import os
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        env["REPRO_EXEC_BACKEND"] = "numpy-c64"
+        code = (
+            "from repro.autograd import default_backend; "
+            "print(default_backend().name)"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == "numpy-c64"
+
+    def test_grad_backend_demotes_forward_only(self):
+        assert grad_backend("numpy-c64").name == "numpy"
+        assert grad_backend("numpy").name == "numpy"
+
+
+class TestDispatch:
+    def _inputs(self, rng, requires_grad=False):
+        consts = Tensor(
+            rng.standard_normal((3, 4, 4)) + 1j * rng.standard_normal((3, 4, 4)),
+            requires_grad=requires_grad,
+        )
+        ps = Tensor(
+            np.exp(-1j * rng.uniform(0, 2 * np.pi, size=(2, 3, 4))),
+            requires_grad=False,
+        )
+        return consts, ps
+
+    def test_forward_only_dispatch_returns_c64_leaf(self, rng):
+        consts, ps = self._inputs(rng)
+        with no_grad():
+            out = phase_column_cascade(consts, ps, backend="numpy-c64")
+        assert out.data.dtype == np.complex64
+        assert not out._parents  # no graph was recorded
+
+    def test_forward_only_honored_for_non_grad_tensors(self, rng):
+        # Grad mode is ON, but no input records gradients — the fast
+        # lane still applies.
+        consts, ps = self._inputs(rng, requires_grad=False)
+        out = phase_column_cascade(consts, ps, backend="numpy-c64")
+        assert out.data.dtype == np.complex64
+
+    def test_forward_only_demotes_under_recording(self, rng):
+        consts, ps = self._inputs(rng, requires_grad=True)
+        out = phase_column_cascade(consts, ps, backend="numpy-c64")
+        # Recording: the graph path (complex128) must run instead.
+        assert out.data.dtype == np.complex128
+        (out * out.conj()).real().sum().backward()
+        assert consts.grad is not None
+
+    def test_matmul_chain_dispatch(self, rng):
+        mats = Tensor(
+            rng.standard_normal((2, 5, 4, 4)) + 1j * rng.standard_normal((2, 5, 4, 4))
+        )
+        with no_grad():
+            fast = matmul_chain(mats, backend="numpy-c64")
+        ref = matmul_chain(mats, backend="numpy")
+        assert fast.data.dtype == np.complex64
+        rel = np.abs(fast.data.astype(np.complex128) - ref.data).max()
+        rel /= np.abs(ref.data).max()
+        assert rel < 1e-4
+
+    def test_numpy_backend_kernels_bit_exact_with_free_functions(self, rng):
+        from repro.autograd import matmul_chain_forward, phase_column_cascade_forward
+
+        consts, ps = self._inputs(rng)
+        nb = get_backend("numpy")
+        a = nb.phase_column_cascade_forward(consts.data, ps.data)
+        b = phase_column_cascade_forward(consts.data, ps.data, backend="numpy")
+        assert np.array_equal(a, b)
+        mats = rng.standard_normal((2, 3, 4, 4)) + 1j * rng.standard_normal((2, 3, 4, 4))
+        assert np.array_equal(
+            nb.matmul_chain_forward(mats),
+            matmul_chain_forward(mats, backend="numpy"),
+        )
+
+    def test_c64_gating_matches_c128_within_tolerance(self, rng):
+        consts, ps = self._inputs(rng)
+        gates = Tensor(rng.uniform(0.0, 1.0, size=(3,)))
+        with no_grad():
+            fast = phase_column_cascade(consts, ps, gates, backend="numpy-c64")
+        ref = phase_column_cascade(consts, ps, gates, backend="numpy")
+        rel = np.abs(fast.data.astype(np.complex128) - ref.data).max()
+        rel /= np.abs(ref.data).max()
+        assert fast.data.dtype == np.complex64
+        assert rel < 1e-4
+
+    def test_custom_backend_instance_per_call(self, rng):
+        class Tagged(NumpyBackend):
+            name = "tagged"
+            calls = 0
+
+            def matmul_chain_forward(self, mats):
+                type(self).calls += 1
+                return super().matmul_chain_forward(mats)
+
+        tagged = Tagged()
+        mats = Tensor(rng.standard_normal((1, 2, 3, 3)).astype(complex))
+        with no_grad():
+            matmul_chain(mats, backend=tagged)
+        # Non-forward-only backends run through the graph kernel, which
+        # uses numpy directly; the instance is still accepted per-call.
+        assert isinstance(resolve_backend(tagged), ExecutionBackend)
+
+
+class TestGradcheckUnderBackends:
+    def test_c64_backend_gradcheck_falls_back_to_full_precision(self, rng):
+        """With a forward-only default, recording ops still gradcheck:
+        the demotion path must leave training numerics untouched."""
+        from repro.autograd import gradcheck
+
+        consts = Tensor(
+            rng.standard_normal((2, 2, 2)) + 1j * rng.standard_normal((2, 2, 2)),
+            requires_grad=True,
+        )
+        phases = Tensor(
+            rng.uniform(0, 2 * np.pi, size=(2, 2, 2)), requires_grad=True
+        )
+
+        def fn(c, p):
+            from repro.autograd import tensor as T
+
+            ps = T.exp(Tensor(np.array(-1j)) * p)
+            out = phase_column_cascade(c, ps, backend="numpy-c64")
+            return (out * out.conj()).real().sum()
+
+        with backend_scope("numpy-c64"):
+            assert gradcheck(fn, [consts, phases])

@@ -15,6 +15,12 @@ from repro.photonics.nonideality import (
 K = 8
 TOL = 1e-12
 
+# The loop/batch parity below is double-precision exact, so the batched
+# cascade is pinned to the complex128 "numpy" execution backend; the
+# complex64 lane has its own tolerance contract in
+# tests/autograd/test_backend_parity.py.
+EXEC = {"exec_backend": "numpy"}
+
 
 @pytest.fixture
 def topo():
@@ -46,7 +52,7 @@ class TestNoisyUnitaryTrials:
         ])
         rng2 = np.random.default_rng(42)
         batch = noisy_unitary_trials(
-            topo.blocks_u, phases, K, FULL_SPEC, samples=samples, rng=rng2
+            topo.blocks_u, phases, K, FULL_SPEC, samples=samples, rng=rng2, **EXEC
         )
         assert batch.shape == (4, K, K)
         assert np.abs(loop - batch).max() <= TOL
@@ -61,7 +67,8 @@ class TestNoisyUnitaryTrials:
             for _ in range(5)
         ])
         batch = noisy_unitary_trials(
-            topo.blocks_u, phases, K, FULL_SPEC, samples=sample, n_trials=5, rng=rng2
+            topo.blocks_u, phases, K, FULL_SPEC, samples=sample, n_trials=5,
+            rng=rng2, **EXEC,
         )
         assert np.abs(loop - batch).max() <= TOL
 
@@ -72,14 +79,14 @@ class TestNoisyUnitaryTrials:
             noisy_unitary(topo.blocks_u, phases, K, spec, rng=rng1) for _ in range(3)
         ])
         batch = noisy_unitary_trials(
-            topo.blocks_u, phases, K, spec, n_trials=3, rng=rng2
+            topo.blocks_u, phases, K, spec, n_trials=3, rng=rng2, **EXEC
         )
         assert np.abs(loop - batch).max() <= TOL
 
     def test_ideal_spec_is_exact_mesh(self, topo, phases):
         ideal = noisy_unitary(topo.blocks_u, phases, K, NonidealitySpec())
         batch = noisy_unitary_trials(
-            topo.blocks_u, phases, K, NonidealitySpec(), n_trials=2
+            topo.blocks_u, phases, K, NonidealitySpec(), n_trials=2, **EXEC
         )
         assert np.abs(batch - ideal).max() <= TOL
         # Ideal meshes are unitary.

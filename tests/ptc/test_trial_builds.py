@@ -13,13 +13,17 @@ TOL = 1e-12
 
 
 def make_factory(kind):
+    # Pinned to the full-precision "numpy" execution backend: the
+    # tolerances below assert double-precision algorithmic parity and
+    # must not float with the ambient default (the complex64 lane has
+    # its own suite in tests/autograd/test_backend_parity.py).
     rng = np.random.default_rng(3)
     if kind == "mzi":
-        return MZIMeshFactory(K, N_UNITS, rng=rng)
+        return MZIMeshFactory(K, N_UNITS, rng=rng, exec_backend="numpy")
     if kind == "butterfly":
-        return ButterflyFactory(K, N_UNITS, rng=rng)
+        return ButterflyFactory(K, N_UNITS, rng=rng, exec_backend="numpy")
     blocks = [(None, np.ones(K // 2, bool), i % 2) for i in range(6)]
-    return FixedTopologyFactory(K, N_UNITS, blocks, rng=rng)
+    return FixedTopologyFactory(K, N_UNITS, blocks, rng=rng, exec_backend="numpy")
 
 
 FACTORIES = ["mzi", "butterfly", "fixed"]

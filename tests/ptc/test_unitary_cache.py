@@ -103,6 +103,65 @@ class TestCacheBehavior:
         assert f.build_cache.hits == 1
 
 
+class TestCrossBackendIsolation:
+    """The cache must never serve a hit across dtype/backend switches."""
+
+    def test_backend_switch_never_hits(self):
+        f = _fixed()
+        with no_grad():
+            u128 = f.build(exec_backend="numpy")
+            u64 = f.build(exec_backend="numpy-c64")
+        assert f.build_cache.hits == 0
+        assert f.build_cache.misses == 2
+        assert u128.data.dtype == np.complex128
+        assert u64.data.dtype == np.complex64
+
+    def test_each_backend_hits_its_own_entry(self):
+        f = _fixed()
+        with no_grad():
+            f.build(exec_backend="numpy")
+            f.build(exec_backend="numpy-c64")
+            r128 = f.build(exec_backend="numpy")
+            r64 = f.build(exec_backend="numpy-c64")
+        assert f.build_cache.hits == 2
+        assert f.build_cache.misses == 2
+        # Served dtypes must match the requesting backend's lane.
+        assert r128.data.dtype == np.complex128
+        assert r64.data.dtype == np.complex64
+
+    def test_default_backend_switch_never_hits(self):
+        from repro import set_default_backend
+
+        f = _fixed()
+        with no_grad():
+            with set_default_backend("numpy"):
+                f.build()
+            with set_default_backend("numpy-c64"):
+                u = f.build()
+        assert f.build_cache.hits == 0
+        assert f.build_cache.misses == 2
+        assert u.data.dtype == np.complex64
+
+    def test_cache_keys_differ_per_backend(self):
+        from repro.autograd import get_backend
+
+        f = _fixed()
+        k128 = f._cache_key(get_backend("numpy"))
+        k64 = f._cache_key(get_backend("numpy-c64"))
+        assert k128 != k64
+
+    @pytest.mark.parametrize("factory_cls", [MZIMeshFactory, ButterflyFactory])
+    def test_all_families_isolate_backends(self, factory_cls):
+        f = factory_cls(8, 2, rng=np.random.default_rng(1))
+        with no_grad():
+            a = f.build(exec_backend="numpy")
+            b = f.build(exec_backend="numpy-c64")
+        assert f.build_cache.hits == 0
+        rel = np.abs(b.data.astype(np.complex128) - a.data).max()
+        rel /= max(np.abs(a.data).max(), 1e-30)
+        assert rel < 1e-4  # same unitary, different lane
+
+
 class TestCachePrimitives:
     def test_lru_eviction(self):
         cache = UnitaryBuildCache(maxsize=2)

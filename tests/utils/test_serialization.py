@@ -1,0 +1,117 @@
+"""Checkpoint round-trips must preserve array dtypes end to end."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import no_grad
+from repro.nn.module import Module, Parameter
+from repro.utils import load_checkpoint, save_checkpoint
+
+
+class MixedDtypeModule(Module):
+    """One parameter per dtype lane the execution backends use."""
+
+    def __init__(self, complex_dtype=np.complex128, real_dtype=np.float64):
+        super().__init__()
+        rng = np.random.default_rng(5)
+        self.phases = Parameter(rng.uniform(0, 1, size=(3, 4)).astype(real_dtype))
+        self.field = Parameter(
+            (rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))).astype(
+                complex_dtype
+            )
+        )
+        self.register_buffer("running", np.zeros(4, dtype=real_dtype))
+
+
+class TestDtypeRoundTrip:
+    def test_default_dtypes_preserved(self, tmp_path):
+        m1 = MixedDtypeModule()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m1, path)
+        m2 = MixedDtypeModule()
+        load_checkpoint(m2, path)
+        assert m2.phases.data.dtype == np.float64
+        assert m2.field.data.dtype == np.complex128
+
+    def test_complex64_artifact_reloads_as_complex64(self, tmp_path):
+        """An artifact built in the c64 lane must not be silently
+        promoted on reload into a complex128-initialized model."""
+        m1 = MixedDtypeModule(complex_dtype=np.complex64, real_dtype=np.float32)
+        path = tmp_path / "c64.npz"
+        save_checkpoint(m1, path)
+        m2 = MixedDtypeModule()  # fresh model initialized at full precision
+        load_checkpoint(m2, path)
+        assert m2.field.data.dtype == np.complex64
+        assert m2.phases.data.dtype == np.float32
+        assert np.array_equal(m2.field.data, m1.field.data)
+
+    def test_manifest_records_dtypes(self, tmp_path):
+        m = MixedDtypeModule(complex_dtype=np.complex64, real_dtype=np.float32)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m, path)
+        with np.load(path, allow_pickle=False) as data:
+            manifest = json.loads(str(data["__manifest__"]))
+        assert manifest["field"]["dtype"] == "complex64"
+        assert manifest["phases"]["dtype"] == "float32"
+
+    def test_strict_dtype_mismatch_raises(self, tmp_path):
+        """A stored array whose dtype disagrees with its manifest entry
+        (corrupted / hand-edited artifact) must fail a strict load."""
+        m = MixedDtypeModule()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {n: data[n] for n in data.files}
+        manifest = json.loads(str(arrays.pop("__manifest__")))
+        arrays["field"] = arrays["field"].astype(np.complex64)  # silent downcast
+        tampered = tmp_path / "tampered.npz"
+        np.savez(tampered, __manifest__=json.dumps(manifest), **arrays)
+        with pytest.raises(ValueError, match="dtype mismatch"):
+            load_checkpoint(MixedDtypeModule(), tampered)
+        # Non-strict loads skip validation (dtype is still adopted).
+        m2 = MixedDtypeModule()
+        load_checkpoint(m2, tampered, strict=False)
+        assert m2.field.data.dtype == np.complex64
+
+
+class TestRescoreParity:
+    def _model(self):
+        from repro.onn import PTCLinear
+
+        return nn.Sequential(nn.Flatten(), PTCLinear(64, 10, k=8, mesh="butterfly"))
+
+    def test_save_load_rescore_bit_exact(self, tmp_path):
+        rng = np.random.default_rng(17)
+        m1 = self._model()
+        batch = rng.normal(size=(6, 64))
+        from repro.autograd import Tensor
+
+        m1.eval()
+        with no_grad():
+            before = m1(Tensor(batch)).data.copy()
+        path = tmp_path / "model.npz"
+        save_checkpoint(m1, path)
+        m2 = self._model()  # different random init
+        m2.eval()
+        load_checkpoint(m2, path)
+        with no_grad():
+            after = m2(Tensor(batch)).data
+        assert np.array_equal(before, after)
+
+    def test_c64_eval_scores_survive_roundtrip(self, tmp_path, tiny_mnist):
+        """Accuracy under the complex64 lane is identical before and
+        after a checkpoint round-trip."""
+        from repro.onn import PTCLinear, evaluate
+
+        _, te = tiny_mnist
+        m1 = nn.Sequential(nn.Flatten(), PTCLinear(784, 10, k=8, mesh="butterfly"))
+        acc_before = evaluate(m1, te, exec_backend="numpy-c64")
+        path = tmp_path / "model.npz"
+        save_checkpoint(m1, path)
+        m2 = nn.Sequential(nn.Flatten(), PTCLinear(784, 10, k=8, mesh="butterfly"))
+        load_checkpoint(m2, path)
+        acc_after = evaluate(m2, te, exec_backend="numpy-c64")
+        assert acc_before == acc_after
