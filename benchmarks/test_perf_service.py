@@ -1,0 +1,72 @@
+"""Perf gate: the sharded worker pool must actually buy wall-clock.
+
+A Monte-Carlo robustness-grid job (K = 8, 160 trials) is executed
+twice from identical submissions: once inline (single in-process
+worker, the determinism oracle) and once on a 4-process pool.  On a
+machine with >= 4 cores the pool must finish >= 2.5x faster; the
+byte-identity of the two aggregated artifacts is asserted on every
+machine, so the parity half of the contract is never skipped.
+
+The shards are embarrassingly parallel (independent noise trials over
+one deterministic model), so the residual cost is the service's own
+overhead: SQLite claims, artifact writes, process startup.  The 2.5x
+floor on 4 workers leaves room for that overhead plus the unsharded
+train/build prologue each worker repeats.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.service import DesignService
+
+K = 8
+N_WORKERS = 4
+SPEEDUP_FLOOR = 2.5
+
+GRID_PARAMS = {
+    "mesh": "mzi",
+    "k": K,
+    "n_test": 96,
+    "n_train": 32,
+    "train_epochs": 0,
+    "noise_stds": [0.02, 0.04, 0.06, 0.08, 0.10],
+    "n_runs": 32,                      # 5 x 32 = 160 trials
+    "shard_trials": 10,                # -> 16 shards
+    "batch_size": 32,
+}
+
+
+def _timed_run(root, n_workers):
+    svc = DesignService(root)
+    job_id = svc.submit("robustness-grid", GRID_PARAMS)
+    t0 = time.perf_counter()
+    svc.run(n_workers=n_workers, timeout=600)
+    elapsed = time.perf_counter() - t0
+    data = svc.result_bytes(job_id)
+    svc.close()
+    return elapsed, data
+
+
+class TestServiceThroughput:
+    def test_pool_speedup_and_byte_parity(self, tmp_path):
+        t_inline, bytes_inline = _timed_run(tmp_path / "inline", 0)
+        t_pool, bytes_pool = _timed_run(tmp_path / "pool", N_WORKERS)
+
+        # Parity always: worker count must never change the artifact.
+        assert bytes_inline == bytes_pool
+
+        cores = os.cpu_count() or 1
+        if cores < N_WORKERS:
+            pytest.skip(
+                f"speedup gate needs >= {N_WORKERS} cores (found {cores}); "
+                f"parity verified (inline {t_inline:.2f}s, "
+                f"pool {t_pool:.2f}s)"
+            )
+        speedup = t_inline / t_pool
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{N_WORKERS}-worker pool speedup {speedup:.2f}x below "
+            f"{SPEEDUP_FLOOR}x floor (inline {t_inline:.2f}s, "
+            f"pool {t_pool:.2f}s)"
+        )

@@ -16,7 +16,20 @@ Quickstart::
     print(result.topology.summary(AMF))
 """
 
-from . import analysis, autograd, core, data, layout, nn, onn, optim, photonics, ptc, utils
+from . import (
+    analysis,
+    autograd,
+    core,
+    data,
+    layout,
+    nn,
+    onn,
+    optim,
+    photonics,
+    ptc,
+    service,
+    utils,
+)
 from .autograd.backend import (
     available_backends,
     backend_scope,
@@ -44,6 +57,7 @@ __all__ = [
     "photonics",
     "ptc",
     "register_backend",
+    "service",
     "set_default_backend",
     "utils",
     "__version__",

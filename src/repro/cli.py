@@ -11,10 +11,17 @@ reachable without writing Python:
   floorplan estimate;
 * ``robustness`` — phase-noise robustness sweep of a saved topology;
 * ``baseline-search`` — random / evolutionary search in the same
-  space (ablation).
+  space (ablation);
+* ``submit`` / ``status`` / ``serve`` — the concurrent design
+  service (:mod:`repro.service`): enqueue jobs into a persistent
+  queue rooted at a directory, inspect them, and drain them with a
+  sharded multiprocess worker pool.
 
 Every command accepts ``--seed`` and prints a deterministic report to
-stdout; artifacts land where ``--out`` points.
+stdout; artifacts land where ``--out`` points.  Failures exit
+non-zero: argparse errors exit 2, any command error prints
+``error: ...`` to stderr and exits 1 (regression-tested via
+subprocess in ``tests/test_cli.py``).
 """
 
 from __future__ import annotations
@@ -113,6 +120,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_base.add_argument("--seed", type=int, default=0)
     p_base.add_argument("--out", type=Path, default=None)
     p_base.set_defaults(func=cmd_baseline_search)
+
+    p_submit = sub.add_parser(
+        "submit", help="enqueue a job in a design-service root")
+    p_submit.add_argument("kind", help="job kind (see `repro status --kinds`)")
+    p_submit.add_argument("--root", type=Path, required=True,
+                          help="service root directory (queue + artifacts)")
+    p_submit.add_argument("--params", default=None,
+                          help="job params as a JSON object string")
+    p_submit.add_argument("--params-file", type=Path, default=None,
+                          help="job params from a JSON file")
+    p_submit.add_argument("--design", type=Path, default=None,
+                          help="topology JSON to use as the job's design")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until done and print the result JSON")
+    p_submit.add_argument("--timeout", type=float, default=3600.0,
+                          help="--wait timeout in seconds")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="inspect design-service jobs")
+    p_status.add_argument("job_id", nargs="?", default=None,
+                          help="job id; omit to list all jobs")
+    p_status.add_argument("--root", type=Path, default=None,
+                          help="service root directory")
+    p_status.add_argument("--kinds", action="store_true",
+                          help="list available job kinds and exit")
+    p_status.add_argument("--result", action="store_true",
+                          help="also print the finished job's result JSON")
+    p_status.set_defaults(func=cmd_status)
+
+    p_serve = sub.add_parser(
+        "serve", help="run design-service workers against a root")
+    p_serve.add_argument("--root", type=Path, required=True,
+                         help="service root directory")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker processes (0 = in-process worker)")
+    p_serve.add_argument("--until-idle", action="store_true",
+                         help="exit once the queue is drained (default: "
+                              "keep serving)")
+    p_serve.add_argument("--lease", type=float, default=30.0,
+                         help="shard lease seconds (crash-recovery latency)")
+    p_serve.add_argument("--max-attempts", type=int, default=3,
+                         help="shard attempts before permanent failure")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="with --until-idle: max seconds to drain")
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 
@@ -259,10 +312,137 @@ def cmd_baseline_search(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# design-service commands
+# ----------------------------------------------------------------------
+
+def _load_job_params(args: argparse.Namespace) -> dict:
+    import json
+
+    if args.params is not None and args.params_file is not None:
+        raise ValueError("pass --params or --params-file, not both")
+    if args.params_file is not None:
+        params = json.loads(args.params_file.read_text())
+    elif args.params is not None:
+        params = json.loads(args.params)
+    else:
+        params = {}
+    if not isinstance(params, dict):
+        raise ValueError("job params must be a JSON object")
+    if args.design is not None:
+        from .service.handlers import topology_param
+
+        topo = PTCTopology.load(args.design)
+        key = "topology" if args.kind == "export" else "mesh"
+        params.setdefault(key, topology_param(topo))
+    return params
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import DesignService
+
+    params = _load_job_params(args)
+    svc = DesignService(args.root)
+    try:
+        job_id = svc.submit(args.kind, params)
+        status = svc.status(job_id)
+        print(f"submitted {args.kind} job {job_id} "
+              f"({status['n_shards']} shards) -> {args.root}")
+        if args.wait:
+            result = svc.wait(job_id, timeout=args.timeout)
+            print(json.dumps(result, indent=2, sort_keys=True))
+    finally:
+        svc.close()
+    return 0
+
+
+def _format_job_row(s: dict) -> str:
+    done = s["shards"].get("done", 0)
+    return (f"  {s['id']}  {s['kind']:<16} {s['status']:<8} "
+            f"{done}/{s['n_shards']} shards")
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import DesignService, available_job_kinds, get_job_type
+
+    if args.kinds:
+        print("available job kinds:")
+        for kind in available_job_kinds():
+            print(f"  {kind:<16} {get_job_type(kind).description}")
+        return 0
+    if args.root is None:
+        raise ValueError("--root is required (or use --kinds)")
+    svc = DesignService(args.root)
+    try:
+        if args.job_id is None:
+            jobs = svc.jobs()
+            if not jobs:
+                print(f"no jobs in {args.root}")
+                return 0
+            print(f"{len(jobs)} job(s) in {args.root}:")
+            for s in jobs:
+                print(_format_job_row(s))
+            return 0
+        s = svc.status(args.job_id)
+        print(_format_job_row(s))
+        if s["error"]:
+            print(f"  error: {s['error']}")
+        if args.result:
+            print(json.dumps(svc.result(args.job_id), indent=2,
+                             sort_keys=True))
+        return 0 if s["status"] != "failed" else 1
+    finally:
+        svc.close()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import DesignService
+
+    svc = DesignService(args.root)
+    try:
+        n_jobs = svc.queue.unfinished()
+        mode = "until idle" if args.until_idle else "forever"
+        print(f"serving {args.root} with {args.workers} worker(s) {mode}; "
+              f"{n_jobs} unfinished job(s)")
+        svc.run(
+            n_workers=args.workers,
+            timeout=args.timeout,
+            lease_seconds=args.lease,
+            max_attempts=args.max_attempts,
+            until_idle=bool(args.until_idle),
+        )
+    finally:
+        svc.close()
+    if args.until_idle:
+        print("queue drained")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse and dispatch; never lets a failure escape as exit 0.
+
+    Command errors print ``error: ...`` to stderr and return 1
+    (argparse usage errors exit 2 on their own); a command returning
+    ``None`` counts as success.  ``tests/test_cli.py`` pins these
+    contracts via subprocess.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        rc = args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        # str(KeyError) wraps the message in quotes; unwrap for output.
+        msg = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {msg}", file=sys.stderr)
+        return 1
+    return 0 if rc is None else int(rc)
 
 
 if __name__ == "__main__":  # pragma: no cover

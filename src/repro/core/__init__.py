@@ -68,6 +68,7 @@ from .variation import (
     RobustnessPoint,
     ScenarioGrid,
     evaluate_noise_grid,
+    evaluate_noise_grid_shard,
     noise_robustness_curve,
     scenario_robustness_grid,
     variation_aware_train,
@@ -113,6 +114,7 @@ __all__ = [
     "mutate_topology",
     "random_feasible_topology",
     "evaluate_noise_grid",
+    "evaluate_noise_grid_shard",
     "noise_robustness_curve",
     "scenario_robustness_grid",
     "quantize_t",

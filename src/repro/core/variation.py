@@ -274,6 +274,61 @@ def evaluate_noise_grid(
     return accs.reshape(len(stds), n_runs)
 
 
+def evaluate_noise_grid_shard(
+    model: Module,
+    test_set: Dataset,
+    noise_stds: Sequence[float],
+    n_runs: int,
+    lo: int,
+    hi: int,
+    seed: int = 0,
+    backend: str = "fast",
+    batch_size: int = 256,
+    exec_backend=None,
+) -> np.ndarray:
+    """Accuracies of trials ``lo:hi`` of the flattened noise grid.
+
+    The sharded counterpart of :func:`evaluate_noise_grid` for the
+    design service's multiprocess workers: the full grid's noise
+    offsets are drawn exactly as the unsharded call draws them (one
+    rng stream seeded from ``("noise-grid", seed)``), then only the
+    ``[lo, hi)`` slice of trials is built and scored.  Because each
+    trial's build and evaluation are independent of which other trials
+    share the batch (``evaluate_population`` scores every view on the
+    same data batches), concatenating shard results in index order
+    reproduces ``evaluate_noise_grid(...).reshape(-1)[lo:hi]`` bit for
+    bit — regardless of how the trial range was partitioned.
+
+    Trial order is C-order over ``(noise level, run)``, matching
+    ``evaluate_noise_grid``'s ``(len(noise_stds), n_runs)`` reshape.
+    """
+    cores = photonic_cores(model)
+    if not cores:
+        raise ValueError("model has no photonic cores to inject noise into")
+    stds = np.asarray([float(s) for s in noise_stds], dtype=float)
+    n_trials = len(stds) * n_runs
+    if not (0 <= lo <= hi <= n_trials):
+        raise ValueError(
+            f"invalid trial slice [{lo}, {hi}) for {n_trials} trials"
+        )
+    scenario_stds = np.repeat(stds, n_runs)
+    rng = spawn_rng(stable_seed("noise-grid", seed))
+    offsets = _draw_grid_offsets(cores, scenario_stds, rng)
+    sliced = [
+        (
+            tuple(o[lo:hi] for o in off_u),
+            tuple(o[lo:hi] for o in off_v),
+        )
+        for off_u, off_v in offsets
+    ]
+    if hi == lo:
+        return np.empty(0)
+    return _run_weight_trials(
+        model, cores, sliced, test_set, backend=backend,
+        batch_size=batch_size, exec_backend=exec_backend,
+    )
+
+
 def noise_robustness_curve(
     model: Module,
     test_set: Dataset,

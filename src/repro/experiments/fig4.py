@@ -13,7 +13,7 @@ searched ADEPT designs track or beat the log-depth FFT mesh.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,6 +25,11 @@ from ..utils.rng import spawn_rng, stable_hash
 
 NOISE_STDS = (0.02, 0.04, 0.06, 0.08, 0.10)
 
+_PART_TASKS = {
+    "a": ("cnn2", "mnist"),
+    "b": ("lenet5", "fmnist"),
+}
+
 
 @dataclass
 class RobustnessCurves:
@@ -34,6 +39,52 @@ class RobustnessCurves:
     curves: Dict[str, List[Tuple[float, float, float]]] = field(default_factory=dict)
 
 
+def mesh_noise_curve(
+    part: str,
+    mesh_name: str,
+    mesh,
+    k: int,
+    scale: ExperimentScale,
+    noise_stds: Sequence[float],
+    backend: str = "fast",
+) -> List[Tuple[float, float, float]]:
+    """Variation-aware-train one mesh and sweep its noise robustness.
+
+    The per-mesh unit of Fig. 4 — shared verbatim by the in-process
+    loop in :func:`run_fig4_part` and the design service's
+    ``fig4-part`` shards, so both paths produce identical curves at a
+    fixed seed.  Returns ``(noise_std, mean_acc_%, std_acc_%)``
+    triples.
+    """
+    model_name, dataset = _PART_TASKS[part]
+    train_set, test_set = get_data(dataset, scale)
+    rng = spawn_rng(scale.seed + stable_hash(part, mesh_name) % 1000)
+    model = build_model(
+        model_name,
+        mesh,
+        k=k,
+        in_channels=train_set.images.shape[1],
+        image_size=train_set.images.shape[2],
+        width_mult=scale.model_width,
+        rng=rng,
+    )
+    variation_aware_train(
+        model,
+        train_set,
+        test_set,
+        noise_std=0.02,
+        config=TrainConfig(
+            epochs=scale.retrain_epochs, batch_size=scale.batch_size, lr=2e-3
+        ),
+        rng=rng,
+    )
+    points = noise_robustness_curve(
+        model, test_set, noise_stds=noise_stds, n_runs=scale.noise_runs,
+        seed=scale.seed, backend=backend,
+    )
+    return [(p.noise_std, 100 * p.mean_acc, 100 * p.std_acc) for p in points]
+
+
 def run_fig4_part(
     part: str,
     topologies: Dict[str, PTCTopology],
@@ -41,6 +92,7 @@ def run_fig4_part(
     scale: Optional[ExperimentScale] = None,
     noise_stds: Sequence[float] = NOISE_STDS,
     backend: str = "fast",
+    n_workers: int = 0,
 ) -> RobustnessCurves:
     """One subfigure: part 'a' = cnn2/mnist, part 'b' = lenet5/fmnist.
 
@@ -50,48 +102,74 @@ def run_fig4_part(
     seeds derive from :func:`repro.utils.rng.stable_hash`, so repeated
     invocations produce identical curves regardless of
     ``PYTHONHASHSEED``.
+
+    ``n_workers > 0`` routes the per-mesh work through the design
+    service (:mod:`repro.service`) as one ``fig4-part`` job with one
+    shard per mesh, executed by a local multiprocess pool — same
+    curves, one process per mesh instead of a sequential loop.
     """
     scale = scale or ExperimentScale.from_env()
-    model_name, dataset = {
-        "a": ("cnn2", "mnist"),
-        "b": ("lenet5", "fmnist"),
-    }[part]
-    train_set, test_set = get_data(dataset, scale)
+    model_name, dataset = _PART_TASKS[part]
     meshes: List[Tuple[str, object]] = [("MZI", "mzi"), ("FFT", "butterfly")]
     meshes += list(topologies.items())
 
     out = RobustnessCurves(part=part)
     print(f"\n=== Fig. 4({part}) - {model_name} on {dataset}, noise sweep ===")
-    for mesh_name, mesh in meshes:
-        rng = spawn_rng(scale.seed + stable_hash(part, mesh_name) % 1000)
-        model = build_model(
-            model_name,
-            mesh,
-            k=k,
-            in_channels=train_set.images.shape[1],
-            image_size=train_set.images.shape[2],
-            width_mult=scale.model_width,
-            rng=rng,
+    if n_workers > 0:
+        curves = _fig4_curves_via_service(
+            part, meshes, k, scale, noise_stds, backend, n_workers
         )
-        variation_aware_train(
-            model,
-            train_set,
-            test_set,
-            noise_std=0.02,
-            config=TrainConfig(
-                epochs=scale.retrain_epochs, batch_size=scale.batch_size, lr=2e-3
-            ),
-            rng=rng,
-        )
-        points = noise_robustness_curve(
-            model, test_set, noise_stds=noise_stds, n_runs=scale.noise_runs,
-            seed=scale.seed, backend=backend,
-        )
-        curve = [(p.noise_std, 100 * p.mean_acc, 100 * p.std_acc) for p in points]
+    else:
+        curves = {
+            mesh_name: mesh_noise_curve(
+                part, mesh_name, mesh, k, scale, noise_stds, backend
+            )
+            for mesh_name, mesh in meshes
+        }
+    for mesh_name, _ in meshes:
+        curve = [tuple(c) for c in curves[mesh_name]]
         out.curves[mesh_name] = curve
         series = "  ".join(f"{s:.2f}:{m:5.1f}+-{3 * sd:4.1f}" for s, m, sd in curve)
         print(f"  {mesh_name:<9} {series}")
     return out
+
+
+def _fig4_curves_via_service(
+    part: str,
+    meshes: List[Tuple[str, object]],
+    k: int,
+    scale: ExperimentScale,
+    noise_stds: Sequence[float],
+    backend: str,
+    n_workers: int,
+) -> Dict[str, List]:
+    """Run the per-mesh curves as one sharded service job."""
+    import tempfile
+
+    from ..service import DesignService
+    from ..service.handlers import topology_param
+
+    mesh_params = [
+        [name, mesh if isinstance(mesh, str) else topology_param(mesh)]
+        for name, mesh in meshes
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-fig4-") as root:
+        svc = DesignService(root)
+        job_id = svc.submit(
+            "fig4-part",
+            {
+                "part": part,
+                "k": k,
+                "meshes": mesh_params,
+                "scale": asdict(scale),
+                "noise_stds": [float(s) for s in noise_stds],
+                "backend": backend,
+            },
+        )
+        svc.run(n_workers=n_workers)
+        result = svc.result(job_id)
+        svc.close()
+    return result["curves"]
 
 
 def degradation(curve: List[Tuple[float, float, float]]) -> float:

@@ -43,46 +43,100 @@ class ALMTrace:
     mean_lambda: List[float] = field(default_factory=list)
 
 
+def alm_scan_point(
+    rho0: float,
+    k: int = 8,
+    n_blocks: int = 6,
+    steps: int = 600,
+    seed: int = 0,
+) -> ALMTrace:
+    """One rho0 setting of the Fig. 5(a) scan — the shard unit shared
+    by the in-process loop and the design service's ``fig5a`` job."""
+    rng = spawn_rng(seed)
+    learner = PermutationLearner(k, n_blocks, rho0=rho0, total_steps=steps)
+    x = Tensor(rng.normal(size=(16, k)))
+    target = Tensor(rng.normal(size=(16, k)))
+    opt = Adam([learner.raw], lr=0.02)
+    trace = ALMTrace(rho0=rho0)
+    for _ in range(steps):
+        p = learner.relaxed()
+        pred = x @ p[0].T
+        task = ((pred - target) ** 2).mean()
+        loss = task + learner.alm_loss(p)
+        learner.raw.grad = None
+        loss.backward()
+        opt.step()
+        learner.update_multipliers()
+        learner.step_rho()
+        trace.perm_error.append(learner.permutation_error())
+        trace.mean_lambda.append(learner.mean_lambda())
+    return trace
+
+
 def run_fig5a(
     k: int = 8,
     n_blocks: int = 6,
     steps: int = 600,
     rho0_values: Sequence[float] = RHO0_VALUES,
     seed: int = 0,
+    n_workers: int = 0,
 ) -> Dict[float, ALMTrace]:
     """ALM rho0 scan on a task-coupled permutation-learning problem.
 
     A small regression objective stands in for the task loss, so the
     permutations must trade task fit against legality — the same
     tension as in the full search.
+
+    ``n_workers > 0`` runs the scan points as shards of one ``fig5a``
+    design-service job on a local multiprocess pool (identical traces;
+    see :mod:`repro.service`).
     """
     out: Dict[float, ALMTrace] = {}
     print("\n=== Fig. 5(a) - permutation ALM rho0 scan ===")
-    for rho0 in rho0_values:
-        rng = spawn_rng(seed)
-        learner = PermutationLearner(k, n_blocks, rho0=rho0, total_steps=steps)
-        x = Tensor(rng.normal(size=(16, k)))
-        target = Tensor(rng.normal(size=(16, k)))
-        opt = Adam([learner.raw], lr=0.02)
-        trace = ALMTrace(rho0=rho0)
-        for _ in range(steps):
-            p = learner.relaxed()
-            pred = x @ p[0].T
-            task = ((pred - target) ** 2).mean()
-            loss = task + learner.alm_loss(p)
-            learner.raw.grad = None
-            loss.backward()
-            opt.step()
-            learner.update_multipliers()
-            learner.step_rho()
-            trace.perm_error.append(learner.permutation_error())
-            trace.mean_lambda.append(learner.mean_lambda())
-        out[rho0] = trace
+    if n_workers > 0:
+        traces = _scan_via_service(
+            "fig5a",
+            {
+                "k": k,
+                "n_blocks": n_blocks,
+                "steps": steps,
+                "rho0_values": [float(r) for r in rho0_values],
+                "seed": seed,
+            },
+            n_workers,
+        )
+        for t in traces:
+            out[t["rho0"]] = ALMTrace(
+                rho0=t["rho0"],
+                perm_error=t["perm_error"],
+                mean_lambda=t["mean_lambda"],
+            )
+    else:
+        for rho0 in rho0_values:
+            out[rho0] = alm_scan_point(
+                rho0, k=k, n_blocks=n_blocks, steps=steps, seed=seed
+            )
+    for rho0, trace in out.items():
         print(
             f"  rho0={rho0:7.0e}  Delta_P: {trace.perm_error[0]:.3f} -> "
             f"{trace.perm_error[-1]:.4f}   lambda_final={trace.mean_lambda[-1]:.2e}"
         )
     return out
+
+
+def _scan_via_service(kind: str, params: dict, n_workers: int) -> list:
+    """Submit one scan job, drain it with a local pool, return traces."""
+    import tempfile
+
+    from ..service import DesignService
+
+    with tempfile.TemporaryDirectory(prefix=f"repro-{kind}-") as root:
+        svc = DesignService(root)
+        job_id = svc.submit(kind, params)
+        svc.run(n_workers=n_workers)
+        result = svc.result(job_id)
+        svc.close()
+    return result["traces"]
 
 
 def check_fig5a_shape(traces: Dict[float, ALMTrace]) -> List[str]:
@@ -111,58 +165,98 @@ class PenaltyTrace:
         return lo <= self.expected_footprint[-1] <= hi
 
 
+def penalty_scan_point(
+    beta: float,
+    k: int = 8,
+    window_kum2: Tuple[float, float] = (240.0, 300.0),
+    steps: int = 150,
+    seed: int = 0,
+) -> PenaltyTrace:
+    """One beta setting of the Fig. 5(b) scan — the shard unit shared
+    by the in-process loop and the design service's ``fig5b`` job."""
+    from ..core import SuperMeshLinear
+
+    f_min, f_max = window_kum2[0] * 1000, window_kum2[1] * 1000
+    rng = spawn_rng(seed)
+    space = SuperMeshSpace(k=k, pdk=AMF, f_min=f_min, f_max=f_max, rng=rng)
+    lin = SuperMeshLinear(space, 2 * k, 2 * k, rng=rng)
+    # Regression to a random dense target: every extra active block
+    # adds free phases, so the task loss genuinely prefers a large
+    # expected footprint — the force the penalty must counteract.
+    x = Tensor(rng.normal(size=(64, 2 * k)))
+    w_star = rng.normal(size=(2 * k, 2 * k)) * 0.3
+    y = Tensor(x.data @ w_star.T)
+    # Execute-biased start (training converges there): E[F] begins
+    # above the window, as in Fig. 5(b)'s red curves.
+    space.theta.data[:] = np.array([[-2.0, 2.0]] * space.theta.shape[0])
+    opt = Adam([space.theta], lr=5e-2)
+    w_opt = Adam(lin.parameters(), lr=1e-2)
+    cfg = FootprintPenaltyConfig(beta=beta)
+    trace = PenaltyTrace(beta=beta, window=(f_min, f_max))
+    for _ in range(steps):
+        space.sample(tau=1.0, rng=rng)
+        diff = lin(x) - y
+        task = (diff * diff).mean()
+        pen, e_exact = footprint_penalty(space, cfg)
+        loss = task + pen
+        space.theta.grad = None
+        for p in lin.parameters():
+            p.grad = None
+        loss.backward()
+        opt.step()
+        w_opt.step()
+        trace.expected_footprint.append(e_exact)
+        trace.penalty_over_beta.append(
+            float(pen.item()) / beta if beta else 0.0
+        )
+    return trace
+
+
 def run_fig5b(
     k: int = 8,
     window_kum2: Tuple[float, float] = (240.0, 300.0),
     steps: int = 150,
     beta_values: Sequence[float] = BETA_VALUES,
     seed: int = 0,
+    n_workers: int = 0,
 ) -> Dict[float, PenaltyTrace]:
     """Footprint-penalty beta scan (ADEPT-a1 window by default).
 
     Architecture logits are trained on task loss + penalty; with small
     beta the task term dominates and the expected footprint drifts out
     of the window.
-    """
-    from ..core import SuperMeshLinear
 
-    f_min, f_max = window_kum2[0] * 1000, window_kum2[1] * 1000
+    ``n_workers > 0`` runs the scan points as shards of one ``fig5b``
+    design-service job on a local multiprocess pool (identical traces;
+    see :mod:`repro.service`).
+    """
     out: Dict[float, PenaltyTrace] = {}
     print("\n=== Fig. 5(b) - footprint penalty beta scan ===")
-    for beta in beta_values:
-        rng = spawn_rng(seed)
-        space = SuperMeshSpace(k=k, pdk=AMF, f_min=f_min, f_max=f_max, rng=rng)
-        lin = SuperMeshLinear(space, 2 * k, 2 * k, rng=rng)
-        # Regression to a random dense target: every extra active block
-        # adds free phases, so the task loss genuinely prefers a large
-        # expected footprint — the force the penalty must counteract.
-        x = Tensor(rng.normal(size=(64, 2 * k)))
-        w_star = rng.normal(size=(2 * k, 2 * k)) * 0.3
-        y = Tensor(x.data @ w_star.T)
-        # Execute-biased start (training converges there): E[F] begins
-        # above the window, as in Fig. 5(b)'s red curves.
-        space.theta.data[:] = np.array([[-2.0, 2.0]] * space.theta.shape[0])
-        opt = Adam([space.theta], lr=5e-2)
-        w_opt = Adam(lin.parameters(), lr=1e-2)
-        cfg = FootprintPenaltyConfig(beta=beta)
-        trace = PenaltyTrace(beta=beta, window=(f_min, f_max))
-        for _ in range(steps):
-            space.sample(tau=1.0, rng=rng)
-            diff = lin(x) - y
-            task = (diff * diff).mean()
-            pen, e_exact = footprint_penalty(space, cfg)
-            loss = task + pen
-            space.theta.grad = None
-            for p in lin.parameters():
-                p.grad = None
-            loss.backward()
-            opt.step()
-            w_opt.step()
-            trace.expected_footprint.append(e_exact)
-            trace.penalty_over_beta.append(
-                float(pen.item()) / beta if beta else 0.0
+    if n_workers > 0:
+        traces = _scan_via_service(
+            "fig5b",
+            {
+                "k": k,
+                "window_kum2": [float(window_kum2[0]), float(window_kum2[1])],
+                "steps": steps,
+                "beta_values": [float(b) for b in beta_values],
+                "seed": seed,
+            },
+            n_workers,
+        )
+        for t in traces:
+            out[t["beta"]] = PenaltyTrace(
+                beta=t["beta"],
+                expected_footprint=t["expected_footprint"],
+                penalty_over_beta=t["penalty_over_beta"],
+                window=tuple(t["window"]),
             )
-        out[beta] = trace
+    else:
+        for beta in beta_values:
+            out[beta] = penalty_scan_point(
+                beta, k=k, window_kum2=window_kum2, steps=steps, seed=seed
+            )
+    for beta, trace in out.items():
         status = "in window" if trace.final_in_window else "VIOLATED"
         print(
             f"  beta={beta:6.3f}  E[F]: {trace.expected_footprint[0] / 1000:6.1f}k "

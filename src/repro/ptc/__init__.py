@@ -22,7 +22,9 @@ from .butterfly import (
 from .mzi import MZIOp, max_mzi_count, mzi_2x2, reck_decompose, reconstruct_from_ops
 from .cache import (
     UnitaryBuildCache,
+    set_unitary_cache_dir,
     set_unitary_cache_enabled,
+    unitary_cache_dir,
     unitary_cache_enabled,
 )
 from .population import (
@@ -46,7 +48,9 @@ __all__ = [
     "TopologyPopulation",
     "UnitaryBuildCache",
     "fit_unitary_population",
+    "set_unitary_cache_dir",
     "set_unitary_cache_enabled",
+    "unitary_cache_dir",
     "unitary_cache_enabled",
     "ClementsDecomposition",
     "clements_decompose",

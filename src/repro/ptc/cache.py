@@ -21,25 +21,55 @@ of the key (see ``UnitaryFactory.build`` in :mod:`repro.ptc.unitary`).
 
 A small LRU bound keeps memory flat; the common access pattern is one
 hot entry reused across an entire evaluation pass.
+
+Multiprocess sharing
+--------------------
+When a cache directory is set (per instance, or globally via
+:func:`set_unitary_cache_dir`), entries are written through to disk and
+misses fall back to it, so concurrent worker processes — e.g. the
+:mod:`repro.service` pool — share builds.  The on-disk protocol is safe
+under concurrent readers and writers with no locks:
+
+* every entry is one file named by its content key, produced by an
+  atomic same-directory tmp-file + ``os.replace`` (see
+  :func:`repro.utils.serialization.atomic_write_bytes`) — readers see
+  either the old complete entry or the new complete entry, never a
+  torn mix;
+* each file carries a blake2b checksum of its payload, verified on
+  read — any short or corrupt file is treated as a miss and deleted,
+  never served.
+
+``tests/ptc/test_cache_concurrency.py`` hammers one directory from N
+processes to lock these guarantees.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
+import os
 from collections import OrderedDict
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 import numpy as np
 
 __all__ = [
     "UnitaryBuildCache",
     "content_digest",
+    "set_unitary_cache_dir",
     "set_unitary_cache_enabled",
+    "unitary_cache_dir",
     "unitary_cache_enabled",
 ]
 
 # Global kill-switch (e.g. for memory-constrained sweeps or debugging).
 _CACHE_ENABLED = True
+
+# Global spill directory; None keeps caches memory-only.
+_CACHE_DIR: Optional[Path] = None
+
+_CHECKSUM_BYTES = 16
 
 
 def set_unitary_cache_enabled(enabled: bool) -> bool:
@@ -53,6 +83,53 @@ def set_unitary_cache_enabled(enabled: bool) -> bool:
 def unitary_cache_enabled() -> bool:
     """Whether eval-mode unitary builds may be served from cache."""
     return _CACHE_ENABLED
+
+
+def set_unitary_cache_dir(
+    directory: Optional[Union[str, Path]],
+) -> Optional[Path]:
+    """Set (or with ``None``, clear) the global on-disk cache directory.
+
+    All :class:`UnitaryBuildCache` instances without an explicit
+    per-instance directory consult this dynamically on every get/put,
+    so processes forked after this call inherit the shared tier.
+    Returns the previous setting.
+    """
+    global _CACHE_DIR
+    prev = _CACHE_DIR
+    if directory is None:
+        _CACHE_DIR = None
+    else:
+        _CACHE_DIR = Path(directory)
+        _CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    return prev
+
+
+def unitary_cache_dir() -> Optional[Path]:
+    """The global on-disk cache directory, or None when memory-only."""
+    return _CACHE_DIR
+
+
+def _encode_entry(value: np.ndarray) -> bytes:
+    """Serialize ``value`` with a leading payload checksum."""
+    buf = io.BytesIO()
+    np.save(buf, value, allow_pickle=False)
+    payload = buf.getvalue()
+    digest = hashlib.blake2b(payload, digest_size=_CHECKSUM_BYTES).digest()
+    return digest + payload
+
+
+def _decode_entry(data: bytes) -> Optional[np.ndarray]:
+    """Deserialize an entry; None when short/corrupt (never a torn array)."""
+    if len(data) <= _CHECKSUM_BYTES:
+        return None
+    digest, payload = data[:_CHECKSUM_BYTES], data[_CHECKSUM_BYTES:]
+    if hashlib.blake2b(payload, digest_size=_CHECKSUM_BYTES).digest() != digest:
+        return None
+    try:
+        return np.load(io.BytesIO(payload), allow_pickle=False)
+    except (ValueError, OSError):
+        return None
 
 
 def content_digest(*arrays: np.ndarray) -> bytes:
@@ -71,34 +148,102 @@ class UnitaryBuildCache:
 
     Stored values are the raw ``(n_units, K, K)`` complex arrays; the
     caller wraps them back into constant tensors.  ``hits``/``misses``
-    counters make cache behavior observable in tests and benchmarks.
+    (and ``disk_hits``) counters make cache behavior observable in
+    tests and benchmarks.
+
+    ``directory`` adds a shared on-disk tier with per-entry atomic
+    writes (see module docstring); when left as None, the global
+    :func:`set_unitary_cache_dir` setting is consulted dynamically.
     """
 
-    def __init__(self, maxsize: int = 8):
+    def __init__(
+        self,
+        maxsize: int = 8,
+        directory: Optional[Union[str, Path]] = None,
+    ):
         self.maxsize = maxsize
+        self.directory = None if directory is None else Path(directory)
         self._store: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
 
     def __len__(self) -> int:
         return len(self._store)
 
+    def _dir(self) -> Optional[Path]:
+        return self.directory if self.directory is not None else _CACHE_DIR
+
+    def _entry_path(self, key: bytes) -> Optional[Path]:
+        d = self._dir()
+        return None if d is None else d / f"{key.hex()}.npc"
+
     def get(self, key: bytes) -> Optional[np.ndarray]:
         hit = self._store.get(key)
-        if hit is None:
-            self.misses += 1
-            return None
-        self._store.move_to_end(key)
-        self.hits += 1
-        return hit
+        if hit is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return hit
+        disk = self._disk_get(key)
+        if disk is not None:
+            self._memory_put(key, disk)  # promote
+            self.disk_hits += 1
+            self.hits += 1
+            return disk
+        self.misses += 1
+        return None
 
     def put(self, key: bytes, value: np.ndarray) -> None:
+        self._memory_put(key, value)
+        self._disk_put(key, value)
+
+    def _memory_put(self, key: bytes, value: np.ndarray) -> None:
         self._store[key] = value
         self._store.move_to_end(key)
         while len(self._store) > self.maxsize:
             self._store.popitem(last=False)
 
-    def clear(self) -> None:
+    def _disk_get(self, key: bytes) -> Optional[np.ndarray]:
+        path = self._entry_path(key)
+        if path is None:
+            return None
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        value = _decode_entry(data)
+        if value is None:
+            # Corrupt entry (e.g. torn by a non-atomic copy): drop it so
+            # the next writer repopulates; never serve it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return value
+
+    def _disk_put(self, key: bytes, value: np.ndarray) -> None:
+        path = self._entry_path(key)
+        if path is None:
+            return
+        from ..utils.serialization import atomic_write_bytes
+
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(path, _encode_entry(value))
+        except OSError:
+            pass  # disk tier is best-effort; memory tier already holds it
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-memory tier (and with ``disk=True``, the shared
+        on-disk entries as well)."""
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        d = self._dir()
+        if disk and d is not None:
+            for entry in d.glob("*.npc"):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass

@@ -1,0 +1,125 @@
+"""Job model for the concurrent design service.
+
+A *job* is one user-level request — a topology search, a train/eval
+run, a Monte-Carlo robustness grid, a netlist export — described by a
+``kind`` string and a JSON-serializable ``params`` dict.  Jobs are
+content-addressed: the job id is the blake2b digest of the canonical
+JSON encoding of ``(kind, params)`` (see
+:func:`repro.utils.serialization.json_digest`), so submitting the same
+request twice is idempotent by construction.
+
+Each kind registers a :class:`JobType` with three pure functions:
+
+``expand(params) -> [shard payloads]``
+    Deterministic decomposition into independent *shards* — the unit
+    of work a worker claims.  The decomposition depends only on
+    ``params`` (never on worker count or wall-clock), which is what
+    makes aggregated results reproducible regardless of how many
+    workers executed them.
+
+``run_shard(params, shard) -> result``
+    Execute one shard; a pure function of its arguments (all
+    randomness derives from seeds inside ``params`` via
+    :func:`repro.utils.rng.stable_seed`), returning a JSON-serializable
+    result.
+
+``aggregate(params, shard_results) -> result``
+    Combine shard results (given in shard-index order) into the final
+    job result.  Because shard results and the combination are both
+    deterministic, the final artifact bytes are identical whether the
+    shards ran in one process or across a crash-recovering pool.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..utils.serialization import canonical_json_dumps, json_digest
+
+__all__ = [
+    "JobSpec",
+    "JobType",
+    "available_job_kinds",
+    "get_job_type",
+    "register_job_type",
+]
+
+
+@dataclass(frozen=True)
+class JobType:
+    """A registered job kind: shard decomposition, execution, merge."""
+
+    kind: str
+    expand: Callable[[dict], List[dict]]
+    run_shard: Callable[[dict, dict], dict]
+    aggregate: Callable[[dict, List[dict]], dict]
+    description: str = ""
+
+
+_REGISTRY: Dict[str, JobType] = {}
+
+
+def register_job_type(job_type: JobType) -> JobType:
+    """Register (or replace) a job kind; returns the registered type."""
+    _REGISTRY[job_type.kind] = job_type
+    return job_type
+
+
+def get_job_type(kind: str) -> JobType:
+    _ensure_builtin_handlers()
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown job kind {kind!r}; available: {available_job_kinds()}"
+        ) from None
+
+
+def available_job_kinds() -> List[str]:
+    _ensure_builtin_handlers()
+    return sorted(_REGISTRY)
+
+
+def _ensure_builtin_handlers() -> None:
+    # Builtin handlers live in repro.service.handlers and register
+    # themselves on import; imported lazily to keep `import repro`
+    # free of experiment-layer dependencies.
+    from . import handlers  # noqa: F401
+
+
+@dataclass
+class JobSpec:
+    """A submittable request: kind + JSON-serializable parameters."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def canonical(self) -> str:
+        """Canonical JSON of ``(kind, params)`` — the hashed identity."""
+        return canonical_json_dumps({"kind": self.kind, "params": self.params})
+
+    @property
+    def job_id(self) -> str:
+        """Content address: equal requests always share one id."""
+        return json_digest({"kind": self.kind, "params": self.params})
+
+    def validate(self) -> "JobSpec":
+        """Check the payload round-trips losslessly through JSON."""
+        encoded = self.canonical()
+        decoded = json.loads(encoded)
+        if decoded["params"] != self.params:
+            raise ValueError(
+                "job params do not survive a JSON round-trip; use only "
+                "JSON-native types (dict/list/str/int/float/bool/None)"
+            )
+        get_job_type(self.kind)  # raises on unknown kind
+        return self
+
+    def expand(self) -> List[dict]:
+        """The job's deterministic shard decomposition."""
+        shards = get_job_type(self.kind).expand(self.params)
+        if not shards:
+            raise ValueError(f"job kind {self.kind!r} expanded to zero shards")
+        return shards

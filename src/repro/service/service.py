@@ -1,0 +1,114 @@
+"""High-level facade: one directory = one design service instance.
+
+A service root holds the persistent queue (``queue.sqlite``) and the
+content-addressed artifact store (``artifacts/``).  Everything is
+file-backed, so any number of processes — submitters, workers, status
+watchers — can open the same root concurrently, and a service killed
+at any instant resumes from its directory.
+
+Typical flow (mirrored by ``python -m repro submit/serve/status``)::
+
+    svc = DesignService("runs/service")
+    job_id = svc.submit("robustness-grid", {"mesh": "mzi", "k": 8})
+    svc.run(n_workers=4)            # or `python -m repro serve` elsewhere
+    result = svc.result(job_id)
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .artifacts import ArtifactStore
+from .jobs import JobSpec
+from .queue import JobQueue
+from .workers import WorkerPool, run_until_idle, _try_finalize
+
+__all__ = ["DesignService"]
+
+
+class DesignService:
+    """Submit / execute / inspect jobs rooted at one directory."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.queue_path = self.root / "queue.sqlite"
+        self.artifact_root = self.root / "artifacts"
+        self.queue = JobQueue(self.queue_path)
+        self.store = ArtifactStore(self.artifact_root)
+
+    def close(self) -> None:
+        self.queue.close()
+
+    # -- client side ----------------------------------------------------
+
+    def submit(self, kind: str, params: Optional[dict] = None) -> str:
+        """Enqueue a job; returns its content-addressed id
+        (resubmitting identical params is a no-op)."""
+        return self.queue.submit(JobSpec(kind=kind, params=params or {}))
+
+    def status(self, job_id: str) -> dict:
+        return self.queue.job_status(job_id)
+
+    def jobs(self) -> List[dict]:
+        return self.queue.list_jobs()
+
+    def result(self, job_id: str):
+        """The final aggregated result of a ``done`` job."""
+        status = self.queue.job_status(job_id)
+        if status["status"] == "failed":
+            raise RuntimeError(f"job {job_id} failed: {status['error']}")
+        if status["status"] != "done":
+            # A crash between the last shard completion and the
+            # finalize transition leaves the aggregate computable by
+            # anyone — including the client asking for it.
+            if not _try_finalize(self.queue, self.store, job_id):
+                raise RuntimeError(
+                    f"job {job_id} is {status['status']}; result not ready"
+                )
+            status = self.queue.job_status(job_id)
+        return self.store.get(status["result_ref"])
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """Exact artifact bytes of a finished job (determinism tests)."""
+        status = self.queue.job_status(job_id)
+        if status["status"] != "done":
+            self.result(job_id)  # finalize if possible, raise if not
+            status = self.queue.job_status(job_id)
+        return self.store.raw_bytes(status["result_ref"])
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll_seconds: float = 0.05):
+        """Block until ``job_id`` finishes; returns its result."""
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            status = self.queue.job_status(job_id)
+            if status["status"] in ("done", "failed"):
+                return self.result(job_id)
+            time.sleep(poll_seconds)
+        raise TimeoutError(f"job {job_id} did not finish within {timeout}s")
+
+    # -- worker side ----------------------------------------------------
+
+    def run(self, n_workers: int = 0, timeout: Optional[float] = None,
+            **worker_kwargs) -> None:
+        """Drain the queue (``n_workers=0`` = in-process single worker).
+
+        Workers share the root's multiprocess-safe unitary build cache
+        (``unitary-cache/``) unless ``cache_dir`` is overridden.
+        """
+        worker_kwargs.setdefault("cache_dir", str(self.root / "unitary-cache"))
+        run_until_idle(
+            self.queue_path, self.artifact_root, n_workers=n_workers,
+            timeout=timeout, **worker_kwargs,
+        )
+
+    def pool(self, n_workers: int, **worker_kwargs) -> WorkerPool:
+        """An unstarted :class:`WorkerPool` attached to this root."""
+        worker_kwargs.setdefault("cache_dir", str(self.root / "unitary-cache"))
+        return WorkerPool(
+            self.queue_path, self.artifact_root, n_workers=n_workers,
+            **worker_kwargs,
+        )

@@ -3,11 +3,22 @@
 from .ascii_plot import bar_chart, line_plot, sparkline
 from .logging import TraceLogger
 from .rng import get_rng, set_seed, spawn_rng, stable_hash, stable_seed
-from .serialization import load_checkpoint, save_checkpoint
+from .serialization import (
+    atomic_write_bytes,
+    atomic_write_text,
+    canonical_json_dumps,
+    json_digest,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __all__ = [
     "TraceLogger",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "bar_chart",
+    "canonical_json_dumps",
+    "json_digest",
     "line_plot",
     "sparkline",
     "get_rng",

@@ -1,0 +1,175 @@
+"""Multiprocess safety of the shared on-disk unitary build cache.
+
+N processes hammer one cache directory with interleaved reads and
+writes.  The contract under test: a concurrent reader observes either
+a miss (None) or an exactly-correct complete array — never a torn mix
+of two writes — because entries are published with atomic
+same-directory renames and carry a payload checksum verified on read.
+"""
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.ptc.cache import (
+    UnitaryBuildCache,
+    _decode_entry,
+    _encode_entry,
+    content_digest,
+    set_unitary_cache_dir,
+    unitary_cache_dir,
+)
+
+N_PROCS = 4
+N_KEYS = 6
+ITERS = 60
+# Two distinct well-known values per key, ~64 KB each, so a torn write
+# that mixes them is both likely under racing and trivially detectable.
+ARR_SHAPE = (2, 64, 64)  # complex128 -> 128 KB
+
+
+def _value(key_idx: int, variant: int) -> np.ndarray:
+    base = np.full(ARR_SHAPE, float(variant + 1), dtype=np.complex128)
+    return base * (key_idx + 1) + 1j * variant
+
+
+def _keys():
+    return [content_digest(np.array([i])) for i in range(N_KEYS)]
+
+
+def _hammer(directory, worker_idx, iters, failures):
+    """Interleave puts of two variants per key with reads of every key."""
+    rng = np.random.default_rng(worker_idx)
+    cache = UnitaryBuildCache(maxsize=2, directory=directory)
+    keys = _keys()
+    for it in range(iters):
+        key_idx = int(rng.integers(N_KEYS))
+        variant = int(rng.integers(2))
+        cache.put(keys[key_idx], _value(key_idx, variant))
+        for read_idx in range(N_KEYS):
+            # Bypass the in-memory tier: disk reads are the racy path.
+            got = cache._disk_get(keys[read_idx])
+            if got is None:
+                continue
+            if not (
+                np.array_equal(got, _value(read_idx, 0))
+                or np.array_equal(got, _value(read_idx, 1))
+            ):
+                failures.put(
+                    f"worker {worker_idx} iter {it}: torn read for key "
+                    f"{read_idx}"
+                )
+                return
+
+
+class TestEntryCodec:
+    def test_round_trip(self):
+        arr = np.arange(12, dtype=np.complex128).reshape(3, 4) * (1 + 2j)
+        out = _decode_entry(_encode_entry(arr))
+        assert np.array_equal(out, arr)
+        assert out.dtype == arr.dtype
+
+    def test_truncated_payload_rejected(self):
+        data = _encode_entry(np.ones((4, 4)))
+        for cut in (0, 10, len(data) // 2, len(data) - 1):
+            assert _decode_entry(data[:cut]) is None
+
+    def test_corrupt_byte_rejected(self):
+        data = bytearray(_encode_entry(np.ones((4, 4))))
+        data[len(data) // 2] ^= 0xFF
+        assert _decode_entry(bytes(data)) is None
+
+
+class TestDiskTier:
+    def test_write_through_and_fallback(self, tmp_path):
+        writer = UnitaryBuildCache(maxsize=4, directory=tmp_path)
+        key = content_digest(np.array([1.0]))
+        val = _value(0, 0)
+        writer.put(key, val)
+        # A fresh cache (fresh process stand-in) sees the entry on disk.
+        reader = UnitaryBuildCache(maxsize=4, directory=tmp_path)
+        got = reader.get(key)
+        assert np.array_equal(got, val)
+        assert reader.disk_hits == 1
+        # Promotion: second get is served from memory.
+        reader.get(key)
+        assert reader.disk_hits == 1 and reader.hits == 2
+
+    def test_corrupt_entry_is_miss_and_removed(self, tmp_path):
+        cache = UnitaryBuildCache(directory=tmp_path)
+        key = content_digest(np.array([2.0]))
+        cache.put(key, _value(0, 0))
+        path = cache._entry_path(key)
+        path.write_bytes(path.read_bytes()[:40])  # simulate a torn copy
+        fresh = UnitaryBuildCache(directory=tmp_path)
+        assert fresh.get(key) is None
+        assert not path.exists()
+
+    def test_global_dir_consulted_dynamically(self, tmp_path):
+        prev = set_unitary_cache_dir(tmp_path)
+        try:
+            assert unitary_cache_dir() == tmp_path
+            cache = UnitaryBuildCache(maxsize=1)
+            k1 = content_digest(np.array([1]))
+            k2 = content_digest(np.array([2]))
+            cache.put(k1, _value(0, 0))
+            cache.put(k2, _value(1, 0))  # evicts k1 from memory (maxsize=1)
+            assert np.array_equal(cache.get(k1), _value(0, 0))  # disk saves it
+            assert cache.disk_hits == 1
+        finally:
+            set_unitary_cache_dir(prev)
+
+    def test_memory_only_without_dir(self, tmp_path):
+        cache = UnitaryBuildCache(maxsize=1)
+        k1 = content_digest(np.array([1]))
+        k2 = content_digest(np.array([2]))
+        cache.put(k1, _value(0, 0))
+        cache.put(k2, _value(1, 0))
+        assert cache.get(k1) is None  # evicted, no disk tier
+
+    def test_clear_disk(self, tmp_path):
+        cache = UnitaryBuildCache(directory=tmp_path)
+        cache.put(content_digest(np.array([3])), _value(0, 1))
+        assert list(tmp_path.glob("*.npc"))
+        cache.clear(disk=True)
+        assert not list(tmp_path.glob("*.npc"))
+
+
+class TestConcurrentStress:
+    def test_n_process_hammer_no_torn_reads(self, tmp_path):
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        failures = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_hammer,
+                args=(str(tmp_path), i, ITERS, failures),
+                daemon=True,
+            )
+            for i in range(N_PROCS)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(120)
+        problems = []
+        while not failures.empty():
+            problems.append(failures.get())
+        assert not problems, problems
+        assert all(p.exitcode == 0 for p in procs)
+        # Every surviving entry decodes to one of the two known values.
+        survivors = sorted(tmp_path.glob("*.npc"))
+        assert survivors, "stress run left no cache entries"
+        keys = {k.hex(): i for i, k in enumerate(_keys())}
+        for path in survivors:
+            arr = _decode_entry(path.read_bytes())
+            assert arr is not None, f"{path.name} corrupt at rest"
+            idx = keys[path.stem]
+            assert np.array_equal(arr, _value(idx, 0)) or np.array_equal(
+                arr, _value(idx, 1)
+            )
+        # No orphaned tmp files left behind by completed writers.
+        assert not list(tmp_path.glob(".tmp-*"))

@@ -1,0 +1,144 @@
+"""Crash injection and resume determinism.
+
+The headline guarantee of the design service: SIGKILL any worker (or
+the whole pool) at any instant, restart, and the final aggregated
+artifact is byte-identical to an uninterrupted single-worker run.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.service import DesignService
+
+
+def _reference_bytes(tmp_path, kind, params):
+    """Uninterrupted inline single-worker run: the determinism oracle."""
+    svc = DesignService(tmp_path / "reference")
+    job_id = svc.submit(kind, params)
+    svc.run(n_workers=0)
+    data = svc.result_bytes(job_id)
+    svc.close()
+    return data
+
+
+def _wait_for_progress(svc, job_id, min_done, timeout=60.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if svc.status(job_id)["shards"].get("done", 0) >= min_done:
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"no progress: {svc.status(job_id)}")
+
+
+def _wait_done(svc, job_id, timeout=120.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if svc.status(job_id)["status"] in ("done", "failed"):
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"job stuck: {svc.status(job_id)}")
+
+
+class TestSigkillOneWorker:
+    def test_surviving_worker_recovers_lease(self, tmp_path):
+        """Kill one of two workers mid-run; the survivor picks up the
+        dead worker's shard after its (short) lease lapses and the
+        aggregate matches the uninterrupted reference byte for byte."""
+        params = {"n_shards": 10, "seed": 3, "sleep": 0.2}
+        expected = _reference_bytes(tmp_path, "svc-sum", params)
+
+        svc = DesignService(tmp_path / "crashy")
+        job_id = svc.submit("svc-sum", params)
+        pool = svc.pool(2, lease_seconds=1.5, poll_seconds=0.02).start()
+        try:
+            _wait_for_progress(svc, job_id, min_done=2)
+            victim = pool.pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            _wait_done(svc, job_id)
+        finally:
+            pool.terminate()
+
+        assert svc.status(job_id)["status"] == "done"
+        assert svc.result_bytes(job_id) == expected
+        # The kill is visible in the audit trail or in retried attempts
+        # only if the victim held a lease at that instant; correctness
+        # must hold either way.
+        svc.close()
+
+
+class TestKillWholePoolThenRestart:
+    def test_fresh_pool_resumes_byte_identical(self, tmp_path):
+        """kill -9 every worker mid-grid, then start a brand-new pool
+        on the same root: it resumes from the queue and completes to
+        the identical artifact."""
+        params = {"n_shards": 12, "seed": 7, "sleep": 0.15}
+        expected = _reference_bytes(tmp_path, "svc-sum", params)
+
+        svc = DesignService(tmp_path / "crashy")
+        job_id = svc.submit("svc-sum", params)
+        pool = svc.pool(2, lease_seconds=1.0, poll_seconds=0.02).start()
+        try:
+            _wait_for_progress(svc, job_id, min_done=2)
+            for pid in pool.pids():
+                os.kill(pid, signal.SIGKILL)
+        finally:
+            pool.terminate()
+        status = svc.status(job_id)
+        assert status["status"] == "running"
+        assert status["shards"].get("done", 0) < params["n_shards"]
+
+        pool2 = svc.pool(2, lease_seconds=1.0, poll_seconds=0.02).start()
+        try:
+            _wait_done(svc, job_id)
+        finally:
+            pool2.terminate()
+
+        assert svc.status(job_id)["status"] == "done"
+        assert svc.result_bytes(job_id) == expected
+        svc.close()
+
+
+class TestRobustnessGridResume:
+    """The paper-facing workload: a Monte-Carlo robustness grid."""
+
+    GRID_PARAMS = {
+        "mesh": "mzi",
+        "k": 8,
+        "n_test": 32,
+        "n_train": 32,
+        "train_epochs": 0,
+        "noise_stds": [0.02, 0.08],
+        "n_runs": 8,
+        "shard_trials": 2,
+        "batch_size": 16,
+    }
+
+    def test_kill_worker_mid_grid_byte_identical(self, tmp_path):
+        expected = _reference_bytes(tmp_path, "robustness-grid",
+                                    self.GRID_PARAMS)
+
+        svc = DesignService(tmp_path / "crashy")
+        job_id = svc.submit("robustness-grid", self.GRID_PARAMS)
+        # 2 noise levels x 8 runs = 16 trials, 2 per shard.
+        assert svc.status(job_id)["n_shards"] == 8
+        pool = svc.pool(2, lease_seconds=2.0, poll_seconds=0.02).start()
+        try:
+            _wait_for_progress(svc, job_id, min_done=1, timeout=120)
+            os.kill(pool.pids()[-1], signal.SIGKILL)
+            _wait_done(svc, job_id, timeout=180)
+        finally:
+            pool.terminate()
+
+        assert svc.status(job_id)["status"] == "done"
+        assert svc.result_bytes(job_id) == expected
+
+        # And the decoded grid is a sane accuracy table.
+        result = svc.result(job_id)
+        grid = np.asarray(result["grid"])
+        assert grid.shape == (2, 8)
+        assert np.all((grid >= 0.0) & (grid <= 1.0))
+        svc.close()

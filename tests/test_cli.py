@@ -1,12 +1,21 @@
-"""In-process tests for the ``python -m repro`` CLI."""
+"""In-process tests for the ``python -m repro`` CLI, plus subprocess
+regression tests pinning the exit-code contract (success 0, command
+failure 1, usage error 2)."""
 
 import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
 from repro.core.topology import random_topology
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 @pytest.fixture()
@@ -116,6 +125,155 @@ class TestEvaluate:
         assert rc == 0
         out = capsys.readouterr().out
         assert "cli-test" in out and "%" in out
+
+
+def _run_cli(*argv, cwd=None):
+    """Invoke ``python -m repro`` as a real subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd or REPO_ROOT,
+        timeout=120,
+    )
+
+
+class TestExitCodes:
+    """Subprocess regression tests: failures must not exit 0."""
+
+    def test_no_command_is_usage_error(self):
+        proc = _run_cli()
+        assert proc.returncode == 2
+
+    def test_unknown_command_is_usage_error(self):
+        proc = _run_cli("frobnicate")
+        assert proc.returncode == 2
+
+    def test_submit_without_root_is_usage_error(self):
+        proc = _run_cli("submit", "evaluate")
+        assert proc.returncode == 2
+        assert "--root" in proc.stderr
+
+    def test_unknown_job_kind_fails(self, tmp_path):
+        proc = _run_cli("submit", "nope", "--root", str(tmp_path))
+        assert proc.returncode == 1
+        assert proc.stderr.startswith("error:")
+        assert "unknown job kind" in proc.stderr
+
+    def test_export_missing_file_fails(self, tmp_path):
+        proc = _run_cli("export", str(tmp_path / "missing.json"))
+        assert proc.returncode == 1
+        assert proc.stderr.startswith("error:")
+
+    def test_export_corrupt_topology_fails(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        proc = _run_cli("export", str(bad))
+        assert proc.returncode == 1
+        assert proc.stderr.startswith("error:")
+
+    def test_submit_invalid_params_json_fails(self, tmp_path):
+        proc = _run_cli("submit", "evaluate", "--root", str(tmp_path),
+                        "--params", "{broken")
+        assert proc.returncode == 1
+        assert proc.stderr.startswith("error:")
+
+    def test_status_missing_job_fails(self, tmp_path):
+        proc = _run_cli("status", "deadbeef", "--root", str(tmp_path))
+        assert proc.returncode == 1
+        assert "no such job" in proc.stderr
+
+    def test_status_kinds_succeeds(self):
+        proc = _run_cli("status", "--kinds")
+        assert proc.returncode == 0
+        assert "robustness-grid" in proc.stdout
+
+    def test_info_succeeds(self):
+        proc = _run_cli("info")
+        assert proc.returncode == 0
+
+
+@pytest.fixture()
+def cli_job_kind():
+    """Register a tiny deterministic job kind for in-process CLI tests."""
+    from repro.service import JobType, register_job_type
+
+    def expand(params):
+        return [{"v": v} for v in params["values"]]
+
+    def run_shard(params, shard):
+        if params.get("explode"):
+            raise RuntimeError("boom")
+        return {"doubled": shard["v"] * 2}
+
+    def aggregate(params, results):
+        return {"doubled": [r["doubled"] for r in results]}
+
+    register_job_type(JobType(
+        kind="cli-double",
+        expand=expand,
+        run_shard=run_shard,
+        aggregate=aggregate,
+        description="test kind",
+    ))
+    return "cli-double"
+
+
+class TestServiceCommands:
+    """In-process submit -> serve -> status round-trip."""
+
+    def test_submit_serve_status(self, tmp_path, capsys, cli_job_kind):
+        root = str(tmp_path / "svc")
+        rc = main(["submit", cli_job_kind, "--root", root,
+                   "--params", '{"values": [1, 2, 3]}'])
+        assert rc == 0
+        out = capsys.readouterr().out
+        match = re.search(r"job ([0-9a-f]{32}) \((\d+) shards\)", out)
+        assert match and match.group(2) == "3"
+        job_id = match.group(1)
+
+        # Idempotent resubmit: same params -> same content-addressed id.
+        assert main(["submit", cli_job_kind, "--root", root,
+                     "--params", '{"values": [1, 2, 3]}']) == 0
+        assert job_id in capsys.readouterr().out
+
+        assert main(["serve", "--root", root, "--workers", "0",
+                     "--until-idle"]) == 0
+        capsys.readouterr()
+
+        assert main(["status", "--root", root]) == 0
+        assert job_id in capsys.readouterr().out
+
+        assert main(["status", job_id, "--root", root, "--result"]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert json.loads(out[out.index("{"):]) == {"doubled": [2, 4, 6]}
+
+    def test_status_of_failed_job_exits_nonzero(
+        self, tmp_path, capsys, cli_job_kind
+    ):
+        root = str(tmp_path / "svc")
+        assert main(["submit", cli_job_kind, "--root", root, "--params",
+                     '{"values": [1], "explode": true}']) == 0
+        out = capsys.readouterr().out
+        job_id = re.search(r"job ([0-9a-f]{32})", out).group(1)
+        assert main(["serve", "--root", root, "--workers", "0",
+                     "--until-idle", "--max-attempts", "1"]) == 0
+        capsys.readouterr()
+        assert main(["status", job_id, "--root", root]) == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_submit_conflicting_param_sources(self, tmp_path, capsys,
+                                              cli_job_kind):
+        pfile = tmp_path / "p.json"
+        pfile.write_text('{"values": [1]}')
+        rc = main(["submit", cli_job_kind, "--root", str(tmp_path),
+                   "--params", "{}", "--params-file", str(pfile)])
+        assert rc == 1
+        assert "not both" in capsys.readouterr().err
 
 
 class TestSearch:
