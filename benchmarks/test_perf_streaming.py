@@ -1,0 +1,78 @@
+"""Perf gate: micro-batching must actually buy streaming throughput.
+
+The streaming server's whole reason to exist is that one chip call
+per micro-batch amortizes the per-call cost (a factory build plus the
+readout overhead) over every request riding the batch.  This gate
+serves the same fixed workload twice — once with micro-batching
+disabled (``max_batch=1``, one chip call per request) and once at the
+chip's native ceiling — and requires the batched path to be >= 2x
+faster in wall-clock time.
+
+Timing is interleaved (alternating single/batched rounds, medians
+compared) so background noise hits both paths symmetrically.  The
+detections are also compared: batching must never change results.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.topology import random_topology
+from repro.hardware import SimulatedChip, StreamingServer
+from repro.utils.rng import spawn_rng, stable_seed
+
+K = 8
+N_BLOCKS = 6
+N_REQUESTS = 256
+MAX_BATCH = 32
+ROUNDS = 5
+SPEEDUP_FLOOR = 2.0
+
+
+def make_chip():
+    topo = random_topology(K, N_BLOCKS, 0, rng=np.random.default_rng(0))
+    return SimulatedChip(topo, seed=3, max_batch=MAX_BATCH)
+
+
+def make_inputs():
+    rng = spawn_rng(stable_seed("perf-streaming-inputs", 0))
+    return [rng.normal(size=K) for _ in range(N_REQUESTS)]
+
+
+def serve_once(max_batch, inputs):
+    server = StreamingServer(make_chip(), max_batch=max_batch)
+    t0 = time.perf_counter()
+    results = server.serve_sync(inputs)
+    return time.perf_counter() - t0, results
+
+
+class TestStreamingThroughput:
+    def test_batched_beats_one_at_a_time(self):
+        inputs = make_inputs()
+        # Warmup both paths (imports, first-build costs).
+        serve_once(1, inputs[:8])
+        serve_once(MAX_BATCH, inputs[:8])
+
+        single_times, batched_times = [], []
+        baseline = None
+        for _ in range(ROUNDS):
+            t_single, r_single = serve_once(1, inputs)
+            t_batched, r_batched = serve_once(MAX_BATCH, inputs)
+            single_times.append(t_single)
+            batched_times.append(t_batched)
+            # Batching must not change any detection.
+            if baseline is None:
+                baseline = r_single
+            np.testing.assert_allclose(
+                np.stack(r_batched), np.stack(r_single), atol=1e-12)
+
+        speedup = (float(np.median(single_times))
+                   / float(np.median(batched_times)))
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"micro-batching speedup {speedup:.2f}x below "
+            f"{SPEEDUP_FLOOR}x floor (single "
+            f"{np.median(single_times) * 1e3:.1f}ms, batched "
+            f"{np.median(batched_times) * 1e3:.1f}ms for "
+            f"{N_REQUESTS} requests)"
+        )

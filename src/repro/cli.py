@@ -15,7 +15,11 @@ reachable without writing Python:
 * ``submit`` / ``status`` / ``serve`` — the concurrent design
   service (:mod:`repro.service`): enqueue jobs into a persistent
   queue rooted at a directory, inspect them, and drain them with a
-  sharded multiprocess worker pool.
+  sharded multiprocess worker pool;
+* ``chip serve`` / ``chip bench`` — the hardware-abstraction layer
+  (:mod:`repro.hardware`): run a streaming-inference scenario on a
+  drifting virtual chip with online recalibration, or measure the
+  micro-batching throughput gain.
 
 Every command accepts ``--seed`` and prints a deterministic report to
 stdout; artifacts land where ``--out`` points.  Failures exit
@@ -166,6 +170,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--timeout", type=float, default=None,
                          help="with --until-idle: max seconds to drain")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_chip = sub.add_parser(
+        "chip", help="virtual-chip streaming inference (hardware layer)")
+    chip_sub = p_chip.add_subparsers(dest="chip_command", required=True)
+
+    def add_chip_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--design", type=Path, default=None,
+                       help="topology JSON (default: random mesh)")
+        p.add_argument("--k", type=int, default=8, help="mesh size")
+        p.add_argument("--blocks", type=int, default=4,
+                       help="random-mesh block count (no --design)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--max-batch", type=int, default=16,
+                       help="chip micro-batch ceiling")
+        p.add_argument("--requests", type=int, default=192,
+                       help="inference requests to serve")
+
+    p_chip_serve = chip_sub.add_parser(
+        "serve", help="serve a drifting chip with online recalibration")
+    add_chip_args(p_chip_serve)
+    p_chip_serve.add_argument("--drift-std", type=float, default=0.02,
+                              help="phase random walk, rad/sqrt(s)")
+    p_chip_serve.add_argument("--gamma-drift", type=float, default=0.0,
+                              help="thermal-crosstalk buildup amplitude")
+    p_chip_serve.add_argument("--batch-overhead", type=float, default=0.5,
+                              help="virtual seconds per chip call")
+    p_chip_serve.add_argument("--sample-time", type=float, default=0.05,
+                              help="virtual seconds per sample")
+    p_chip_serve.add_argument("--window", type=int, default=8,
+                              help="rolling fidelity window")
+    p_chip_serve.add_argument("--trigger-below", type=float, default=0.985,
+                              help="recalibrate when mean fidelity drops "
+                                   "below this")
+    p_chip_serve.add_argument("--rearm-above", type=float, default=None,
+                              help="re-arm threshold (default: halfway "
+                                   "between trigger and 1)")
+    p_chip_serve.add_argument("--calib-steps", type=int, default=150,
+                              help="adjoint steps per (re)calibration")
+    p_chip_serve.add_argument("--service-root", type=Path, default=None,
+                              help="route recalibration jobs through this "
+                                   "design-service root")
+    p_chip_serve.add_argument("--out", type=Path, default=None,
+                              help="write the full serving report JSON here")
+    p_chip_serve.set_defaults(func=cmd_chip_serve)
+
+    p_chip_bench = chip_sub.add_parser(
+        "bench", help="micro-batching throughput vs one-at-a-time")
+    add_chip_args(p_chip_bench)
+    p_chip_bench.set_defaults(func=cmd_chip_bench)
 
     return parser
 
@@ -419,6 +472,113 @@ def cmd_serve(args: argparse.Namespace) -> int:
         svc.close()
     if args.until_idle:
         print("queue drained")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# hardware-layer commands
+# ----------------------------------------------------------------------
+
+def _build_chip(args: argparse.Namespace, drift=None, **chip_kwargs):
+    """Shared ``chip`` plumbing: topology -> (SimulatedChip, target).
+
+    The target is the transfer of an ideal (drift- and error-free)
+    twin at the same seed — what the chip is supposed to realize.
+    """
+    from .core.topology import random_topology
+    from .hardware import SimulatedChip
+    from .utils.rng import spawn_rng, stable_seed
+
+    if args.design is not None:
+        topo = PTCTopology.load(args.design)
+    else:
+        topo = random_topology(
+            args.k, args.blocks, 0,
+            rng=spawn_rng(stable_seed("chip-cli-topology", args.seed)))
+    chip = SimulatedChip(topo, drift=drift, seed=args.seed,
+                         max_batch=args.max_batch, **chip_kwargs)
+    ideal = SimulatedChip(topo, seed=args.seed)
+    return chip, ideal.transfer_matrix()
+
+
+def _chip_inputs(args: argparse.Namespace, k: int):
+    from .utils.rng import spawn_rng, stable_seed
+
+    rng = spawn_rng(stable_seed("chip-cli-inputs", args.seed))
+    return [rng.normal(size=k) for _ in range(args.requests)]
+
+
+def cmd_chip_serve(args: argparse.Namespace) -> int:
+    from .hardware import (
+        InlineRecalibrator,
+        RollingMonitor,
+        ServiceRecalibrator,
+        StreamingServer,
+    )
+    from .photonics import DriftSpec
+    from .utils.serialization import canonical_json_dumps
+
+    drift = DriftSpec(phase_walk_std=args.drift_std,
+                      crosstalk_gamma_drift=args.gamma_drift)
+    chip, target = _build_chip(
+        args, drift=drift, batch_overhead_s=args.batch_overhead,
+        sample_time_s=args.sample_time)
+    if args.service_root is not None:
+        from .service import DesignService
+
+        recal = ServiceRecalibrator(DesignService(args.service_root),
+                                    steps=args.calib_steps,
+                                    seed=args.seed)
+    else:
+        recal = InlineRecalibrator(steps=args.calib_steps, seed=args.seed)
+    first = recal(chip, target)
+    baseline = chip.fidelity_to(target)
+    print(f"calibrated: error {first['initial_error']:.4f} -> "
+          f"{first['final_error']:.4f}, fidelity {baseline:.4f}")
+    monitor = RollingMonitor(window=args.window,
+                             trigger_below=args.trigger_below,
+                             rearm_above=args.rearm_above)
+    server = StreamingServer(chip, target=target, monitor=monitor,
+                             recalibrate=recal, max_batch=args.max_batch)
+    caps = chip.capabilities()
+    server.serve_sync(_chip_inputs(args, caps.k))
+    report = server.report()
+    report["baseline_fidelity"] = float(baseline)
+    print(f"served {report['n_requests']} requests in "
+          f"{report['n_batches']} micro-batches, "
+          f"{report['virtual_time_s']:.2f}s virtual time")
+    n_applied = sum(1 for r in report["recalibrations"] if r["applied"])
+    print(f"recalibrations: {n_applied} "
+          f"(monitor triggers: {report['monitor']['n_triggers']})")
+    if report["fidelity_trace"]:
+        print(f"fidelity: first {report['fidelity_trace'][0]:.4f}, "
+              f"min {min(report['fidelity_trace']):.4f}, "
+              f"last {report['fidelity_trace'][-1]:.4f}")
+    if args.out is not None:
+        args.out.write_text(canonical_json_dumps(report))
+        print(f"report saved -> {args.out}")
+    return 0
+
+
+def cmd_chip_bench(args: argparse.Namespace) -> int:
+    from .hardware import StreamingServer
+
+    if args.requests < 1:
+        raise ValueError(f"--requests must be >= 1, got {args.requests}")
+    results = {}
+    for label, max_batch in (("one-at-a-time", 1),
+                             ("micro-batched", args.max_batch)):
+        chip, target = _build_chip(args)
+        chip.program(chip.programmed_phases)  # count the program cost once
+        server = StreamingServer(chip, max_batch=max_batch)
+        server.serve_sync(_chip_inputs(args, chip.capabilities().k))
+        results[label] = server
+        print(f"{label:<14} max_batch={max_batch:<3} "
+              f"{server.n_batches:>4} chip call(s), "
+              f"{chip.virtual_time_s:.2f}s virtual")
+    speedup = (results["one-at-a-time"].chip.virtual_time_s
+               / results["micro-batched"].chip.virtual_time_s)
+    print(f"micro-batching virtual-time speedup: {speedup:.2f}x")
     return 0
 
 

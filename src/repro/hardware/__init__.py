@@ -1,0 +1,52 @@
+"""Hardware-abstraction layer: virtual chips and streaming inference.
+
+The stack, bottom to top:
+
+* :mod:`repro.hardware.base` — the :class:`AcceleratorBackend`
+  contract (capabilities -> program -> stream -> read detections, with
+  dry-run planning and pre-execution validation);
+* :mod:`repro.hardware.drift` / :mod:`repro.hardware.simulated` — a
+  :class:`SimulatedChip` whose calibration drifts over virtual time;
+* :mod:`repro.hardware.monitor` — the rolling-window hysteresis
+  trigger;
+* :mod:`repro.hardware.recalibration` — snapshot-based pure
+  recalibration, inline or through the design-service queue;
+* :mod:`repro.hardware.server` — the micro-batching streaming server
+  that closes the serve -> drift -> detect -> recalibrate loop.
+"""
+
+from .base import (
+    AcceleratorBackend,
+    ChipCapabilities,
+    ExecutionPlan,
+    ProgramValidationError,
+)
+from .drift import DriftState
+from .monitor import RollingMonitor
+from .recalibration import (
+    InlineRecalibrator,
+    ServiceRecalibrator,
+    build_frozen_twin,
+    recalibrate_snapshot,
+)
+from .server import StreamingServer
+from .simulated import SimulatedChip
+from .validation import plan_execution, validate_batch, validate_phases
+
+__all__ = [
+    "AcceleratorBackend",
+    "ChipCapabilities",
+    "DriftState",
+    "ExecutionPlan",
+    "InlineRecalibrator",
+    "ProgramValidationError",
+    "RollingMonitor",
+    "ServiceRecalibrator",
+    "SimulatedChip",
+    "StreamingServer",
+    "build_frozen_twin",
+    "plan_execution",
+    "recalibrate_snapshot",
+    "validate_batch",
+    "validate_phases",
+]

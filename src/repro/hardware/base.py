@@ -1,0 +1,195 @@
+"""Hardware-abstraction layer: the accelerator backend interface.
+
+Everything above this module (the streaming server, the CLI, the
+benchmarks) talks to a photonic accelerator through
+:class:`AcceleratorBackend` — a deliberately narrow contract modelled
+on how real photonic test benches are driven:
+
+``capabilities()``
+    Static description of the part: mesh size, programmable phase
+    range, micro-batch ceiling, and the virtual-time cost model.
+``program(phases)``
+    Load a phase configuration onto the mesh.  Validated against the
+    capabilities *before* any state changes (a bad program must never
+    half-apply).
+``stream(batches)`` / ``execute(batch)``
+    Drive optical inputs through the programmed mesh; detections
+    accumulate in an output buffer.
+``read_detections()``
+    Drain the buffered photodetector readings.
+``plan(batch_sizes)``
+    Dry-run planning: how a workload will be chunked, how much
+    virtual time it will consume, and how much calibration drift to
+    expect over that window — without touching the chip.
+
+The only concrete backend today is
+:class:`repro.hardware.simulated.SimulatedChip`, whose state evolves
+over virtual time (phase drift, thermal-crosstalk buildup).  A real
+driver would implement the same surface against lab instruments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "AcceleratorBackend",
+    "ChipCapabilities",
+    "ExecutionPlan",
+    "ProgramValidationError",
+]
+
+
+class ProgramValidationError(ValueError):
+    """A program or input batch was rejected before execution."""
+
+
+@dataclass(frozen=True)
+class ChipCapabilities:
+    """Static description of one accelerator part.
+
+    Attributes
+    ----------
+    k: mesh size (number of waveguides / detectors).
+    n_blocks: number of programmable phase columns.
+    phase_range: inclusive (lo, hi) heater-drive limits in radians.
+        Phases are physically periodic, but crosstalk mixing is not,
+        so drives are validated against the actual actuator range
+        instead of being silently wrapped.
+    max_batch: largest input batch one execution accepts (the
+        micro-batching ceiling of the streaming server).
+    program_time_s: virtual seconds one ``program()`` costs.
+    batch_overhead_s: fixed virtual seconds per executed batch
+        (modulator setup, readout framing).
+    sample_time_s: virtual seconds per sample within a batch.
+    """
+
+    k: int
+    n_blocks: int
+    phase_range: Tuple[float, float] = (-2.0 * math.pi, 4.0 * math.pi)
+    max_batch: int = 64
+    program_time_s: float = 0.01
+    batch_overhead_s: float = 0.001
+    sample_time_s: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.n_blocks < 0:
+            raise ValueError(f"n_blocks must be >= 0, got {self.n_blocks}")
+        lo, hi = self.phase_range
+        if not lo < hi:
+            raise ValueError(f"phase_range must satisfy lo < hi, got {self.phase_range}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        for name in ("program_time_s", "batch_overhead_s", "sample_time_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def batch_seconds(self, n: int) -> float:
+        """Virtual-time cost of executing one ``n``-sample batch."""
+        return self.batch_overhead_s + n * self.sample_time_s
+
+
+@dataclass
+class ExecutionPlan:
+    """Dry-run description of a workload — no chip state is touched.
+
+    ``chunks`` is the micro-batch decomposition the execution will
+    use; the drift forecast quantifies how stale the calibration will
+    be by the end of the window (random-walk std in radians, and the
+    effective crosstalk gamma), which is what an operator consults to
+    pick a recalibration cadence.
+    """
+
+    chunks: List[int]
+    n_inputs: int
+    t_start_s: float
+    t_end_s: float
+    forecast_walk_std: float = 0.0
+    forecast_gamma: float = 0.0
+    includes_program: bool = False
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def virtual_seconds(self) -> float:
+        return self.t_end_s - self.t_start_s
+
+    def summary(self) -> str:
+        head = (
+            f"plan: {self.n_inputs} input(s) in {len(self.chunks)} "
+            f"micro-batch(es), {self.virtual_seconds:.3f}s virtual "
+            f"({self.t_start_s:.3f}s -> {self.t_end_s:.3f}s)"
+        )
+        drift = (
+            f"  drift forecast: walk std {self.forecast_walk_std:.4f} rad, "
+            f"crosstalk gamma {self.forecast_gamma:.4f}"
+        )
+        lines = [head, drift]
+        if self.violations:
+            lines.append("  REJECTED:")
+            lines.extend(f"    - {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+class AcceleratorBackend:
+    """Abstract accelerator: program -> stream -> read detections.
+
+    Subclasses implement the five primitives; the base class provides
+    the shared convenience surface (``execute`` = stream one batch and
+    drain it immediately).
+    """
+
+    # -- interface ------------------------------------------------------
+    def capabilities(self) -> ChipCapabilities:
+        raise NotImplementedError
+
+    def program(self, phases: np.ndarray) -> None:
+        """Validate and load a (n_blocks, K) phase configuration."""
+        raise NotImplementedError
+
+    def stream(self, batches: Iterable[np.ndarray]) -> int:
+        """Execute batches in order; returns the number executed.
+        Detections accumulate until :meth:`read_detections`."""
+        raise NotImplementedError
+
+    def read_detections(self) -> List[np.ndarray]:
+        """Drain buffered per-batch detection arrays, oldest first."""
+        raise NotImplementedError
+
+    def plan(self, batch_sizes: Sequence[int],
+             include_program: bool = False) -> ExecutionPlan:
+        """Dry-run a workload: chunking, virtual-time cost, drift
+        forecast.  Never mutates chip state."""
+        raise NotImplementedError
+
+    # -- conveniences ---------------------------------------------------
+    def execute(self, batch: np.ndarray) -> np.ndarray:
+        """Stream one batch and return its detections immediately."""
+        n = self.stream([batch])
+        if n != 1:
+            raise RuntimeError(f"expected 1 executed batch, got {n}")
+        return self.read_detections()[-1]
+
+    def validate_program(self, phases: np.ndarray) -> np.ndarray:
+        """Pre-execution program validation (shape, finiteness, phase
+        range); raises :class:`ProgramValidationError` listing every
+        violation.  Returns the validated float array."""
+        from .validation import validate_phases
+
+        return validate_phases(phases, self.capabilities())
+
+    def validate_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Pre-execution input validation; see :func:`validate_phases`
+        counterpart :func:`repro.hardware.validation.validate_batch`."""
+        from .validation import validate_batch
+
+        return validate_batch(batch, self.capabilities())

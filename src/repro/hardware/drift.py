@@ -1,0 +1,119 @@
+"""Virtual-time drift state of a powered chip.
+
+:class:`DriftState` integrates the processes described by
+:class:`repro.photonics.nonideality.DriftSpec` over a virtual clock:
+
+* a seeded Gaussian **random walk** per heater (aging thermo-optic
+  shifters) — ``advance(dt)`` adds ``N(0, phase_walk_std^2 * dt)``;
+* a deterministic **ambient sinusoid** (HVAC-style temperature
+  cycles) evaluated at the current clock;
+* **thermal-crosstalk buildup**: the effective coupling gamma
+  saturates from the fabrication-time value toward
+  ``gamma0 + crosstalk_gamma_drift`` (see
+  :func:`repro.photonics.nonideality.crosstalk_gamma_at`).
+
+Determinism contract: two states with the same seed that see the same
+sequence of ``advance`` increments are bitwise identical — the
+property that makes drifting-chip scenarios replayable (pinned by
+``tests/hardware/test_drift.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..photonics.nonideality import (
+    DriftSpec,
+    crosstalk_gamma_at,
+    thermal_crosstalk_matrix,
+)
+from ..utils.rng import spawn_rng, stable_seed
+
+__all__ = ["DriftState"]
+
+
+class DriftState:
+    """Evolving drift state of one mesh (``n_blocks`` x ``k`` heaters).
+
+    ``gamma0`` / ``radius`` are the chip's fabrication-time crosstalk
+    parameters (from its :class:`~repro.photonics.nonideality.
+    NonidealitySpec`); the drift spec moves gamma between them and
+    saturation over time.
+    """
+
+    def __init__(
+        self,
+        n_blocks: int,
+        k: int,
+        spec: DriftSpec,
+        gamma0: float = 0.0,
+        radius: int = 1,
+        seed: int = 0,
+    ):
+        self.n_blocks = n_blocks
+        self.k = k
+        self.spec = spec
+        self.gamma0 = float(gamma0)
+        self.radius = int(radius)
+        self.seed = int(seed)
+        self.t = 0.0
+        self._walk = np.zeros((n_blocks, k))
+        self._rng = spawn_rng(stable_seed("hardware-drift", self.seed))
+
+    # -- evolution ------------------------------------------------------
+    def advance(self, dt: float) -> None:
+        """Advance the virtual clock by ``dt`` seconds.
+
+        A zero advance is a strict no-op (no RNG draw), so diagnostic
+        reads never perturb the trajectory.
+        """
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        if dt == 0.0:
+            return
+        self.t += dt
+        if self.spec.phase_walk_std > 0.0:
+            step_std = self.spec.phase_walk_std * math.sqrt(dt)
+            self._walk = self._walk + self._rng.normal(
+                0.0, step_std, size=self._walk.shape)
+
+    # -- current state --------------------------------------------------
+    def phase_offsets(self) -> np.ndarray:
+        """Current additive phase error per heater, shape (B, K)."""
+        off = self._walk
+        if self.spec.ambient_amp > 0.0:
+            off = off + self.spec.ambient_amp * math.sin(
+                2.0 * math.pi * self.t / self.spec.ambient_period_s)
+        return off
+
+    def gamma(self) -> float:
+        """Effective thermal-crosstalk coefficient at the clock."""
+        return crosstalk_gamma_at(
+            self.gamma0, self.spec.crosstalk_gamma_drift,
+            self.spec.crosstalk_tau_s, self.t)
+
+    def crosstalk(self) -> Optional[np.ndarray]:
+        """Current K x K phase-coupling matrix, or None when ideal."""
+        g = self.gamma()
+        if g <= 0.0:
+            return None
+        return thermal_crosstalk_matrix(self.k, g, self.radius)
+
+    def accumulated_walk_std(self) -> float:
+        """Expected random-walk std at the clock (planning forecast)."""
+        return self.spec.phase_walk_std * math.sqrt(self.t)
+
+    # -- serialization (recalibration snapshots) ------------------------
+    def frozen(self) -> dict:
+        """JSON-native freeze of the *current* drift effect — what a
+        recalibration twin needs (offsets + gamma), not the process."""
+        return {
+            "t_s": float(self.t),
+            "phase_offsets": [[float(x) for x in row]
+                              for row in self.phase_offsets()],
+            "crosstalk_gamma": self.gamma(),
+            "crosstalk_radius": self.radius,
+        }

@@ -1,0 +1,112 @@
+"""Rolling quality window with hysteresis — the recalibration trigger.
+
+The streaming server scores the chip after every micro-batch (transfer
+fidelity to the served target, or task accuracy when labels exist) and
+feeds the score here.  :meth:`RollingMonitor.record` answers one
+question: *fire a recalibration now?*
+
+Two guards prevent thrashing:
+
+* the decision uses the **rolling mean** over ``window`` scores, never
+  a single noisy reading, and stays quiet until the window has
+  ``min_samples`` entries;
+* **hysteresis** — after a trigger the monitor is disarmed until the
+  mean recovers above ``rearm_above`` (> ``trigger_below``), so a
+  slowly-recovering chip cannot re-fire on every batch while the
+  window still contains pre-recalibration scores.
+
+``reset()`` empties the window (the server calls it after reprogramming
+the chip — old scores describe hardware state that no longer exists).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+__all__ = ["RollingMonitor"]
+
+
+class RollingMonitor:
+    """Hysteresis trigger on the rolling mean of a quality score."""
+
+    def __init__(
+        self,
+        window: int = 16,
+        trigger_below: float = 0.95,
+        rearm_above: Optional[float] = None,
+        min_samples: Optional[int] = None,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if rearm_above is None:
+            # Default re-arm point: halfway between the trigger and a
+            # perfect score — a recovered chip clears it, a marginal
+            # one stays disarmed.
+            rearm_above = trigger_below + 0.5 * (1.0 - trigger_below)
+        if rearm_above < trigger_below:
+            raise ValueError(
+                f"rearm_above ({rearm_above}) must be >= trigger_below "
+                f"({trigger_below}); hysteresis needs a recovery margin")
+        if min_samples is None:
+            min_samples = window
+        if not 1 <= min_samples <= window:
+            raise ValueError(
+                f"min_samples must be in [1, window={window}], "
+                f"got {min_samples}")
+        self.window = int(window)
+        self.trigger_below = float(trigger_below)
+        self.rearm_above = float(rearm_above)
+        self.min_samples = int(min_samples)
+        self._scores: deque = deque(maxlen=self.window)
+        self._armed = True
+        self.n_triggers = 0
+        self.n_recorded = 0
+        self.trigger_indices: List[int] = []
+
+    # -- feed -----------------------------------------------------------
+    def record(self, score: float) -> bool:
+        """Add one score; True when a recalibration should fire now."""
+        self._scores.append(float(score))
+        self.n_recorded += 1
+        if len(self._scores) < self.min_samples:
+            return False
+        m = self.mean()
+        if self._armed:
+            if m < self.trigger_below:
+                self._armed = False
+                self.n_triggers += 1
+                self.trigger_indices.append(self.n_recorded - 1)
+                return True
+        elif m >= self.rearm_above:
+            self._armed = True
+        return False
+
+    def reset(self) -> None:
+        """Drop the window (scores predating a reprogram are stale)
+        and re-arm."""
+        self._scores.clear()
+        self._armed = True
+
+    # -- inspect --------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def mean(self) -> float:
+        if not self._scores:
+            return float("nan")
+        return sum(self._scores) / len(self._scores)
+
+    def snapshot(self) -> dict:
+        """JSON-native state for server reports."""
+        return {
+            "window": self.window,
+            "trigger_below": self.trigger_below,
+            "rearm_above": self.rearm_above,
+            "armed": self._armed,
+            "n_recorded": self.n_recorded,
+            "n_triggers": self.n_triggers,
+            "trigger_indices": list(self.trigger_indices),
+            "current_mean": None if not self._scores else self.mean(),
+        }

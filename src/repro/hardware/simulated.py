@@ -1,0 +1,285 @@
+"""A simulated photonic accelerator whose calibration drifts.
+
+:class:`SimulatedChip` implements :class:`~repro.hardware.base.
+AcceleratorBackend` on top of the existing mesh model: a
+:class:`~repro.ptc.unitary.FixedTopologyFactory` holds the programmed
+phases, fabrication-time passive errors come from
+:func:`~repro.photonics.nonideality.sample_fabrication`, and a
+:class:`~repro.hardware.drift.DriftState` evolves the effective phase
+error and thermal-crosstalk coupling over a virtual clock.
+
+The physics pipeline per build is the same ordering as
+:func:`~repro.photonics.nonideality.noisy_block_matrix`: the
+programmed drives are mixed by the (time-varying) crosstalk matrix,
+then the accumulated drift offsets are added, then optional runtime
+Gaussian phase noise — all injected through the factory's
+``phase_transform`` hook so the chip model stays differentiable (the
+digital twin a recalibration job reconstructs is exactly this
+pipeline with the drift frozen).
+
+Every execution advances the clock by the capability cost model
+(``batch_overhead_s + n * sample_time_s``), so *traffic itself* ages
+the calibration — the serving phenomenon the paper never measured.
+Diagnostic reads (:meth:`transfer_matrix`, :meth:`fidelity_to`) are
+free: they model the simulator's introspection access, not a chip
+measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..core.topology import BlockSpec, PTCTopology
+from ..photonics.nonideality import (
+    DriftSpec,
+    FabricationSample,
+    NonidealitySpec,
+    fabrication_const_stack,
+    fidelity,
+    sample_fabrication,
+)
+from ..ptc.unitary import FixedTopologyFactory
+from ..utils.rng import spawn_rng, stable_seed
+from .base import AcceleratorBackend, ChipCapabilities, ExecutionPlan
+from .drift import DriftState
+from .validation import plan_execution, validate_batch, validate_phases
+
+__all__ = ["SimulatedChip"]
+
+
+class SimulatedChip(AcceleratorBackend):
+    """Virtual photonic accelerator with drifting calibration.
+
+    Parameters
+    ----------
+    topology: a :class:`~repro.core.topology.PTCTopology` (its U-mesh
+        blocks are used) or a sequence of
+        :class:`~repro.core.topology.BlockSpec`.
+    k: mesh size; required when ``topology`` is a block sequence.
+    nonideality: fabrication-time passive errors and runtime phase
+        noise (:class:`NonidealitySpec`); the crosstalk fields seed
+        the *initial* coupling that drift then builds on.
+    drift: time-dependent processes (:class:`DriftSpec`); ``None``
+        freezes the chip (a statically-noisy part, the paper's
+        setting).
+    seed: master seed — fabrication draw, initial phases, drift walk
+        and runtime noise all derive from it via stable sub-seeds.
+    """
+
+    def __init__(
+        self,
+        topology: Union[PTCTopology, Sequence[BlockSpec]],
+        k: Optional[int] = None,
+        nonideality: Optional[NonidealitySpec] = None,
+        drift: Optional[DriftSpec] = None,
+        seed: int = 0,
+        phase_range=None,
+        max_batch: int = 64,
+        program_time_s: float = 0.01,
+        batch_overhead_s: float = 0.001,
+        sample_time_s: float = 0.0005,
+        exec_backend=None,
+    ):
+        if isinstance(topology, PTCTopology):
+            blocks = list(topology.blocks_u)
+            k = topology.k
+        else:
+            blocks = list(topology)
+            if k is None:
+                raise ValueError("k is required when passing a block sequence")
+        self.blocks = blocks
+        self.nonideality = nonideality or NonidealitySpec()
+        self.drift_spec = drift or DriftSpec()
+        self.seed = int(seed)
+        caps_kwargs = dict(
+            k=int(k),
+            n_blocks=len(blocks),
+            max_batch=int(max_batch),
+            program_time_s=float(program_time_s),
+            batch_overhead_s=float(batch_overhead_s),
+            sample_time_s=float(sample_time_s),
+        )
+        if phase_range is not None:
+            caps_kwargs["phase_range"] = (float(phase_range[0]),
+                                          float(phase_range[1]))
+        self._caps = ChipCapabilities(**caps_kwargs)
+
+        # Fabrication: draw the frozen passive errors once.
+        self._factory = FixedTopologyFactory(
+            k, 1, [(b.perm, b.coupler_mask, b.offset) for b in blocks],
+            rng=spawn_rng(stable_seed("hardware-chip-phases", self.seed)),
+            exec_backend=exec_backend,
+        )
+        self._sample: Optional[FabricationSample] = None
+        spec = self.nonideality
+        if (spec.dc_t_std > 0.0 or spec.loss_ps_db > 0.0
+                or spec.loss_dc_db > 0.0 or spec.loss_cr_db > 0.0):
+            topo = PTCTopology(k=k, blocks_u=blocks, blocks_v=[])
+            self._sample, _ = sample_fabrication(
+                topo, spec,
+                rng=spawn_rng(stable_seed("hardware-chip-fab", self.seed)))
+            self._factory._const = list(
+                fabrication_const_stack(blocks, k, spec, self._sample))
+        self._factory.noise_std = spec.phase_noise_std
+        self._factory._rng = spawn_rng(
+            stable_seed("hardware-chip-noise", self.seed))
+        self._factory.phase_transform = self._apply_physics
+
+        self._drift = DriftState(
+            n_blocks=len(blocks), k=k, spec=self.drift_spec,
+            gamma0=spec.crosstalk_gamma, radius=spec.crosstalk_radius,
+            seed=stable_seed("hardware-chip-drift", self.seed),
+        )
+        self._detections: List[np.ndarray] = []
+        self.n_programs = 0
+        self.n_batches = 0
+        self.n_samples = 0
+
+    # -- physics --------------------------------------------------------
+    def _apply_physics(self, phases: Tensor) -> Tensor:
+        """Programmed drives -> effective phases at the current clock:
+        crosstalk mixing, then accumulated drift offsets.  Pure Tensor
+        ops, so the pipeline stays differentiable for adjoint twins."""
+        out = phases
+        c = self._drift.crosstalk()
+        if c is not None:
+            out = out @ Tensor(c.T)
+        off = self._drift.phase_offsets()
+        if np.any(off):
+            out = out + Tensor(off)
+        return out
+
+    # -- AcceleratorBackend ---------------------------------------------
+    def capabilities(self) -> ChipCapabilities:
+        return self._caps
+
+    def program(self, phases: np.ndarray) -> None:
+        """Load a (n_blocks, K) drive program.
+
+        Validation happens before *any* state change; programming
+        costs ``program_time_s`` of virtual time (heaters settle while
+        drift keeps walking).
+        """
+        arr = validate_phases(phases, self._caps)
+        self._factory.phases.data = arr[None].copy()
+        self.n_programs += 1
+        self._drift.advance(self._caps.program_time_s)
+
+    @property
+    def programmed_phases(self) -> np.ndarray:
+        """Copy of the current (n_blocks, K) drive program."""
+        return self._factory.phases.data[0].copy()
+
+    def stream(self, batches: Iterable[np.ndarray]) -> int:
+        """Execute batches in order, buffering detections.
+
+        Each batch is validated immediately before its own execution
+        (an invalid batch stops the stream without touching the chip
+        for that batch; earlier results stay buffered).
+        """
+        n = 0
+        for batch in batches:
+            arr = validate_batch(batch, self._caps)
+            self._detections.append(self._run_batch(arr))
+            n += 1
+        return n
+
+    def read_detections(self) -> List[np.ndarray]:
+        out = self._detections
+        self._detections = []
+        return out
+
+    def execute(self, batch: np.ndarray) -> np.ndarray:
+        """Validate, run, and return one batch's detections without
+        touching the stream buffer."""
+        arr = validate_batch(batch, self._caps)
+        return self._run_batch(arr)
+
+    def plan(self, batch_sizes: Sequence[int],
+             include_program: bool = False) -> ExecutionPlan:
+        return plan_execution(
+            batch_sizes, self._caps, self.drift_spec,
+            t_start_s=self._drift.t, gamma0=self.nonideality.crosstalk_gamma,
+            include_program=include_program,
+        )
+
+    # -- execution core -------------------------------------------------
+    def _run_batch(self, arr: np.ndarray) -> np.ndarray:
+        """Photodetector intensities |U x|^2 of a validated batch,
+        then advance the clock by the batch's virtual cost."""
+        u = self.transfer_matrix()
+        fields = arr @ u.T
+        detections = np.abs(fields) ** 2
+        self.n_batches += 1
+        self.n_samples += arr.shape[0]
+        self._drift.advance(self._caps.batch_seconds(arr.shape[0]))
+        return detections
+
+    # -- diagnostics (simulator introspection, no virtual-time cost) ----
+    def transfer_matrix(self) -> np.ndarray:
+        """The K x K transfer at the current clock."""
+        with no_grad():
+            return self._factory.build().data[0].copy()
+
+    def fidelity_to(self, target: np.ndarray) -> float:
+        """Normalized overlap with ``target`` at the current clock."""
+        return fidelity(self.transfer_matrix(), np.asarray(target))
+
+    def relative_error_to(self, target: np.ndarray) -> float:
+        target = np.asarray(target)
+        u = self.transfer_matrix()
+        return float(np.linalg.norm(u - target) / np.linalg.norm(target))
+
+    @property
+    def virtual_time_s(self) -> float:
+        return self._drift.t
+
+    @property
+    def drift_state(self) -> DriftState:
+        return self._drift
+
+    # -- recalibration plumbing -----------------------------------------
+    def recalibration_params(
+        self,
+        target: np.ndarray,
+        method: str = "adjoint",
+        steps: int = 150,
+        lr: float = 0.05,
+        seed: int = 0,
+    ) -> dict:
+        """JSON-native snapshot for the ``recalibrate`` job kind.
+
+        Freezes everything a digital twin needs — blocks, realized
+        couplers/loss, current drives, the drift effect *right now* —
+        so the job is a pure function of its params (the PR 7
+        determinism contract).  Apply the job's resulting ``phases``
+        back with :meth:`program`.
+        """
+        target = np.asarray(target, dtype=complex)
+        k = self._caps.k
+        if target.shape != (k, k):
+            raise ValueError(f"target must be {k} x {k}, got {target.shape}")
+        params = {
+            "k": k,
+            "blocks": [b.to_dict() for b in self.blocks],
+            "phases": [[float(x) for x in row]
+                       for row in self._factory.phases.data[0]],
+            "target_re": [[float(x) for x in row] for row in target.real],
+            "target_im": [[float(x) for x in row] for row in target.imag],
+            "method": method,
+            "steps": int(steps),
+            "lr": float(lr),
+            "seed": int(seed),
+        }
+        params.update(self._drift.frozen())
+        if self._sample is not None:
+            params["dc_t"] = [[float(x) for x in t] for t in self._sample.dc_t]
+            params["loss_diag"] = [[float(x) for x in d]
+                                   for d in self._sample.loss_diag]
+        else:
+            params["dc_t"] = None
+            params["loss_diag"] = None
+        return params

@@ -1,0 +1,137 @@
+"""Pre-execution validation and dry-run planning.
+
+Every mutation of a chip goes through these checks *first*: a rejected
+program or batch must leave the hardware exactly as it was (no
+half-applied phase columns, no clock advance).  Violations are
+collected and reported together — an operator debugging a bad program
+wants the full list, not the first failure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..photonics.nonideality import DriftSpec, crosstalk_gamma_at
+from .base import ChipCapabilities, ExecutionPlan, ProgramValidationError
+
+__all__ = ["plan_execution", "validate_batch", "validate_phases"]
+
+
+def validate_phases(phases: np.ndarray, caps: ChipCapabilities) -> np.ndarray:
+    """Validate a (n_blocks, K) phase program against ``caps``.
+
+    Checks, in order: array-ness, shape, finiteness, and the heater
+    drive range.  Raises :class:`ProgramValidationError` listing every
+    violation; returns the validated float64 array on success.
+    """
+    violations: List[str] = []
+    try:
+        arr = np.asarray(phases, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise ProgramValidationError(
+            f"phases are not a numeric array: {exc}") from None
+    expected = (caps.n_blocks, caps.k)
+    if arr.shape != expected:
+        raise ProgramValidationError(
+            f"phase program must have shape {expected}, got {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        n_bad = int((~np.isfinite(arr)).sum())
+        violations.append(f"{n_bad} non-finite phase value(s)")
+    else:
+        lo, hi = caps.phase_range
+        below = arr < lo
+        above = arr > hi
+        if below.any() or above.any():
+            n_out = int(below.sum() + above.sum())
+            violations.append(
+                f"{n_out} phase(s) outside the drive range "
+                f"[{lo:.4f}, {hi:.4f}] rad "
+                f"(program spans [{arr.min():.4f}, {arr.max():.4f}])"
+            )
+    if violations:
+        raise ProgramValidationError(
+            "phase program rejected: " + "; ".join(violations))
+    return arr
+
+
+def validate_batch(batch: np.ndarray, caps: ChipCapabilities) -> np.ndarray:
+    """Validate one optical input batch.
+
+    Accepts a single (K,) field vector or a (n, K) batch; returns the
+    2-D array.  Complex amplitudes are allowed (coherent inputs);
+    non-finite values and oversized batches are rejected.
+    """
+    arr = np.asarray(batch)
+    if not np.issubdtype(arr.dtype, np.number):
+        raise ProgramValidationError(
+            f"input batch must be numeric, got dtype {arr.dtype}")
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2 or arr.shape[1] != caps.k:
+        raise ProgramValidationError(
+            f"input batch must have shape (n, {caps.k}) or ({caps.k},), "
+            f"got {np.asarray(batch).shape}")
+    if arr.shape[0] == 0:
+        raise ProgramValidationError("input batch is empty")
+    if arr.shape[0] > caps.max_batch:
+        raise ProgramValidationError(
+            f"batch of {arr.shape[0]} exceeds max_batch={caps.max_batch}; "
+            f"plan() shows the micro-batch decomposition")
+    if not np.all(np.isfinite(arr)):
+        raise ProgramValidationError("input batch contains non-finite values")
+    return arr
+
+
+def plan_execution(
+    batch_sizes: Sequence[int],
+    caps: ChipCapabilities,
+    drift: Optional[DriftSpec] = None,
+    t_start_s: float = 0.0,
+    gamma0: float = 0.0,
+    include_program: bool = False,
+) -> ExecutionPlan:
+    """Dry-run a workload of ``batch_sizes`` requests.
+
+    Oversized batches are split into ``caps.max_batch`` chunks (that
+    is the plan's purpose — show the decomposition before running);
+    non-positive sizes are violations.  The drift forecast integrates
+    the virtual-time cost model: random-walk std
+    ``phase_walk_std * sqrt(elapsed)`` and the thermal-crosstalk gamma
+    at the end of the window.
+    """
+    violations: List[str] = []
+    chunks: List[int] = []
+    n_inputs = 0
+    for i, size in enumerate(batch_sizes):
+        n = int(size)
+        if n <= 0:
+            violations.append(f"batch {i} has non-positive size {size}")
+            continue
+        n_inputs += n
+        while n > 0:
+            take = min(n, caps.max_batch)
+            chunks.append(take)
+            n -= take
+    t = t_start_s + (caps.program_time_s if include_program else 0.0)
+    for n in chunks:
+        t += caps.batch_seconds(n)
+    elapsed = t - t_start_s
+    walk_std = 0.0
+    gamma = gamma0
+    if drift is not None:
+        walk_std = drift.phase_walk_std * math.sqrt(max(0.0, elapsed))
+        gamma = crosstalk_gamma_at(
+            gamma0, drift.crosstalk_gamma_drift, drift.crosstalk_tau_s, t)
+    return ExecutionPlan(
+        chunks=chunks,
+        n_inputs=n_inputs,
+        t_start_s=t_start_s,
+        t_end_s=t,
+        forecast_walk_std=walk_std,
+        forecast_gamma=gamma,
+        includes_program=include_program,
+        violations=violations,
+    )

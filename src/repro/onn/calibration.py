@@ -18,6 +18,16 @@ closely as the nonideal hardware allows.  Two regimes:
 Both minimize the relative Frobenius error to the target and report
 the measurement count, the quantity that costs wall-clock time on a
 real chip.
+
+Measurement accounting
+----------------------
+``n_measurements`` counts **every** chip forward (``factory.build()``)
+exactly once — the initial and final error reads, every per-
+``record_every`` history point, and each optimization evaluation
+(adjoint: one training forward per step; SPSA: two perturbed reads
+plus one post-update read per step).  ``history`` starts at the
+initial error and always ends at the final error, even when ``steps``
+is not a multiple of ``record_every``.
 """
 
 from __future__ import annotations
@@ -32,7 +42,13 @@ from ..optim import Adam
 from ..ptc.unitary import UnitaryFactory
 from ..utils.rng import get_rng
 
-__all__ = ["CalibrationResult", "calibrate_adjoint", "calibrate_spsa"]
+__all__ = [
+    "CalibrationResult",
+    "adjoint_measurement_count",
+    "calibrate_adjoint",
+    "calibrate_spsa",
+    "spsa_measurement_count",
+]
 
 
 @dataclass
@@ -74,6 +90,44 @@ def _check(factory: UnitaryFactory, target: np.ndarray) -> np.ndarray:
     return target
 
 
+def _perturbed_error(factory: UnitaryFactory, target: np.ndarray,
+                     params, deltas, sign: float) -> float:
+    """Chip error with every phase vector perturbed by ``sign * delta``.
+
+    The pre-call parameter bits are saved and restored from copies:
+    ``(p + d) - d`` does **not** round-trip in floating point, so the
+    perturb-then-subtract idiom silently accumulates rounding error in
+    every phase on every call (the PR 8 SPSA state-drift bug).
+    Restoration here is bitwise — pinned by a regression test.
+    """
+    saved = [p.data.copy() for p in params]
+    try:
+        for p, d in zip(params, deltas):
+            p.data = p.data + sign * d
+        return _relative_error(factory, target)
+    finally:
+        for p, s in zip(params, saved):
+            p.data = s
+
+
+def adjoint_measurement_count(steps: int, record_every: int = 10) -> int:
+    """Chip forwards an adjoint run performs: the initial read, one
+    training forward per step, one read per recorded history point,
+    and the final read (skipped when a record point already measured
+    the final state)."""
+    if steps <= 0:
+        return 1
+    recorded = steps // record_every
+    final = 0 if steps % record_every == 0 else 1
+    return 1 + steps + recorded + final
+
+
+def spsa_measurement_count(steps: int) -> int:
+    """Chip forwards an SPSA run performs: the initial read plus, per
+    step, two perturbed reads and one post-update read."""
+    return 1 + 3 * max(0, steps)
+
+
 def calibrate_adjoint(
     factory: UnitaryFactory,
     target: np.ndarray,
@@ -83,24 +137,36 @@ def calibrate_adjoint(
 ) -> CalibrationResult:
     """Digital-twin calibration: Adam on the differentiable chip model.
 
-    One 'measurement' per step (the forward pass of the twin).
+    ``n_measurements`` counts every forward of the twin (see the
+    module docstring): :func:`adjoint_measurement_count` is the closed
+    form.
     """
     target = _check(factory, target)
     t = Tensor(target.reshape(1, factory.k, factory.k))
-    initial = _relative_error(factory, target)
+    n_meas = 0
+
+    def measure() -> float:
+        nonlocal n_meas
+        n_meas += 1
+        return _relative_error(factory, target)
+
+    initial = measure()
     opt = Adam(factory.parameters(), lr=lr)
     history: List[float] = [initial]
     for step in range(steps):
         opt.zero_grad()
         u = factory.build()
+        n_meas += 1
         loss = ((u - t) * (u - t).conj()).real().sum()
         loss.backward()
         opt.step()
         if (step + 1) % record_every == 0:
-            history.append(_relative_error(factory, target))
-    final = _relative_error(factory, target)
+            history.append(measure())
+    if steps > 0 and steps % record_every != 0:
+        history.append(measure())
+    final = history[-1]
     return CalibrationResult(method="adjoint", initial_error=initial,
-                             final_error=final, n_measurements=steps,
+                             final_error=final, n_measurements=n_meas,
                              history=history)
 
 
@@ -122,44 +188,47 @@ def calibrate_spsa(
     is what makes SPSA practical on real photonic hardware.
 
     The best-seen parameter vector is kept (SPSA iterates are noisy).
+    ``n_measurements`` counts every chip forward
+    (:func:`spsa_measurement_count` is the closed form); perturbation
+    evaluations restore the pre-perturbation parameter bits exactly
+    (see :func:`_perturbed_error`).
     """
     target = _check(factory, target)
     rng = get_rng(rng)
     params = list(factory.parameters())
-    initial = _relative_error(factory, target)
+    n_meas = 0
+
+    def measure() -> float:
+        nonlocal n_meas
+        n_meas += 1
+        return _relative_error(factory, target)
+
+    initial = measure()
     best_err = initial
     best_state = [p.data.copy() for p in params]
     history: List[float] = [initial]
-    n_meas = 0
-
-    def loss_at(offset_sign: float, deltas) -> float:
-        for p, d in zip(params, deltas):
-            p.data = p.data + offset_sign * d
-        err = _relative_error(factory, target)
-        for p, d in zip(params, deltas):
-            p.data = p.data - offset_sign * d
-        return err
 
     for k in range(steps):
         a_k = a0 / (k + 1 + stability) ** 0.602
         c_k = c0 / (k + 1) ** 0.101
         deltas = [c_k * rng.choice([-1.0, 1.0], size=p.data.shape)
                   for p in params]
-        loss_plus = loss_at(+1.0, deltas)
-        loss_minus = loss_at(-1.0, deltas)
+        loss_plus = _perturbed_error(factory, target, params, deltas, +1.0)
+        loss_minus = _perturbed_error(factory, target, params, deltas, -1.0)
         n_meas += 2
         g_scale = (loss_plus - loss_minus) / (2.0 * c_k)
         for p, d in zip(params, deltas):
             # delta entries are +-c_k, so d / c_k is the Rademacher sign.
             p.data = p.data - a_k * g_scale * (d / c_k)
-        err = _relative_error(factory, target)
-        n_meas += 1
+        err = measure()
         if err < best_err:
             best_err = err
             best_state = [p.data.copy() for p in params]
         if (k + 1) % record_every == 0:
             history.append(best_err)
 
+    if steps > 0 and steps % record_every != 0:
+        history.append(best_err)
     for p, data in zip(params, best_state):
         p.data = data
     return CalibrationResult(method="spsa", initial_error=initial,

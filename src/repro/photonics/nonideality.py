@@ -39,8 +39,10 @@ from .devices import T_5050, dc_layer_matrix_np, ps_matrix
 from ..photonics.crossings import perm_to_matrix
 
 __all__ = [
+    "DriftSpec",
     "FabricationSample",
     "NonidealitySpec",
+    "crosstalk_gamma_at",
     "NonidealTopologyFactory",
     "crossings_per_wire",
     "db_to_amplitude",
@@ -114,6 +116,73 @@ class NonidealitySpec:
             and self.loss_cr_db == 0.0
             and self.crosstalk_gamma == 0.0
         )
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Magnitudes of the *time-dependent* nonidealities of a powered
+    chip — the processes that make a freshly calibrated mesh degrade
+    between recalibrations.  Static fabrication errors live in
+    :class:`NonidealitySpec`; this spec only describes how the chip's
+    effective state evolves over virtual time.
+
+    Attributes
+    ----------
+    phase_walk_std: random-walk coefficient of per-heater phase drift,
+        in rad / sqrt(s): after ``t`` seconds of operation each phase
+        has drifted by ``N(0, phase_walk_std**2 * t)``.  The dominant
+        aging process on thermo-optic shifters.
+    ambient_amp / ambient_period_s: deterministic sinusoidal ambient
+        swing (e.g. lab HVAC cycles): every phase additionally sees
+        ``ambient_amp * sin(2 pi t / ambient_period_s)``.
+    crosstalk_gamma_drift / crosstalk_tau_s: thermal-crosstalk
+        buildup.  As heaters dissipate into the substrate the
+        effective nearest-neighbour coupling grows from the
+        fabrication-time value ``gamma0`` toward
+        ``gamma0 + crosstalk_gamma_drift`` with time constant
+        ``crosstalk_tau_s`` (see :func:`crosstalk_gamma_at`).
+    """
+
+    phase_walk_std: float = 0.0
+    ambient_amp: float = 0.0
+    ambient_period_s: float = 600.0
+    crosstalk_gamma_drift: float = 0.0
+    crosstalk_tau_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        for name in ("phase_walk_std", "ambient_amp",
+                     "crosstalk_gamma_drift"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in ("ambient_period_s", "crosstalk_tau_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+
+    @property
+    def is_static(self) -> bool:
+        return (
+            self.phase_walk_std == 0.0
+            and self.ambient_amp == 0.0
+            and self.crosstalk_gamma_drift == 0.0
+        )
+
+
+def crosstalk_gamma_at(
+    gamma0: float, gamma_drift: float, tau_s: float, t_s: float
+) -> float:
+    """Effective thermal-crosstalk coefficient after ``t_s`` seconds
+    of operation: exponential saturation from the fabrication-time
+    ``gamma0`` toward ``gamma0 + gamma_drift``.
+
+    The saturating form models substrate heating: crosstalk builds up
+    quickly after power-on and levels off once the thermal gradient is
+    established.
+    """
+    if t_s < 0:
+        raise ValueError(f"t_s must be >= 0, got {t_s}")
+    if tau_s <= 0:
+        raise ValueError(f"tau_s must be > 0, got {tau_s}")
+    return float(gamma0 + gamma_drift * (1.0 - math.exp(-t_s / tau_s)))
 
 
 def thermal_crosstalk_matrix(k: int, gamma: float, radius: int = 1) -> np.ndarray:

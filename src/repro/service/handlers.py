@@ -26,6 +26,11 @@ Kinds
     Paper Fig. 4 robustness curves, one shard per mesh design.
 ``fig5a`` / ``fig5b``
     Paper Fig. 5 ablation scans, one shard per scan point.
+``recalibrate``
+    Online recalibration of a chip snapshot (single shard): rebuild
+    the frozen digital twin from JSON params and solve for new phases
+    — the job the streaming server submits when its quality window
+    trips (:mod:`repro.hardware.recalibration`).
 """
 
 from __future__ import annotations
@@ -446,6 +451,48 @@ def _fig5b_run_shard(params: dict, shard: dict) -> dict:
         "penalty_over_beta": _floats(trace.penalty_over_beta),
         "window": [float(w) for w in trace.window],
     }
+
+
+# ----------------------------------------------------------------------
+# recalibrate: drive-program solve for one chip snapshot (single shard)
+# ----------------------------------------------------------------------
+
+_RECALIBRATE_DEFAULTS = {
+    "k": None,                   # required: mesh size
+    "blocks": None,              # required: [BlockSpec dicts]
+    "phases": None,              # required: current (B, K) drive program
+    "target_re": None,           # required: target real part, (K, K)
+    "target_im": None,           # required: target imaginary part
+    "method": "adjoint",         # "adjoint" | "spsa"
+    "steps": 150,
+    "lr": 0.05,
+    "seed": 0,
+    "t_s": 0.0,                  # snapshot virtual time (provenance)
+    "phase_offsets": None,       # frozen drift offsets, (B, K)
+    "crosstalk_gamma": 0.0,      # frozen effective coupling
+    "crosstalk_radius": 1,
+    "dc_t": None,                # realized coupler transmissions
+    "loss_diag": None,           # realized per-wire loss
+}
+
+
+def _recalibrate_run_shard(params: dict, shard: dict) -> dict:
+    from ..hardware.recalibration import recalibrate_snapshot
+
+    p = _with_defaults(params, _RECALIBRATE_DEFAULTS)
+    for key in ("k", "blocks", "phases", "target_re", "target_im"):
+        if p[key] is None:
+            raise ValueError(f"recalibrate requires params[{key!r}]")
+    return recalibrate_snapshot(p)
+
+
+register_job_type(JobType(
+    kind="recalibrate",
+    expand=lambda params: [{}],
+    run_shard=_recalibrate_run_shard,
+    aggregate=lambda params, results: results[0],
+    description="solve new drive phases for one frozen chip snapshot",
+))
 
 
 register_job_type(JobType(

@@ -1,0 +1,117 @@
+"""Drift-state determinism and physics contracts."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware import DriftState
+from repro.photonics import DriftSpec, crosstalk_gamma_at
+
+
+def make_state(seed=0, **spec_kwargs):
+    spec_kwargs.setdefault("phase_walk_std", 0.05)
+    return DriftState(n_blocks=3, k=6, spec=DriftSpec(**spec_kwargs),
+                      seed=seed)
+
+
+class TestDeterminism:
+    def test_same_seed_same_advances_bitwise_identical(self):
+        a, b = make_state(seed=11), make_state(seed=11)
+        for dt in (0.5, 1.25, 0.125, 3.0):
+            a.advance(dt)
+            b.advance(dt)
+        assert np.array_equal(a.phase_offsets(), b.phase_offsets())
+        assert a.gamma() == b.gamma()
+        assert a.t == b.t
+
+    def test_different_seeds_diverge(self):
+        a, b = make_state(seed=1), make_state(seed=2)
+        a.advance(1.0)
+        b.advance(1.0)
+        assert not np.array_equal(a.phase_offsets(), b.phase_offsets())
+
+    def test_zero_advance_is_strict_noop(self):
+        # A dt=0 advance must not draw from the RNG: interleaving
+        # zero advances must not change the trajectory.
+        a, b = make_state(seed=3), make_state(seed=3)
+        a.advance(1.0)
+        a.advance(0.0)
+        a.advance(2.0)
+        b.advance(1.0)
+        b.advance(2.0)
+        assert np.array_equal(a.phase_offsets(), b.phase_offsets())
+        assert a.t == b.t
+
+    def test_frozen_snapshot_is_reproducible(self):
+        a, b = make_state(seed=7), make_state(seed=7)
+        for s in (a, b):
+            s.advance(0.75)
+            s.advance(1.5)
+        assert a.frozen() == b.frozen()
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            make_state().advance(-0.1)
+
+
+class TestPhysics:
+    def test_walk_scale_grows_with_time(self):
+        state = make_state(seed=5, phase_walk_std=0.05)
+        state.advance(1.0)
+        early = float(np.abs(state.phase_offsets()).mean())
+        for _ in range(200):
+            state.advance(5.0)
+        late = float(np.abs(state.phase_offsets()).mean())
+        assert late > early
+        assert state.accumulated_walk_std() == pytest.approx(
+            0.05 * math.sqrt(state.t))
+
+    def test_ambient_sinusoid_is_deterministic_and_periodic(self):
+        state = DriftState(n_blocks=2, k=4,
+                           spec=DriftSpec(ambient_amp=0.1,
+                                          ambient_period_s=8.0))
+        state.advance(2.0)  # quarter period -> peak
+        assert state.phase_offsets() == pytest.approx(
+            np.full((2, 4), 0.1))
+        state.advance(4.0)  # three-quarter period -> trough
+        assert state.phase_offsets() == pytest.approx(
+            np.full((2, 4), -0.1))
+
+    def test_gamma_saturates_toward_drifted_value(self):
+        state = DriftState(
+            n_blocks=2, k=4, gamma0=0.01,
+            spec=DriftSpec(crosstalk_gamma_drift=0.02, crosstalk_tau_s=10.0))
+        assert state.gamma() == pytest.approx(0.01)
+        state.advance(10.0)
+        assert state.gamma() == pytest.approx(
+            crosstalk_gamma_at(0.01, 0.02, 10.0, 10.0))
+        state.advance(1e4)
+        assert state.gamma() == pytest.approx(0.03, rel=1e-3)
+
+    def test_crosstalk_matrix_appears_when_gamma_positive(self):
+        state = DriftState(n_blocks=1, k=4,
+                           spec=DriftSpec(crosstalk_gamma_drift=0.05,
+                                          crosstalk_tau_s=1.0))
+        assert state.crosstalk() is None  # gamma0 = 0, t = 0
+        state.advance(50.0)
+        c = state.crosstalk()
+        assert c is not None
+        assert np.allclose(np.diag(c), 1.0)
+        assert c[0, 1] > 0
+
+    def test_static_spec_never_moves(self):
+        state = DriftState(n_blocks=2, k=4, spec=DriftSpec())
+        state.advance(1e6)
+        assert np.array_equal(state.phase_offsets(), np.zeros((2, 4)))
+        assert state.gamma() == 0.0
+
+    def test_frozen_is_json_native(self):
+        import json
+
+        state = make_state(seed=9, crosstalk_gamma_drift=0.01)
+        state.advance(3.0)
+        snap = state.frozen()
+        round_tripped = json.loads(json.dumps(snap))
+        assert round_tripped["t_s"] == snap["t_s"]
+        assert round_tripped["phase_offsets"] == snap["phase_offsets"]

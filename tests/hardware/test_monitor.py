@@ -1,0 +1,95 @@
+"""RollingMonitor: trigger correctness and hysteresis (no thrashing)."""
+
+import pytest
+
+from repro.hardware import RollingMonitor
+
+
+class TestTrigger:
+    def test_quiet_until_window_filled(self):
+        mon = RollingMonitor(window=4, trigger_below=0.9)
+        assert not mon.record(0.1)
+        assert not mon.record(0.1)
+        assert not mon.record(0.1)
+        assert mon.record(0.1)  # fourth score fills the window
+        assert mon.n_triggers == 1
+
+    def test_healthy_scores_never_trigger(self):
+        mon = RollingMonitor(window=4, trigger_below=0.9)
+        assert not any(mon.record(0.99) for _ in range(50))
+        assert mon.n_triggers == 0
+
+    def test_rolling_mean_not_single_sample(self):
+        mon = RollingMonitor(window=4, trigger_below=0.9)
+        for _ in range(4):
+            mon.record(1.0)
+        # One bad reading among good ones: mean stays above threshold.
+        assert not mon.record(0.7)
+        assert mon.n_triggers == 0
+
+    def test_min_samples_allows_early_decision(self):
+        mon = RollingMonitor(window=16, trigger_below=0.9, min_samples=2)
+        assert not mon.record(0.5)
+        assert mon.record(0.5)
+
+
+class TestHysteresis:
+    def test_no_thrashing_while_degraded(self):
+        mon = RollingMonitor(window=4, trigger_below=0.9, rearm_above=0.95)
+        fired = [mon.record(0.5) for _ in range(20)]
+        # Exactly one trigger despite 20 consecutive bad windows.
+        assert sum(fired) == 1
+        assert mon.n_triggers == 1
+        assert not mon.armed
+
+    def test_rearm_requires_recovery_margin(self):
+        mon = RollingMonitor(window=2, trigger_below=0.9, rearm_above=0.97,
+                             min_samples=1)
+        assert mon.record(0.5)
+        # Above trigger but below rearm: still disarmed, no re-trigger.
+        mon.record(0.92)
+        mon.record(0.92)
+        assert not mon.armed
+        # Full recovery re-arms without firing.
+        mon.record(0.99)
+        mon.record(0.99)
+        assert mon.armed
+        # A second degradation fires a second trigger as soon as the
+        # rolling mean crosses the threshold again.
+        assert not mon.record(0.99)  # mean still >= threshold
+        assert mon.record(0.5)  # mean (0.99 + 0.5) / 2 < 0.9
+        assert mon.n_triggers == 2
+
+    def test_reset_clears_window_and_rearms(self):
+        mon = RollingMonitor(window=4, trigger_below=0.9)
+        fired = [mon.record(0.5) for _ in range(4)]
+        assert any(fired)
+        mon.reset()
+        assert mon.armed
+        # Post-reset scores start a fresh window.
+        assert not mon.record(0.5)
+        assert mon.snapshot()["n_triggers"] == 1
+
+
+class TestValidation:
+    def test_rearm_below_trigger_rejected(self):
+        with pytest.raises(ValueError, match="rearm_above"):
+            RollingMonitor(trigger_below=0.9, rearm_above=0.8)
+
+    def test_default_rearm_is_halfway_to_perfect(self):
+        mon = RollingMonitor(trigger_below=0.9)
+        assert mon.rearm_above == pytest.approx(0.95)
+
+    def test_window_and_min_samples_validated(self):
+        with pytest.raises(ValueError, match="window"):
+            RollingMonitor(window=0)
+        with pytest.raises(ValueError, match="min_samples"):
+            RollingMonitor(window=4, min_samples=5)
+
+    def test_snapshot_is_json_native(self):
+        import json
+
+        mon = RollingMonitor(window=3)
+        mon.record(0.5)
+        snap = mon.snapshot()
+        assert json.loads(json.dumps(snap)) == snap

@@ -1,0 +1,175 @@
+"""SimulatedChip: execution semantics, drift aging, and the pure
+snapshot-recalibration path."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.topology import random_topology
+from repro.hardware import (
+    InlineRecalibrator,
+    SimulatedChip,
+    build_frozen_twin,
+    recalibrate_snapshot,
+)
+from repro.photonics import DriftSpec, NonidealitySpec
+from repro.utils.serialization import canonical_json_dumps
+
+
+def make_topo(k=6, blocks=3, seed=0):
+    return random_topology(k, blocks, 0, rng=np.random.default_rng(seed))
+
+
+@pytest.fixture
+def topo():
+    return make_topo()
+
+
+class TestExecution:
+    def test_ideal_chip_transfer_is_unitary(self, topo):
+        chip = SimulatedChip(topo, seed=2)
+        u = chip.transfer_matrix()
+        assert np.allclose(u @ u.conj().T, np.eye(6), atol=1e-10)
+
+    def test_detections_are_output_intensities(self, topo):
+        chip = SimulatedChip(topo, seed=2)
+        x = np.linspace(-1, 1, 6)
+        u = chip.transfer_matrix()
+        det = chip.execute(x)
+        assert det.shape == (1, 6)
+        assert det[0] == pytest.approx(np.abs(u @ x) ** 2)
+
+    def test_stream_buffers_until_read(self, topo):
+        chip = SimulatedChip(topo, seed=2)
+        batches = [np.ones((2, 6)), np.zeros((1, 6))]
+        assert chip.stream(batches) == 2
+        out = chip.read_detections()
+        assert [d.shape for d in out] == [(2, 6), (1, 6)]
+        assert chip.read_detections() == []
+
+    def test_execution_advances_virtual_clock(self, topo):
+        chip = SimulatedChip(topo, seed=2, batch_overhead_s=0.5,
+                             sample_time_s=0.1)
+        chip.execute(np.ones((4, 6)))
+        assert chip.virtual_time_s == pytest.approx(0.5 + 4 * 0.1)
+        assert chip.n_samples == 4
+
+    def test_program_loads_phases_and_costs_time(self, topo):
+        chip = SimulatedChip(topo, seed=2, program_time_s=0.25)
+        phases = np.full((3, 6), 0.5)
+        chip.program(phases)
+        assert np.array_equal(chip.programmed_phases, phases)
+        assert chip.virtual_time_s == pytest.approx(0.25)
+
+    def test_same_seed_chips_are_bitwise_identical(self, topo):
+        spec = NonidealitySpec(dc_t_std=0.02, loss_ps_db=0.05,
+                               crosstalk_gamma=0.01)
+        drift = DriftSpec(phase_walk_std=0.05)
+        a = SimulatedChip(topo, nonideality=spec, drift=drift, seed=4)
+        b = SimulatedChip(topo, nonideality=spec, drift=drift, seed=4)
+        x = np.ones((3, 6))
+        assert np.array_equal(a.execute(x), b.execute(x))
+        assert np.array_equal(a.transfer_matrix(), b.transfer_matrix())
+
+
+class TestDriftAging:
+    def test_traffic_degrades_fidelity(self, topo):
+        drift = DriftSpec(phase_walk_std=0.05)
+        chip = SimulatedChip(topo, drift=drift, seed=3,
+                             batch_overhead_s=1.0)
+        target = chip.transfer_matrix()
+        assert chip.fidelity_to(target) == pytest.approx(1.0)
+        for _ in range(50):
+            chip.execute(np.ones((4, 6)))
+        assert chip.fidelity_to(target) < 0.99
+
+    def test_static_chip_never_ages(self, topo):
+        chip = SimulatedChip(topo, seed=3, batch_overhead_s=1.0)
+        target = chip.transfer_matrix()
+        for _ in range(20):
+            chip.execute(np.ones((4, 6)))
+        assert chip.fidelity_to(target) == pytest.approx(1.0, abs=1e-12)
+
+    def test_diagnostics_are_free_of_virtual_time(self, topo):
+        chip = SimulatedChip(topo, drift=DriftSpec(phase_walk_std=0.1),
+                             seed=3)
+        target = chip.transfer_matrix()
+        for _ in range(10):
+            chip.fidelity_to(target)
+            chip.transfer_matrix()
+        assert chip.virtual_time_s == 0.0
+        assert chip.fidelity_to(target) == pytest.approx(1.0)
+
+
+class TestRecalibration:
+    def test_snapshot_params_are_json_native(self, topo):
+        spec = NonidealitySpec(dc_t_std=0.02, crosstalk_gamma=0.01)
+        chip = SimulatedChip(topo, nonideality=spec,
+                             drift=DriftSpec(phase_walk_std=0.05), seed=5)
+        chip.execute(np.ones((2, 6)))
+        params = chip.recalibration_params(np.eye(6))
+        # canonical JSON round-trip must be lossless
+        assert json.loads(canonical_json_dumps(params)) == json.loads(
+            json.dumps(params))
+
+    def test_recalibrate_snapshot_is_pure(self, topo):
+        chip = SimulatedChip(topo, drift=DriftSpec(phase_walk_std=0.05),
+                             seed=5, batch_overhead_s=2.0)
+        target = chip.transfer_matrix()
+        for _ in range(20):
+            chip.execute(np.ones((2, 6)))
+        params = chip.recalibration_params(target, steps=40)
+        r1 = recalibrate_snapshot(params)
+        r2 = recalibrate_snapshot(params)
+        assert r1 == r2  # bitwise: same floats through JSON-native dicts
+
+    def test_twin_matches_chip_at_snapshot_instant(self, topo):
+        spec = NonidealitySpec(dc_t_std=0.02, crosstalk_gamma=0.01)
+        chip = SimulatedChip(topo, nonideality=spec,
+                             drift=DriftSpec(phase_walk_std=0.05), seed=6,
+                             batch_overhead_s=1.0)
+        for _ in range(10):
+            chip.execute(np.ones((2, 6)))
+        params = chip.recalibration_params(np.eye(6))
+        twin = build_frozen_twin(params)
+        from repro.autograd import no_grad
+
+        with no_grad():
+            twin_u = twin.build().data[0]
+        assert twin_u == pytest.approx(chip.transfer_matrix(), abs=1e-12)
+
+    def test_inline_recalibration_restores_drifted_chip(self, topo):
+        chip = SimulatedChip(topo, drift=DriftSpec(phase_walk_std=0.04),
+                             seed=7, batch_overhead_s=1.0)
+        target = chip.transfer_matrix()
+        recal = InlineRecalibrator(steps=200, lr=0.05)
+        for _ in range(40):
+            chip.execute(np.ones((2, 6)))
+        degraded = chip.fidelity_to(target)
+        assert degraded < 0.995
+        result = recal(chip, target)
+        assert result["final_error"] < result["initial_error"]
+        assert chip.fidelity_to(target) > degraded
+        assert chip.fidelity_to(target) > 0.999
+
+    def test_unknown_method_rejected(self, topo):
+        chip = SimulatedChip(topo, seed=5)
+        params = chip.recalibration_params(np.eye(6), method="magic")
+        with pytest.raises(ValueError, match="unknown calibration method"):
+            recalibrate_snapshot(params)
+
+    def test_spsa_method_runs_deterministically(self, topo):
+        chip = SimulatedChip(topo, seed=5)
+        params = chip.recalibration_params(chip.transfer_matrix(),
+                                           method="spsa", steps=10)
+        r1 = recalibrate_snapshot(params)
+        r2 = recalibrate_snapshot(params)
+        assert r1 == r2
+        assert r1["method"] == "spsa"
+        assert r1["n_measurements"] == 31
+
+    def test_target_shape_checked(self, topo):
+        chip = SimulatedChip(topo, seed=5)
+        with pytest.raises(ValueError, match="target"):
+            chip.recalibration_params(np.eye(4))

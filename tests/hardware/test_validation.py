@@ -1,0 +1,154 @@
+"""Pre-execution validation: a rejected program or batch must leave
+the chip exactly as it was."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.topology import random_topology
+from repro.hardware import (
+    ChipCapabilities,
+    ProgramValidationError,
+    SimulatedChip,
+    plan_execution,
+    validate_batch,
+    validate_phases,
+)
+from repro.photonics import DriftSpec
+
+
+@pytest.fixture
+def chip():
+    topo = random_topology(6, 3, 0, rng=np.random.default_rng(0))
+    return SimulatedChip(topo, seed=1, max_batch=8)
+
+
+CAPS = ChipCapabilities(k=6, n_blocks=3, max_batch=8)
+
+
+class TestPhaseValidation:
+    def test_in_range_program_accepted(self):
+        arr = validate_phases(np.zeros((3, 6)), CAPS)
+        assert arr.shape == (3, 6)
+
+    def test_out_of_range_rejected_before_execution(self, chip):
+        before_phases = chip.programmed_phases
+        before_t = chip.virtual_time_s
+        bad = np.zeros((3, 6))
+        bad[1, 2] = 100.0
+        with pytest.raises(ProgramValidationError, match="drive range"):
+            chip.program(bad)
+        # The rejection happened before any state change.
+        assert np.array_equal(chip.programmed_phases, before_phases)
+        assert chip.virtual_time_s == before_t
+        assert chip.n_programs == 0
+
+    def test_all_violations_reported_together(self):
+        bad = np.zeros((3, 6))
+        bad[0, 0] = 1e3
+        bad[2, 5] = np.nan
+        # Non-finite values and range checks can't mix; the non-finite
+        # message must win without crashing on the comparison.
+        with pytest.raises(ProgramValidationError, match="non-finite"):
+            validate_phases(bad, CAPS)
+
+    def test_range_violation_counts_entries(self):
+        bad = np.zeros((3, 6))
+        bad[0, 0] = -100.0
+        bad[1, 1] = 100.0
+        with pytest.raises(ProgramValidationError, match="2 phase"):
+            validate_phases(bad, CAPS)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ProgramValidationError, match="shape"):
+            validate_phases(np.zeros((2, 6)), CAPS)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ProgramValidationError, match="numeric"):
+            validate_phases([["a"] * 6] * 3, CAPS)
+
+    def test_phase_range_edges_inclusive(self):
+        lo, hi = CAPS.phase_range
+        edges = np.full((3, 6), lo)
+        edges[0, 0] = hi
+        assert validate_phases(edges, CAPS).shape == (3, 6)
+        assert math.isclose(hi - lo, 6 * math.pi)
+
+
+class TestBatchValidation:
+    def test_vector_promoted_to_batch(self):
+        arr = validate_batch(np.ones(6), CAPS)
+        assert arr.shape == (1, 6)
+
+    def test_complex_inputs_allowed(self):
+        arr = validate_batch(np.ones((2, 6)) * (1 + 1j), CAPS)
+        assert arr.dtype.kind == "c"
+
+    def test_oversized_batch_rejected(self, chip):
+        with pytest.raises(ProgramValidationError, match="max_batch"):
+            chip.execute(np.ones((9, 6)))
+        assert chip.n_batches == 0
+        assert chip.virtual_time_s == 0.0
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ProgramValidationError, match="shape"):
+            validate_batch(np.ones((2, 5)), CAPS)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ProgramValidationError, match="empty"):
+            validate_batch(np.zeros((0, 6)), CAPS)
+
+    def test_non_finite_rejected(self):
+        bad = np.ones((2, 6))
+        bad[1, 3] = np.inf
+        with pytest.raises(ProgramValidationError, match="non-finite"):
+            validate_batch(bad, CAPS)
+
+    def test_mid_stream_rejection_keeps_earlier_results(self, chip):
+        good = np.ones((2, 6))
+        with pytest.raises(ProgramValidationError):
+            chip.stream([good, np.ones((2, 5))])
+        kept = chip.read_detections()
+        assert len(kept) == 1
+        assert chip.n_batches == 1
+
+
+class TestPlanning:
+    def test_chunking_splits_at_max_batch(self):
+        plan = plan_execution([20, 4], CAPS)
+        assert plan.chunks == [8, 8, 4, 4]
+        assert plan.n_inputs == 24
+        assert plan.ok
+
+    def test_virtual_time_matches_cost_model(self):
+        plan = plan_execution([8, 8], CAPS, t_start_s=1.0)
+        expected = 2 * CAPS.batch_seconds(8)
+        assert plan.virtual_seconds == pytest.approx(expected)
+        assert plan.t_end_s == pytest.approx(1.0 + expected)
+
+    def test_include_program_adds_program_time(self):
+        base = plan_execution([4], CAPS)
+        with_prog = plan_execution([4], CAPS, include_program=True)
+        assert with_prog.virtual_seconds == pytest.approx(
+            base.virtual_seconds + CAPS.program_time_s)
+
+    def test_nonpositive_sizes_are_violations(self):
+        plan = plan_execution([4, 0, -2], CAPS)
+        assert not plan.ok
+        assert len(plan.violations) == 2
+        assert plan.chunks == [4]
+        assert "REJECTED" in plan.summary()
+
+    def test_drift_forecast_integrates_walk(self):
+        drift = DriftSpec(phase_walk_std=0.1)
+        plan = plan_execution([8, 8], CAPS, drift=drift)
+        assert plan.forecast_walk_std == pytest.approx(
+            0.1 * math.sqrt(plan.virtual_seconds))
+
+    def test_plan_never_mutates_chip(self, chip):
+        before = chip.programmed_phases
+        plan = chip.plan([100, 3])
+        assert plan.n_inputs == 103
+        assert chip.virtual_time_s == 0.0
+        assert np.array_equal(chip.programmed_phases, before)

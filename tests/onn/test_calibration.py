@@ -6,8 +6,12 @@ import pytest
 from repro.core.topology import random_topology
 from repro.onn.calibration import (
     CalibrationResult,
+    _perturbed_error,
+    _relative_error,
+    adjoint_measurement_count,
     calibrate_adjoint,
     calibrate_spsa,
+    spsa_measurement_count,
 )
 from repro.photonics.nonideality import NonidealitySpec, NonidealTopologyFactory
 from repro.ptc.unitary import FixedTopologyFactory, MZIMeshFactory
@@ -38,9 +42,25 @@ class TestAdjoint:
         assert res.history[0] == pytest.approx(res.initial_error)
 
     def test_measurement_count(self):
+        # Every chip forward counts: initial read + 40 training
+        # forwards + 4 history reads (steps divides record_every, so
+        # the last record point IS the final read).
         chip, target, _ = chip_and_target(seed=2)
         res = calibrate_adjoint(chip, target, steps=40)
-        assert res.n_measurements == 40
+        assert res.n_measurements == adjoint_measurement_count(40) == 45
+
+    def test_measurement_count_off_boundary(self):
+        # steps % record_every != 0: one extra final read.
+        chip, target, _ = chip_and_target(seed=2)
+        res = calibrate_adjoint(chip, target, steps=37)
+        assert res.n_measurements == adjoint_measurement_count(37) == 42
+
+    def test_history_ends_at_final_error(self):
+        chip, target, _ = chip_and_target(seed=2)
+        res = calibrate_adjoint(chip, target, steps=37, record_every=10)
+        assert res.history[-1] == res.final_error
+        # initial + records at 10/20/30 + final at 37.
+        assert len(res.history) == 5
 
     def test_rejects_multi_unit(self):
         f = MZIMeshFactory(4, n_units=2)
@@ -61,11 +81,20 @@ class TestSPSA:
         assert res.method == "spsa"
         assert res.improvement > 0.3
 
-    def test_three_measurements_per_step(self):
+    def test_three_measurements_per_step_plus_initial(self):
+        # 2 perturbed reads + 1 post-update read per step, plus the
+        # initial read — every factory.build() counted exactly once.
         chip, target, _ = chip_and_target(seed=4)
         res = calibrate_spsa(chip, target, steps=30,
                              rng=np.random.default_rng(0))
-        assert res.n_measurements == 90
+        assert res.n_measurements == spsa_measurement_count(30) == 91
+
+    def test_history_ends_at_final_error(self):
+        chip, target, _ = chip_and_target(seed=4)
+        res = calibrate_spsa(chip, target, steps=50, record_every=20,
+                             rng=np.random.default_rng(0))
+        # steps % record_every != 0 -> best-so-far appended at the end.
+        assert res.history[-1] == res.final_error
 
     def test_best_seen_never_worse_than_initial(self):
         chip, target, _ = chip_and_target(seed=5)
@@ -85,13 +114,58 @@ class TestSPSA:
         # hardware) the digital twin wins: one gradient step per
         # evaluation vs three evaluations per SPSA step.
         chip_a, target, blocks = chip_and_target(seed=7)
-        adj = calibrate_adjoint(chip_a, target, steps=150)
+        adj = calibrate_adjoint(chip_a, target, steps=136)
         chip_s = FixedTopologyFactory(8, 1, blocks,
                                       rng=np.random.default_rng(9))
         spsa = calibrate_spsa(chip_s, target, steps=50,
                               rng=np.random.default_rng(3))
-        assert adj.n_measurements == spsa.n_measurements == 150
+        assert adj.n_measurements == spsa.n_measurements == 151
         assert adj.final_error < spsa.final_error
+
+
+class TestBitwiseRestoration:
+    """PR 8 regression: SPSA perturbation evaluations must restore the
+    exact pre-call parameter bits.  The old ``(p + d) - d`` idiom does
+    not round-trip in floating point, so rounding error accumulated in
+    every phase across all steps."""
+
+    def test_perturbed_error_restores_bitwise(self):
+        chip, target, _ = chip_and_target(seed=8)
+        params = list(chip.parameters())
+        before = [p.data.copy() for p in params]
+        rng = np.random.default_rng(0)
+        # Irrational-ish deltas maximize the chance of rounding drift.
+        deltas = [0.2 * rng.choice([-1.0, 1.0], size=p.data.shape) * np.pi / 3
+                  for p in params]
+        for sign in (+1.0, -1.0):
+            err = _perturbed_error(chip, target, params, deltas, sign)
+            assert np.isfinite(err)
+            for p, b in zip(params, before):
+                assert np.array_equal(p.data, b), (
+                    "perturbation evaluation drifted the parameter state")
+
+    def test_old_idiom_would_have_drifted(self):
+        # Sanity check that the test above is load-bearing: the
+        # add-then-subtract round trip really is lossy on these values.
+        rng = np.random.default_rng(1)
+        p = rng.uniform(0, 2 * np.pi, size=1024)
+        d = 0.2 * rng.choice([-1.0, 1.0], size=1024) * np.pi / 3
+        assert not np.array_equal((p + d) - d, p)
+
+    def test_many_evaluations_leave_state_unchanged(self):
+        chip, target, _ = chip_and_target(seed=9)
+        params = list(chip.parameters())
+        before = [p.data.copy() for p in params]
+        err0 = _relative_error(chip, target)
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            deltas = [0.1 * rng.choice([-1.0, 1.0], size=p.data.shape)
+                      for p in params]
+            _perturbed_error(chip, target, params, deltas, +1.0)
+            _perturbed_error(chip, target, params, deltas, -1.0)
+        for p, b in zip(params, before):
+            assert np.array_equal(p.data, b)
+        assert _relative_error(chip, target) == err0
 
 
 class TestNonidealCalibration:

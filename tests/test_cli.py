@@ -195,6 +195,56 @@ class TestExitCodes:
         proc = _run_cli("info")
         assert proc.returncode == 0
 
+    def test_chip_without_subcommand_is_usage_error(self):
+        proc = _run_cli("chip")
+        assert proc.returncode == 2
+        assert "chip_command" in proc.stderr
+
+    def test_chip_unknown_subcommand_is_usage_error(self):
+        proc = _run_cli("chip", "frobnicate")
+        assert proc.returncode == 2
+
+    def test_chip_serve_missing_design_fails(self, tmp_path):
+        proc = _run_cli("chip", "serve", "--design",
+                        str(tmp_path / "missing.json"))
+        assert proc.returncode == 1
+        assert proc.stderr.startswith("error:")
+
+    def test_chip_bench_zero_requests_fails(self):
+        proc = _run_cli("chip", "bench", "--requests", "0")
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr
+
+
+class TestChipCommands:
+    def test_bench_reports_speedup(self, capsys):
+        rc = main(["chip", "bench", "--requests", "48", "--k", "6",
+                   "--blocks", "3", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "micro-batching virtual-time speedup" in out
+        assert "one-at-a-time" in out
+
+    def test_serve_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        rc = main(["chip", "serve", "--requests", "48", "--k", "6",
+                   "--blocks", "3", "--seed", "2", "--drift-std", "0.05",
+                   "--calib-steps", "30", "--window", "4",
+                   "--out", str(report_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "calibrated" in out and "served 48 requests" in out
+        report = json.loads(report_path.read_text())
+        assert report["n_requests"] == 48
+        assert len(report["fidelity_trace"]) == report["n_batches"]
+
+    def test_serve_accepts_saved_topology(self, saved_topology, capsys):
+        rc = main(["chip", "serve", "--design", str(saved_topology),
+                   "--requests", "16", "--calib-steps", "10",
+                   "--drift-std", "0.0"])
+        assert rc == 0
+        assert "served 16 requests" in capsys.readouterr().out
+
 
 @pytest.fixture()
 def cli_job_kind():
