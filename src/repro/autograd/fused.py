@@ -28,10 +28,19 @@ backward rules are the exact composition of the ``mul``/``matmul``
 rules the unfused graph would apply, so fast-path gradients match the
 reference path to floating-point rounding.  Parity is locked in by
 ``tests/autograd/test_fused.py`` and ``tests/ptc/test_fast_path_parity.py``.
+
+**Debug mode** — with ``REPRO_CHECK_FINITE=1`` in the environment,
+every fused-kernel output is scanned and a :class:`FloatingPointError`
+names the kernel the first time a NaN/Inf appears, instead of the
+non-finite values laundering through accuracy scores as silently wrong
+numbers (a single bad phase otherwise surfaces only as a model that
+mysteriously never learns).  The check costs one ``isfinite`` scan per
+kernel call and is off by default.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 import numpy as np
@@ -40,12 +49,34 @@ from .backend import BackendLike, resolve_backend
 from .tensor import Tensor, _make, ensure_tensor, is_grad_enabled
 
 __all__ = [
+    "finite_checks_enabled",
     "l2_normalize",
     "matmul_chain",
     "matmul_chain_forward",
     "phase_column_cascade",
     "phase_column_cascade_forward",
 ]
+
+
+def finite_checks_enabled() -> bool:
+    """True when ``REPRO_CHECK_FINITE`` requests NaN/Inf output checks.
+
+    Read per call so tests (and long-lived services) can flip the mode
+    without reimporting; any value other than empty/``"0"`` enables.
+    """
+    return os.environ.get("REPRO_CHECK_FINITE", "0") not in ("", "0")
+
+
+def _check_finite(out: np.ndarray, kernel: str) -> np.ndarray:
+    """Raise ``FloatingPointError`` on non-finite ``out`` in debug mode."""
+    if finite_checks_enabled() and not np.all(np.isfinite(out)):
+        n_bad = int(np.size(out) - np.count_nonzero(np.isfinite(out)))
+        raise FloatingPointError(
+            f"{kernel} produced {n_bad} non-finite value(s) "
+            f"(shape {out.shape}); set REPRO_CHECK_FINITE=0 to disable "
+            "this check"
+        )
+    return out
 
 
 def _recording(*tensors: Optional[Tensor]) -> bool:
@@ -106,9 +137,10 @@ def phase_column_cascade_forward(
     bit-for-bit with the trainable path; the ``"numpy-c64"`` fast lane
     trades that for complex64 stacked-GEMM folding.
     """
-    return resolve_backend(backend).phase_column_cascade_forward(
+    out = resolve_backend(backend).phase_column_cascade_forward(
         consts, ps, exec_prob
     )
+    return _check_finite(out, "phase_column_cascade_forward")
 
 
 def matmul_chain_forward(
@@ -121,7 +153,9 @@ def matmul_chain_forward(
     graph bookkeeping or stored prefixes.  ``backend`` selects the
     execution backend (``None`` = process default).
     """
-    return resolve_backend(backend).matmul_chain_forward(mats)
+    return _check_finite(
+        resolve_backend(backend).matmul_chain_forward(mats), "matmul_chain_forward"
+    )
 
 
 def phase_column_cascade(
@@ -168,7 +202,10 @@ def phase_column_cascade(
     eb = resolve_backend(backend)
     if eb.forward_only and not _recording(consts, ps, exec_prob):
         ed_ = None if exec_prob is None else exec_prob.data
-        return Tensor(eb.phase_column_cascade_forward(consts.data, ps.data, ed_))
+        return Tensor(_check_finite(
+            eb.phase_column_cascade_forward(consts.data, ps.data, ed_),
+            "phase_column_cascade",
+        ))
     pd = ps.data
     if pd.ndim != 3:
         raise ValueError(f"ps must have shape (N, B, K), got {pd.shape}")
@@ -280,7 +317,11 @@ def phase_column_cascade(
         return g_c, g_ps, g_e
 
     parents = (consts, ps) if exec_prob is None else (consts, ps, exec_prob)
-    return _make(np.ascontiguousarray(out), parents, backward)
+    return _make(
+        _check_finite(np.ascontiguousarray(out), "phase_column_cascade"),
+        parents,
+        backward,
+    )
 
 
 def matmul_chain(mats: Tensor, backend: Optional[BackendLike] = None) -> Tensor:
@@ -303,7 +344,9 @@ def matmul_chain(mats: Tensor, backend: Optional[BackendLike] = None) -> Tensor:
     mats = ensure_tensor(mats)
     eb = resolve_backend(backend)
     if eb.forward_only and not _recording(mats):
-        return Tensor(eb.matmul_chain_forward(mats.data))
+        return Tensor(
+            _check_finite(eb.matmul_chain_forward(mats.data), "matmul_chain")
+        )
     md = mats.data
     if md.ndim != 4 or md.shape[-1] != md.shape[-2]:
         raise ValueError(f"mats must have shape (N, B, K, K), got {md.shape}")
@@ -329,4 +372,6 @@ def matmul_chain(mats: Tensor, backend: Optional[BackendLike] = None) -> Tensor:
                 gu = np.conj(np.swapaxes(md[:, b], -1, -2)) @ gu
         return (gm,)
 
-    return _make(np.ascontiguousarray(u), (mats,), backward)
+    return _make(
+        _check_finite(np.ascontiguousarray(u), "matmul_chain"), (mats,), backward
+    )

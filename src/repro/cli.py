@@ -19,7 +19,11 @@ reachable without writing Python:
 * ``chip serve`` / ``chip bench`` — the hardware-abstraction layer
   (:mod:`repro.hardware`): run a streaming-inference scenario on a
   drifting virtual chip with online recalibration, or measure the
-  micro-batching throughput gain.
+  micro-batching throughput gain;
+* ``lint`` — the project invariant checker (:mod:`repro.lint`):
+  AST-based rules encoding the repo's hard-won correctness
+  conventions (see ``docs/LINTS.md``); exits 0 on a clean tree, 1
+  when findings remain, 2 on usage errors.
 
 Every command accepts ``--seed`` and prints a deterministic report to
 stdout; artifacts land where ``--out`` points.  Failures exit
@@ -219,6 +223,30 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="micro-batching throughput vs one-at-a-time")
     add_chip_args(p_chip_bench)
     p_chip_bench.set_defaults(func=cmd_chip_bench)
+
+    p_lint = sub.add_parser(
+        "lint", help="project invariant checks (AST static analysis)")
+    p_lint.add_argument("paths", nargs="*", type=Path,
+                        default=[Path("src/repro")],
+                        help="files/directories to lint "
+                             "(default: src/repro)")
+    p_lint.add_argument("--format", choices=["text", "json"],
+                        default="text", dest="format",
+                        help="finding output format")
+    p_lint.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all; see --list-rules)")
+    p_lint.add_argument("--baseline", type=Path, nargs="?",
+                        const=Path("lint-baseline.json"), default=None,
+                        help="suppress findings grandfathered in this "
+                             "baseline file (default path when the flag "
+                             "is given bare: lint-baseline.json)")
+    p_lint.add_argument("--write-baseline", type=Path, default=None,
+                        help="write current findings as a baseline "
+                             "and exit 0")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 
@@ -580,6 +608,70 @@ def cmd_chip_bench(args: argparse.Namespace) -> int:
                / results["micro-batched"].chip.virtual_time_s)
     print(f"micro-batching virtual-time speedup: {speedup:.2f}x")
     return 0
+
+
+# ----------------------------------------------------------------------
+# static-analysis command
+# ----------------------------------------------------------------------
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .lint import (
+        apply_baseline,
+        available_rules,
+        get_rule,
+        iter_python_files,
+        lint_files,
+        load_baseline,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        print("registered lint rules:")
+        for rule in available_rules():
+            print(f"  {rule.id}  {rule.name:<22} {rule.description}")
+        return 0
+
+    rules = None
+    if args.rules is not None:
+        rules = [get_rule(rid.strip())
+                 for rid in args.rules.split(",") if rid.strip()]
+        if not rules:
+            raise ValueError("--rules got an empty rule list")
+
+    files = iter_python_files(args.paths)
+    findings = lint_files(files, rules=rules)
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, findings)
+        print(f"wrote {len(findings)} finding(s) -> {args.write_baseline}")
+        return 0
+
+    grandfathered = 0
+    if args.baseline is not None:
+        findings, grandfathered = apply_baseline(
+            findings, load_baseline(args.baseline))
+
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "version": 1,
+                "n_files": len(files),
+                "n_findings": len(findings),
+                "grandfathered": grandfathered,
+                "findings": [f.to_dict() for f in findings],
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        for f in findings:
+            print(f.render())
+        suffix = (f" ({grandfathered} grandfathered by baseline)"
+                  if grandfathered else "")
+        print(f"{len(findings)} finding(s) in {len(files)} file(s){suffix}")
+    return 1 if findings else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

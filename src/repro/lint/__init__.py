@@ -1,0 +1,41 @@
+"""``repro.lint`` — the project's AST-based invariant checker.
+
+Static analysis that encodes this repository's hard-won correctness
+rules (reproducible seeding, atomic publishes, mode restoration,
+validated queue transitions, virtual-clock determinism ...) as a
+gating pass: ``python -m repro lint src/repro`` exits 0 only when the
+tree is clean.  See ``docs/LINTS.md`` for the rule catalogue and the
+pragma/baseline workflow, and :mod:`repro.lint.engine` /
+:mod:`repro.lint.rules` for the machinery.
+"""
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import (
+    FileContext,
+    Finding,
+    Rule,
+    available_rules,
+    get_rule,
+    iter_python_files,
+    lint_files,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+from . import rules  # noqa: F401  — registers the builtin RLxxx rules
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "apply_baseline",
+    "available_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register_rule",
+    "write_baseline",
+]

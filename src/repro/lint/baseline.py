@@ -1,0 +1,85 @@
+"""Grandfathered-finding baseline for ``repro lint``.
+
+A baseline lets the linter gate *new* violations while a pre-existing
+backlog is burned down.  The checked-in ``lint-baseline.json`` of this
+repository is **empty by policy** — every true positive found when the
+linter landed was fixed, not suppressed — but the mechanism stays so a
+future rule with a large blast radius can land gating on day one.
+
+Fingerprinting is line-number independent: a baselined finding is
+``(rule, path, stripped source line text)``, counted as a multiset, so
+unrelated edits above a grandfathered line do not resurrect it, while
+a *new* second occurrence of the same pattern in the same file is
+still reported.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from .engine import Finding
+
+__all__ = [
+    "apply_baseline",
+    "baseline_key",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def baseline_key(finding: Finding) -> Tuple[str, str, str]:
+    return (finding.rule, finding.path, finding.text)
+
+
+def load_baseline(path: Union[str, Path]) -> Counter:
+    """Load a baseline file into a fingerprint multiset."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a repro-lint baseline (want version {BASELINE_VERSION})"
+        )
+    counts: Counter = Counter()
+    for entry in data.get("findings", []):
+        counts[(entry["rule"], entry["path"], entry["text"])] += 1
+    return counts
+
+
+def write_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as a baseline (atomic, sorted, stable)."""
+    from ..utils.serialization import atomic_write_text, canonical_json_dumps
+
+    entries = sorted(
+        (
+            {"rule": f.rule, "path": f.path, "text": f.text}
+            for f in findings
+        ),
+        key=lambda e: (e["path"], e["rule"], e["text"]),
+    )
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    atomic_write_text(path, canonical_json_dumps(payload) + "\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, n_grandfathered) against ``baseline``.
+
+    Matching consumes baseline entries one-for-one, so K baselined
+    occurrences of a pattern suppress at most K findings.
+    """
+    remaining = Counter(baseline)
+    fresh: List[Finding] = []
+    grandfathered = 0
+    for f in findings:
+        key = baseline_key(f)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered += 1
+        else:
+            fresh.append(f)
+    return fresh, grandfathered

@@ -1,0 +1,415 @@
+"""Core machinery of ``repro lint`` — the project invariant checker.
+
+Every correctness bug this repository has shipped was a *class*, not a
+one-off: ``PYTHONHASHSEED``-dependent ``hash()`` seeds (PR 4), the
+``(p+d)-d`` floating-point restore idiom that corrupted every SPSA
+evaluation (PR 8), eval-mode clobbering (PR 4), non-atomic artifact
+writes (PR 7).  This module turns those hard-won rules into a gating
+static-analysis pass over Python source:
+
+* :class:`Rule` — one named invariant (``RLxxx``) with an AST check;
+  rules register themselves via :func:`register_rule` and are listed by
+  :func:`available_rules`.
+* :class:`FileContext` — one parsed file plus the cross-rule services
+  every check needs: an import table that resolves dotted names to
+  fully-qualified module paths (``np.random.normal`` ->
+  ``numpy.random.normal``), a parent map for ancestry queries
+  (try/finally protection, docstring detection), and the inline
+  suppression pragmas.
+* :class:`Finding` — one violation: ``(rule, path, line, col,
+  message)`` plus the stripped source line (the baseline fingerprint).
+* :func:`lint_source` / :func:`lint_files` / :func:`lint_paths` — the
+  entry points; a file that fails to parse yields a single ``RL000``
+  syntax-error finding instead of crashing the run.
+
+Suppression pragmas (see ``docs/LINTS.md``)::
+
+    x = legacy()  # repro-lint: disable=RL001
+    # repro-lint: disable-next-line=RL005,RL002
+    # repro-lint: disable-file=RL007      (anywhere in the file)
+    # repro-lint: disable-file=all        (opt a file out entirely)
+
+The checked-in ``lint-baseline.json`` grandfathers pre-existing
+findings (see :mod:`repro.lint.baseline`); this repository keeps it
+empty — true positives get fixed, not suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type, Union
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "available_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_files",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  #: rule id, e.g. ``"RL005"``
+    name: str  #: rule slug, e.g. ``"non-atomic-write"``
+    path: str  #: posix path as given to the linter
+    line: int  #: 1-based line number
+    col: int  #: 0-based column
+    message: str  #: human-readable explanation
+    text: str = ""  #: stripped source line (baseline fingerprint)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "text": self.text,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.name}] {self.message}"
+        )
+
+
+_SORT_KEY = lambda f: (f.path, f.line, f.col, f.rule)  # noqa: E731
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-next-line|-file)?)\s*=\s*"
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+def _scan_pragmas(lines: Sequence[str]) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """Extract suppression pragmas from raw source lines.
+
+    Returns ``(file_disables, line_disables)`` where ``line_disables``
+    maps a 1-based line number to the rule ids disabled there.  The
+    token ``all`` disables every rule.
+    """
+    file_disables: Set[str] = set()
+    line_disables: Dict[int, Set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        for m in _PRAGMA_RE.finditer(line):
+            kind = m.group(1)
+            ids = {s.strip() for s in m.group(2).split(",") if s.strip()}
+            if kind == "disable-file":
+                file_disables |= ids
+            elif kind == "disable-next-line":
+                line_disables.setdefault(i + 1, set()).update(ids)
+            else:  # disable= applies to its own physical line
+                line_disables.setdefault(i, set()).update(ids)
+    return file_disables, line_disables
+
+
+class FileContext:
+    """One parsed source file plus the services rules share.
+
+    Parameters
+    ----------
+    path:
+        The path the file is reported under (posix-normalized).  Rules
+        use it for location-dependent checks (e.g. RL005 exempts
+        ``utils/serialization.py``; RL006 only applies inside the
+        deterministic packages).
+    source:
+        Full file text.
+    tree:
+        The parsed ``ast.Module``.
+    """
+
+    def __init__(self, path: Union[str, Path], source: str, tree: ast.Module):
+        self.path = Path(path).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.file_disables, self.line_disables = _scan_pragmas(self.lines)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.imports = self._collect_imports(tree)
+        self.rebound: Set[str] = self._collect_rebound(tree)
+
+    # -- import / name resolution ---------------------------------------
+
+    @staticmethod
+    def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+        """Map local aliases to fully-qualified dotted names."""
+        table: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    table[local] = alias.name if alias.asname else local
+            elif isinstance(node, ast.ImportFrom):
+                mod = ("." * node.level) + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    table[local] = f"{mod}.{alias.name}" if mod else alias.name
+        return table
+
+    @staticmethod
+    def _collect_rebound(tree: ast.Module) -> Set[str]:
+        """Names bound anywhere in the file (assignments, defs, args).
+
+        Used to avoid resolving a *local* ``hash`` / ``open`` / ``time``
+        to the builtin or stdlib object a rule targets.
+        """
+        bound: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                bound.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.arg):
+                bound.add(node.arg)
+        return bound
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully-qualified dotted name of a Name/Attribute chain.
+
+        ``np.random.normal`` with ``import numpy as np`` resolves to
+        ``"numpy.random.normal"``; an unresolvable head (a local
+        object, a call result) returns ``None``.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = self.imports.get(node.id)
+        if head is None:
+            return None
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+    def is_builtin(self, name: str) -> bool:
+        """True when bare ``name`` still refers to the builtin."""
+        return name not in self.imports and name not in self.rebound
+
+    # -- ancestry --------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def is_docstring(self, node: ast.Constant) -> bool:
+        """True when ``node`` is a module/class/function docstring."""
+        parent = self.parent(node)
+        if not isinstance(parent, ast.Expr):
+            return False
+        grand = self.parent(parent)
+        if not isinstance(
+            grand, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return False
+        body = grand.body
+        return bool(body) and body[0] is parent
+
+    # -- path predicates -------------------------------------------------
+
+    def in_directories(self, names: Iterable[str]) -> bool:
+        """True when any path component matches one of ``names``."""
+        parts = set(Path(self.path).parts)
+        return bool(parts & set(names))
+
+    def path_endswith(self, suffix: str) -> bool:
+        return self.path.endswith(suffix)
+
+    # -- function iteration ----------------------------------------------
+
+    def functions(self) -> Iterator[ast.AST]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @staticmethod
+    def function_body_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+        """All nodes of ``fn``'s own body, not descending into nested
+        function/class definitions (they get their own visit)."""
+        stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- finding construction ---------------------------------------------
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``id`` (``"RLxxx"``), ``name`` (kebab-case slug),
+    ``description`` (one line, shown by ``--list-rules``) and
+    ``rationale`` (the historical bug / convention; rendered in
+    ``docs/LINTS.md``), and implement :meth:`check`.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.id,
+            name=self.name,
+            path=ctx.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            text=ctx.line_text(line),
+        )
+
+
+#: Registry of rule id -> instance, populated by :func:`register_rule`.
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (id must be new)."""
+    inst = cls()
+    if not inst.id or not inst.name:
+        raise ValueError(f"rule {cls.__name__} must define id and name")
+    if inst.id in _RULES:
+        raise ValueError(f"duplicate rule id {inst.id}")
+    _RULES[inst.id] = inst
+    return cls
+
+
+def available_rules() -> List[Rule]:
+    """All registered rules, sorted by id."""
+    _ensure_builtin_rules()
+    return [_RULES[k] for k in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_builtin_rules()
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown lint rule {rule_id!r}; known: {', '.join(sorted(_RULES))}"
+        ) from None
+
+
+def _ensure_builtin_rules() -> None:
+    # Importing the module runs the @register_rule decorators.
+    from . import rules  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+def lint_source(
+    source: str,
+    path: Union[str, Path] = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one source string reported under ``path``.
+
+    A syntax error yields a single ``RL000`` finding (never suppressed
+    by pragmas — a file that does not parse cannot be vetted at all).
+    """
+    if rules is None:
+        rules = available_rules()
+    posix = Path(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=posix)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="RL000",
+                name="syntax-error",
+                path=posix,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+                text="",
+            )
+        ]
+    ctx = FileContext(posix, source, tree)
+    if "all" in ctx.file_disables:
+        return []
+    findings: List[Finding] = []
+    for rule in rules:
+        if rule.id in ctx.file_disables:
+            continue
+        for f in rule.check(ctx):
+            disabled = ctx.line_disables.get(f.line, ())
+            if f.rule in disabled or "all" in disabled:
+                continue
+            findings.append(f)
+    return sorted(findings, key=_SORT_KEY)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        elif p.exists():
+            candidates = [p]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {p}")
+        for c in candidates:
+            if c not in seen:
+                seen.add(c)
+                out.append(c)
+    return out
+
+
+def lint_files(
+    files: Sequence[Union[str, Path]], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint a flat list of files, findings sorted by location."""
+    findings: List[Finding] = []
+    for f in files:
+        source = Path(f).read_text(encoding="utf-8")
+        findings.extend(lint_source(source, path=f, rules=rules))
+    return sorted(findings, key=_SORT_KEY)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint files and/or directory trees (the CLI entry point)."""
+    return lint_files(iter_python_files(paths), rules=rules)

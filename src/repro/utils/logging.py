@@ -4,11 +4,17 @@ The search flow records per-step scalar traces (loss, permutation
 error, expected footprint...).  :class:`TraceLogger` accumulates named
 scalar series and serializes them to CSV or JSON so experiments can be
 post-processed without re-running.
+
+Saves publish atomically (rendered in memory, then
+:func:`repro.utils.serialization.atomic_write_text`): a crash between
+the first byte and the rename leaves the previous complete trace on
+disk, never a torn CSV that parses as a truncated run.
 """
 
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import Dict, List, Union
@@ -46,26 +52,29 @@ class TraceLogger:
         return logger
 
     def save(self, path: Union[str, Path]) -> None:
+        from .serialization import atomic_write_text
+
         path = Path(path)
         if path.suffix == ".csv":
-            self._save_csv(path)
+            atomic_write_text(path, self._render_csv())
         else:
-            path.write_text(self.to_json())
+            atomic_write_text(path, self.to_json())
 
-    def _save_csv(self, path: Path) -> None:
+    def _render_csv(self) -> str:
         names = self.names
         rows = max((len(self._series[n]) for n in names), default=0)
-        with open(path, "w", newline="") as f:
-            writer = csv.writer(f)
-            writer.writerow(["step"] + names)
-            for i in range(rows):
-                writer.writerow(
-                    [i]
-                    + [
-                        self._series[n][i] if i < len(self._series[n]) else ""
-                        for n in names
-                    ]
-                )
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["step"] + names)
+        for i in range(rows):
+            writer.writerow(
+                [i]
+                + [
+                    self._series[n][i] if i < len(self._series[n]) else ""
+                    for n in names
+                ]
+            )
+        return buf.getvalue()
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TraceLogger":

@@ -1,0 +1,86 @@
+"""``REPRO_CHECK_FINITE=1`` debug mode: fused kernels raise on
+NaN/Inf outputs instead of laundering them through accuracy scores."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.fused import (
+    finite_checks_enabled,
+    matmul_chain,
+    matmul_chain_forward,
+    phase_column_cascade,
+    phase_column_cascade_forward,
+)
+
+
+def _mesh(n=2, b=3, k=4, seed=0):
+    rng = np.random.default_rng(seed)
+    consts = rng.normal(size=(b, k, k)) + 1j * rng.normal(size=(b, k, k))
+    ps = np.exp(-1j * rng.normal(size=(n, b, k)))
+    return consts.astype(complex), ps.astype(complex)
+
+
+class TestFiniteGuard:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK_FINITE", raising=False)
+        assert not finite_checks_enabled()
+
+    def test_zero_and_empty_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_FINITE", "0")
+        assert not finite_checks_enabled()
+        monkeypatch.setenv("REPRO_CHECK_FINITE", "")
+        assert not finite_checks_enabled()
+        monkeypatch.setenv("REPRO_CHECK_FINITE", "1")
+        assert finite_checks_enabled()
+
+    def test_forward_kernel_raises_on_injected_nan_phase(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_FINITE", "1")
+        consts, ps = _mesh()
+        ps[0, 1, 2] = np.nan  # one corrupted phase factor
+        with pytest.raises(FloatingPointError, match="phase_column_cascade"):
+            phase_column_cascade_forward(consts, ps)
+
+    def test_forward_kernel_raises_on_inf(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_FINITE", "1")
+        consts, ps = _mesh()
+        consts[2, 0, 0] = np.inf
+        with pytest.raises(FloatingPointError, match="non-finite"):
+            phase_column_cascade_forward(consts, ps)
+
+    def test_matmul_chain_forward_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_FINITE", "1")
+        rng = np.random.default_rng(1)
+        mats = (rng.normal(size=(2, 3, 4, 4))
+                + 1j * rng.normal(size=(2, 3, 4, 4)))
+        mats[1, 2, 0, 0] = np.nan
+        with pytest.raises(FloatingPointError, match="matmul_chain"):
+            matmul_chain_forward(mats)
+
+    def test_graph_kernels_raise_too(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_FINITE", "1")
+        consts, ps = _mesh()
+        ps[1, 0, 3] = np.inf
+        with pytest.raises(FloatingPointError, match="phase_column_cascade"):
+            phase_column_cascade(Tensor(consts), Tensor(ps))
+        rng = np.random.default_rng(2)
+        mats = (rng.normal(size=(1, 2, 3, 3))
+                + 1j * rng.normal(size=(1, 2, 3, 3)))
+        mats[0, 0, 1, 1] = np.nan
+        with pytest.raises(FloatingPointError, match="matmul_chain"):
+            matmul_chain(Tensor(mats))
+
+    def test_silent_propagation_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK_FINITE", raising=False)
+        consts, ps = _mesh()
+        ps[0, 1, 2] = np.nan
+        out = phase_column_cascade_forward(consts, ps)
+        assert np.isnan(out[0]).any()  # propagates, does not raise
+
+    def test_clean_inputs_pass_with_checks_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_FINITE", "1")
+        consts, ps = _mesh()
+        checked = phase_column_cascade_forward(consts, ps)
+        monkeypatch.delenv("REPRO_CHECK_FINITE")
+        unchecked = phase_column_cascade_forward(consts, ps)
+        np.testing.assert_array_equal(checked, unchecked)

@@ -1,0 +1,198 @@
+# repro-lint: disable-file=all  (fixtures below violate rules on purpose)
+"""Engine-level tests: pragmas, baselines, name resolution, parse
+errors, registry, and path walking."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    FileContext,
+    apply_baseline,
+    available_rules,
+    get_rule,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+
+BAD_WRITE = 'with open("out.json", "w") as f:\n    f.write("{}")\n'
+
+
+class TestRegistry:
+    def test_eight_rules_plus_stable_ids(self):
+        rules = available_rules()
+        assert [r.id for r in rules] == [f"RL00{i}" for i in range(1, 9)]
+        assert all(r.name and r.description and r.rationale for r in rules)
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown lint rule"):
+            get_rule("RL999")
+
+
+class TestPragmas:
+    def test_same_line_disable(self):
+        src = BAD_WRITE.replace(
+            "as f:", "as f:  # repro-lint: disable=RL005"
+        )
+        assert lint_source(src, path="src/repro/x.py") == []
+
+    def test_disable_next_line(self):
+        src = "# repro-lint: disable-next-line=RL005\n" + BAD_WRITE
+        assert lint_source(src, path="src/repro/x.py") == []
+
+    def test_disable_wrong_rule_does_not_suppress(self):
+        src = BAD_WRITE.replace(
+            "as f:", "as f:  # repro-lint: disable=RL001"
+        )
+        assert [f.rule for f in lint_source(src, path="src/repro/x.py")] == [
+            "RL005"
+        ]
+
+    def test_disable_file(self):
+        src = "# repro-lint: disable-file=RL005\n" + BAD_WRITE
+        assert lint_source(src, path="src/repro/x.py") == []
+
+    def test_disable_file_all(self):
+        src = "# repro-lint: disable-file=all\n" + BAD_WRITE + "x = hash('a')\n"
+        assert lint_source(src, path="src/repro/x.py") == []
+
+    def test_disable_all_on_one_line(self):
+        src = BAD_WRITE.replace("as f:", "as f:  # repro-lint: disable=all")
+        assert lint_source(src, path="src/repro/x.py") == []
+
+
+class TestParseErrors:
+    def test_syntax_error_yields_rl000(self):
+        fs = lint_source("def broken(:\n", path="src/repro/x.py")
+        assert len(fs) == 1
+        assert fs[0].rule == "RL000"
+        assert "does not parse" in fs[0].message
+
+    def test_rl000_is_not_pragma_suppressible(self):
+        fs = lint_source(
+            "# repro-lint: disable-file=all\ndef broken(:\n",
+            path="src/repro/x.py",
+        )
+        assert [f.rule for f in fs] == ["RL000"]
+
+
+class TestNameResolution:
+    def test_aliased_module_chain(self):
+        src = "import numpy.random as nr\nnr.normal(size=3)\n"
+        ctx_findings = lint_source(src, path="src/repro/x.py")
+        assert [f.rule for f in ctx_findings] == ["RL002"]
+
+    def test_unimported_names_do_not_resolve(self):
+        # A local object called `time` is not the stdlib module.
+        src = textwrap.dedent(
+            """
+            def f(time):
+                return time.time()
+            """
+        )
+        assert lint_source(src, path="src/repro/hardware/x.py") == []
+
+    def test_file_context_resolve(self):
+        import ast
+
+        src = "import numpy as np\nx = np.random.default_rng(0)\n"
+        ctx = FileContext("src/repro/x.py", src, ast.parse(src))
+        call = next(
+            n for n in ast.walk(ctx.tree) if isinstance(n, ast.Call)
+        )
+        assert ctx.resolve(call.func) == "numpy.random.default_rng"
+
+
+class TestFindings:
+    def test_render_and_dict_shape(self):
+        fs = lint_source(BAD_WRITE, path="src/repro/x.py")
+        assert len(fs) == 1
+        f = fs[0]
+        assert f.render().startswith("src/repro/x.py:1:")
+        assert "RL005" in f.render()
+        d = f.to_dict()
+        assert set(d) == {
+            "rule", "name", "path", "line", "col", "message", "text",
+        }
+        json.dumps(d)  # JSON-serializable
+
+    def test_findings_sorted_by_location(self):
+        src = "x = hash('b')\n" + BAD_WRITE
+        fs = lint_source(src, path="src/repro/x.py")
+        assert [f.rule for f in fs] == ["RL001", "RL005"]
+        assert fs[0].line < fs[1].line
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_grandfathered(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_WRITE)
+        findings = lint_paths([bad])
+        assert len(findings) == 1
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings)
+        fresh, grandfathered = apply_baseline(
+            findings, load_baseline(baseline_path)
+        )
+        assert fresh == [] and grandfathered == 1
+
+    def test_baseline_is_line_number_independent(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_WRITE)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint_paths([bad]))
+        # Shift the violation down two lines: still grandfathered.
+        bad.write_text("import os\nimport sys\n" + BAD_WRITE)
+        fresh, grandfathered = apply_baseline(
+            lint_paths([bad]), load_baseline(baseline_path)
+        )
+        assert fresh == [] and grandfathered == 1
+
+    def test_new_second_occurrence_still_reported(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_WRITE)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint_paths([bad]))
+        # A second, identical violation appears: exactly one of the two
+        # is grandfathered, the other is fresh.
+        bad.write_text(BAD_WRITE + BAD_WRITE)
+        fresh, grandfathered = apply_baseline(
+            lint_paths([bad]), load_baseline(baseline_path)
+        )
+        assert len(fresh) == 1 and grandfathered == 1
+
+    def test_rejects_foreign_json(self, tmp_path):
+        p = tmp_path / "nope.json"
+        p.write_text('{"some": "thing"}')
+        with pytest.raises(ValueError, match="baseline"):
+            load_baseline(p)
+
+    def test_checked_in_baseline_is_empty(self):
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        baseline = load_baseline(repo / "lint-baseline.json")
+        assert sum(baseline.values()) == 0
+
+
+class TestPathWalking:
+    def test_directory_walk_dedup_and_sort(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        a = tmp_path / "pkg" / "a.py"
+        b = tmp_path / "pkg" / "b.py"
+        a.write_text("x = 1\n")
+        b.write_text("y = 2\n")
+        files = iter_python_files([tmp_path, a])
+        assert files == [a, b]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            iter_python_files(["definitely/not/here"])
+
+    def test_non_python_files_ignored(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("open('x', 'w')")
+        assert iter_python_files([tmp_path]) == []

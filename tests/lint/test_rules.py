@@ -1,0 +1,414 @@
+# repro-lint: disable-file=all  (fixtures below violate rules on purpose)
+"""Per-rule fixtures for ``repro lint``: one known-bad and one
+known-good snippet per rule, including regression fixtures that
+reconstruct the historical bugs verbatim — the pre-PR-4 ``hash()``
+seeding and the pre-PR-8 ``(p+d)-d`` SPSA restore — and assert the
+linter flags each one."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def ids(src, path="src/repro/somemod.py"):
+    """Rule ids found in ``src`` (dedented), reported under ``path``."""
+    return sorted({f.rule for f in lint_source(textwrap.dedent(src), path=path)})
+
+
+def findings(src, path="src/repro/somemod.py"):
+    return lint_source(textwrap.dedent(src), path=path)
+
+
+class TestRL001UnstableSeed:
+    def test_flags_pre_pr4_hash_seeding_verbatim(self):
+        # The exact idiom PR 4 removed: seeds derived via builtin
+        # hash() differ between processes under PYTHONHASHSEED.
+        src = """
+        import numpy as np
+
+        def run_rng(name, run):
+            seed = hash((name, run)) % (2**31)
+            return np.random.default_rng(seed)
+        """
+        fs = findings(src)
+        assert [f.rule for f in fs] == ["RL001"]
+        assert "hash(" in fs[0].text
+        assert "PYTHONHASHSEED" in fs[0].message
+
+    def test_flags_hash_inline_in_seed_kwarg(self):
+        src = """
+        from repro.utils.rng import spawn_rng
+
+        def make(label):
+            return spawn_rng(seed=hash(label))
+        """
+        assert ids(src) == ["RL001"]
+
+    def test_clean_with_stable_seed(self):
+        src = """
+        import numpy as np
+        from repro.utils.rng import stable_seed
+
+        def run_rng(name, run):
+            return np.random.default_rng(stable_seed(name, run))
+        """
+        assert ids(src) == []
+
+    def test_locally_defined_hash_is_not_the_builtin(self):
+        src = """
+        def hash(x):
+            return 0
+
+        def use(x):
+            return hash(x)
+        """
+        assert ids(src) == []
+
+
+class TestRL002GlobalRng:
+    def test_flags_module_level_numpy_random(self):
+        src = """
+        import numpy as np
+
+        def draw(n):
+            np.random.seed(0)
+            return np.random.normal(size=n)
+        """
+        fs = findings(src)
+        assert [f.rule for f in fs] == ["RL002", "RL002"]
+        assert "global RNG" in fs[0].message
+
+    def test_flags_from_import_and_aliased_module(self):
+        assert ids("from numpy.random import normal\n") == ["RL002"]
+        src = """
+        import numpy.random as nr
+
+        def draw(n):
+            return nr.uniform(size=n)
+        """
+        assert ids(src) == ["RL002"]
+
+    def test_flags_legacy_randomstate(self):
+        src = """
+        import numpy as np
+
+        def draw():
+            return np.random.RandomState(0)
+        """
+        fs = findings(src)
+        assert [f.rule for f in fs] == ["RL002"]
+        assert "RandomState" in fs[0].message
+
+    def test_clean_with_threaded_generator(self):
+        src = """
+        import numpy as np
+
+        def draw(n, rng=None):
+            rng = rng if rng is not None else np.random.default_rng(0)
+            return rng.normal(size=n)
+        """
+        assert ids(src) == []
+
+
+class TestRL003FloatRestore:
+    PRE_PR8_SPSA = """
+    def _perturbed_error(factory, target, params, deltas, sign):
+        for p, d in zip(params, deltas):
+            p.data += sign * d
+        err = _chip_error(factory, target)
+        for p, d in zip(params, deltas):
+            p.data -= sign * d
+        return err
+    """
+
+    def test_flags_pre_pr8_spsa_restore_verbatim(self):
+        # The exact idiom PR 8 removed: (p+d)-d does not round-trip in
+        # floating point, so every SPSA evaluation drifted the phases.
+        fs = findings(self.PRE_PR8_SPSA)
+        assert [f.rule for f in fs] == ["RL003"]
+        assert "-=" in fs[0].text  # flagged at the restoring subtract
+
+    def test_flags_spelled_out_binop_form(self):
+        src = """
+        def probe(p, d):
+            p.data = p.data + d
+            err = measure(p)
+            p.data = p.data - d
+            return err
+        """
+        assert ids(src) == ["RL003"]
+
+    def test_flags_subtract_then_add_order(self):
+        src = """
+        def probe(p, d):
+            p.data -= d
+            err = measure(p)
+            p.data += d
+            return err
+        """
+        assert ids(src) == ["RL003"]
+
+    def test_clean_restore_from_copy(self):
+        src = """
+        def _perturbed_error(factory, target, params, deltas, sign):
+            saved = [p.data.copy() for p in params]
+            for p, d in zip(params, deltas):
+                p.data += sign * d
+            err = _chip_error(factory, target)
+            for p, s in zip(params, saved):
+                p.data = s
+            return err
+        """
+        assert ids(src) == []
+
+    def test_integer_counters_are_not_flagged(self):
+        src = """
+        def count(self):
+            self.depth += 1
+            walk(self)
+            self.depth -= 1
+        """
+        assert ids(src) == []
+
+
+class TestRL004ModeLeak:
+    def test_flags_eval_without_restore(self):
+        src = """
+        def score(model, data):
+            model.eval()
+            return sum(model(x) for x in data)
+        """
+        fs = findings(src)
+        assert [f.rule for f in fs] == ["RL004"]
+        assert "try/finally" in fs[0].message
+
+    def test_clean_with_try_finally_restore(self):
+        src = """
+        def score(model, data):
+            prior = model.training
+            try:
+                model.eval()
+                return sum(model(x) for x in data)
+            finally:
+                model.train(prior)
+        """
+        assert ids(src) == []
+
+    def test_mode_transition_api_itself_is_exempt(self):
+        src = """
+        class Module:
+            def train(self, mode=True):
+                for m in self.children():
+                    m.train(mode)
+                return self
+
+            def eval(self):
+                return self.train(False)
+        """
+        assert ids(src) == []
+
+    def test_constructor_setting_own_mode_is_exempt(self):
+        src = """
+        class View:
+            def __init__(self, model):
+                self.base = model
+                self.train(model.training)
+        """
+        assert ids(src) == []
+
+    def test_constructor_touching_another_object_is_flagged(self):
+        src = """
+        class View:
+            def __init__(self, model):
+                model.eval()
+        """
+        assert ids(src) == ["RL004"]
+
+
+class TestRL005NonAtomicWrite:
+    def test_flags_bare_write_open(self):
+        src = """
+        def publish(path, text):
+            with open(path, "w") as f:
+                f.write(text)
+        """
+        fs = findings(src)
+        assert [f.rule for f in fs] == ["RL005"]
+        assert "atomic_write" in fs[0].message
+
+    def test_flags_keyword_mode_and_binary(self):
+        src = """
+        def publish(path, data):
+            f = open(path, mode="wb")
+            f.write(data)
+            f.close()
+        """
+        assert ids(src) == ["RL005"]
+
+    def test_read_open_is_clean(self):
+        src = """
+        def load(path):
+            with open(path) as f:
+                return f.read()
+        """
+        assert ids(src) == []
+
+    def test_serialization_module_is_exempt(self):
+        src = """
+        def atomic_write_bytes(path, data):
+            with open(path, "wb") as f:
+                f.write(data)
+        """
+        assert ids(src, path="src/repro/utils/serialization.py") == []
+
+    def test_clean_via_atomic_helper(self):
+        src = """
+        from repro.utils.serialization import atomic_write_text
+
+        def publish(path, text):
+            atomic_write_text(path, text)
+        """
+        assert ids(src) == []
+
+
+class TestRL006WallClock:
+    def test_flags_time_time_in_hardware(self):
+        src = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        fs = findings(src, path="src/repro/hardware/clock.py")
+        assert [f.rule for f in fs] == ["RL006"]
+        assert "virtual clock" in fs[0].message
+
+    def test_flags_datetime_now_in_core(self):
+        src = """
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+        """
+        assert ids(src, path="src/repro/core/run.py") == ["RL006"]
+
+    def test_wall_clock_fine_outside_deterministic_dirs(self):
+        src = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        assert ids(src, path="src/repro/service/clock.py") == []
+
+    def test_injected_now_is_clean(self):
+        src = """
+        def advance(state, now=None):
+            return state.at(now)
+        """
+        assert ids(src, path="src/repro/hardware/drift2.py") == []
+
+
+class TestRL007RawQueueTransition:
+    def test_flags_raw_status_update(self):
+        src = """
+        def force_done(conn, job_id):
+            conn.execute("UPDATE jobs SET status='done' WHERE id=?", (job_id,))
+        """
+        fs = findings(src, path="src/repro/service/tools.py")
+        assert [f.rule for f in fs] == ["RL007"]
+        assert "queue.py" in fs[0].message
+
+    def test_flags_raw_shard_insert(self):
+        src = """
+        def inject(conn, job_id, payload):
+            conn.execute("INSERT INTO shards (job_id, payload) VALUES (?,?)",
+                         (job_id, payload))
+        """
+        assert ids(src, path="src/repro/service/tools.py") == ["RL007"]
+
+    def test_queue_module_is_exempt(self):
+        src = """
+        def _transition_job(conn, job_id, new, now):
+            conn.execute("UPDATE jobs SET status=?, updated=? WHERE id=?",
+                         (new, now, job_id))
+        """
+        assert ids(src, path="src/repro/service/queue.py") == []
+
+    def test_docstring_mentioning_sql_is_clean(self):
+        src = '''
+        def helper():
+            """Never write UPDATE jobs SET status=... by hand."""
+            return None
+        '''
+        assert ids(src, path="src/repro/service/tools.py") == []
+
+    def test_unrelated_tables_are_clean(self):
+        src = """
+        def tally(conn):
+            conn.execute("UPDATE metrics SET status='x' WHERE 1")
+        """
+        assert ids(src, path="src/repro/service/tools.py") == []
+
+
+class TestRL008CliExitContract:
+    def test_flags_swallowed_failure(self):
+        src = """
+        def cmd_run(args):
+            try:
+                work(args)
+            except Exception:
+                print("failed")
+            return 0
+        """
+        fs = findings(src, path="src/repro/cli.py")
+        assert [f.rule for f in fs] == ["RL008"]
+        assert "exit 0" in fs[0].message
+
+    def test_clean_when_returning_nonzero(self):
+        src = """
+        import sys
+
+        def cmd_run(args):
+            try:
+                work(args)
+            except Exception as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            return 0
+        """
+        assert ids(src, path="src/repro/cli.py") == []
+
+    def test_clean_when_reraising(self):
+        src = """
+        def cmd_run(args):
+            try:
+                work(args)
+            except Exception:
+                cleanup()
+                raise
+            return 0
+        """
+        assert ids(src, path="src/repro/cli.py") == []
+
+    def test_narrow_handlers_are_fine(self):
+        src = """
+        def cmd_run(args):
+            try:
+                work(args)
+            except KeyError:
+                return fallback(args)
+            return 0
+        """
+        assert ids(src, path="src/repro/cli.py") == []
+
+    def test_only_cli_modules_are_in_scope(self):
+        src = """
+        def cmd_run(args):
+            try:
+                work(args)
+            except Exception:
+                pass
+            return 0
+        """
+        assert ids(src, path="src/repro/service/workers.py") == []

@@ -1,0 +1,30 @@
+"""The linter gates its own repository: ``src/repro`` must be clean.
+
+This is the acceptance bar of the lint subsystem — every rule runs
+over the real tree with an *empty* baseline, so any regression of a
+bug class the project has already paid for (unstable seeds, torn
+writes, mode leaks, raw queue transitions ...) fails tier-1 here
+before it can corrupt a result.
+"""
+
+from pathlib import Path
+
+from repro.lint import available_rules, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+class TestSelfHosted:
+    def test_src_repro_is_clean(self):
+        findings = lint_paths([SRC])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_all_rules_ran(self):
+        # The clean result above must come from the full rule set, not
+        # an accidentally empty registry.
+        assert len(available_rules()) >= 8
+
+    def test_lint_package_lints_itself(self):
+        findings = lint_paths([SRC / "lint"])
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -216,6 +216,65 @@ class TestExitCodes:
         assert "error:" in proc.stderr
 
 
+class TestLintCLI:
+    """Subprocess tests pinning the ``repro lint`` exit contract."""
+
+    BAD = 'with open("out.json", "w") as f:\n    f.write("{}")\n'
+
+    def test_clean_tree_exits_zero(self):
+        proc = _run_cli("lint", "src/repro")
+        assert proc.returncode == 0
+        assert "0 finding(s)" in proc.stdout
+
+    def test_findings_exit_one(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        proc = _run_cli("lint", str(bad))
+        assert proc.returncode == 1
+        assert "RL005" in proc.stdout
+
+    def test_unknown_format_is_usage_error(self):
+        proc = _run_cli("lint", "--format", "xml", "src/repro")
+        assert proc.returncode == 2
+
+    def test_unknown_rule_fails(self):
+        proc = _run_cli("lint", "--rules", "RL999", "src/repro")
+        assert proc.returncode == 1
+        assert proc.stderr.startswith("error:")
+        assert "RL999" in proc.stderr
+
+    def test_missing_path_fails(self, tmp_path):
+        proc = _run_cli("lint", str(tmp_path / "nope"))
+        assert proc.returncode == 1
+        assert proc.stderr.startswith("error:")
+
+    def test_json_output_round_trips(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        proc = _run_cli("lint", "--format", "json", str(bad))
+        assert proc.returncode == 1
+        report = json.loads(proc.stdout)
+        assert report["n_findings"] == 1
+        assert report["findings"][0]["rule"] == "RL005"
+        assert report["findings"][0]["path"].endswith("bad.py")
+
+    def test_list_rules(self):
+        proc = _run_cli("lint", "--list-rules")
+        assert proc.returncode == 0
+        assert "RL001" in proc.stdout and "RL008" in proc.stdout
+
+    def test_baseline_round_trip(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        baseline = tmp_path / "baseline.json"
+        proc = _run_cli("lint", str(bad), "--write-baseline", str(baseline))
+        assert proc.returncode == 0
+        assert baseline.exists()
+        proc = _run_cli("lint", str(bad), "--baseline", str(baseline))
+        assert proc.returncode == 0
+        assert "grandfathered" in proc.stdout
+
+
 class TestChipCommands:
     def test_bench_reports_speedup(self, capsys):
         rc = main(["chip", "bench", "--requests", "48", "--k", "6",

@@ -1,0 +1,62 @@
+"""RL005 regression: ``TraceLogger.save`` publishes atomically.
+
+Before this fix the CSV path went through a bare ``open(path, "w")``:
+a crash (or a concurrent reader) mid-write left a torn file that
+parsed as a truncated run.  Saves now render in memory and publish via
+``atomic_write_text`` (same-directory tmp + ``os.replace``), so a
+crash *between the write and the rename* leaves the previous complete
+trace untouched.
+"""
+
+import pytest
+
+import repro.utils.serialization as serialization
+from repro.utils.logging import TraceLogger
+
+
+def _logger(values):
+    log = TraceLogger()
+    for v in values:
+        log.log(loss=v)
+    return log
+
+
+class TestAtomicTraceSave:
+    @pytest.mark.parametrize("suffix", [".csv", ".json"])
+    def test_crash_between_write_and_rename_keeps_old_file(
+        self, tmp_path, monkeypatch, suffix
+    ):
+        path = tmp_path / f"trace{suffix}"
+        _logger([1.0, 2.0]).save(path)
+        before = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash between write and rename")
+
+        monkeypatch.setattr(serialization.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            _logger([9.0]).save(path)
+        monkeypatch.undo()
+
+        # The previous complete trace survives, byte for byte, and the
+        # failed attempt leaves no temp-file litter behind.
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]
+        assert TraceLogger.load(path).series("loss") == [1.0, 2.0]
+
+    def test_csv_bytes_unchanged_by_atomic_path(self, tmp_path):
+        # The rendered CSV is identical to what the old open(path, "w")
+        # writer produced (header + \r\n rows), so existing consumers
+        # and load() see the same bytes.
+        path = tmp_path / "trace.csv"
+        log = TraceLogger()
+        log.log(a=1.5, b=0.25)
+        log.log(a=2.5)
+        log.save(path)
+        assert path.read_bytes() == b"step,a,b\r\n0,1.5,0.25\r\n1,2.5,\r\n"
+
+    def test_overwrite_replaces_content(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _logger([1.0]).save(path)
+        _logger([5.0, 6.0]).save(path)
+        assert TraceLogger.load(path).series("loss") == [5.0, 6.0]
