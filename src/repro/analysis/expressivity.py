@@ -182,7 +182,11 @@ def unitary_expressivity(
         factory = make_factory()
         seed = int(rng.integers(0, 2**31 - 1))
         target = unitary_group.rvs(factory.k, random_state=seed)
-        res = fit_unitary(factory, target, steps=steps, lr=lr)
+        # The fit rng must derive from the caller's rng too: falling
+        # back to the library-wide generator here made the score depend
+        # on unrelated earlier draws in the process.
+        res = fit_unitary(factory, target, steps=steps, lr=lr,
+                          rng=np.random.default_rng(seed))
         errors.append(res.error)
         fids.append(res.fidelity)
     return FitResult(error=float(np.mean(errors)), fidelity=float(np.mean(fids)),

@@ -1,0 +1,52 @@
+"""Declarative experiment campaigns: one config-driven sweep engine.
+
+A *campaign* is a JSON-serializable declaration of an experiment
+matrix — a result *kind* (which cell runner computes one point), a set
+of *axes* (named value lists whose cross product spans the matrix),
+shared *base* parameters, and optional *excludes* — plus the artifact
+formats the aggregate report should emit.  The engine:
+
+* :class:`CampaignSpec` — the declaration, with a lossless dict/JSON
+  round-trip through :func:`repro.utils.serialization.canonical_json_dumps`
+  and a blake2b content address (``campaign_id``);
+* :func:`expand` — deterministic enumeration of the matrix into
+  content-addressed :class:`CampaignCell`\\ s (the ``service/jobs.py``
+  id scheme applied per cell);
+* :func:`run_campaign` — execute every cell inline, or sharded through
+  the persistent design-service queue (kill-safe resume for free) via
+  the ``campaign`` job kind;
+* :func:`aggregate` / :func:`write_artifacts` — one tabular report per
+  campaign, rendered to CSV / markdown / ascii plots through the
+  consolidated writers in :mod:`repro.experiments.report`.
+
+The legacy ``run_*_study`` entry points in
+:mod:`repro.experiments.extensions` and the fig4/fig5 sweeps are thin
+shims over this engine (see ``examples/campaigns/*.json`` and
+``docs/CAMPAIGNS.md``); parity tests pin the shims byte-identical to
+the pre-redesign loops.
+"""
+
+from .aggregate import CampaignReport, aggregate, report_csv, report_markdown, report_plot, write_artifacts
+from .executor import CampaignRun, campaign_job_params, run_campaign, run_from_job_result
+from .runners import CellRunner, available_runners, get_runner, register_runner
+from .spec import CampaignCell, CampaignSpec, expand
+
+__all__ = [
+    "CampaignCell",
+    "CampaignReport",
+    "CampaignRun",
+    "CampaignSpec",
+    "CellRunner",
+    "aggregate",
+    "available_runners",
+    "campaign_job_params",
+    "expand",
+    "get_runner",
+    "register_runner",
+    "report_csv",
+    "report_markdown",
+    "report_plot",
+    "run_campaign",
+    "run_from_job_result",
+    "write_artifacts",
+]

@@ -1,0 +1,102 @@
+"""Campaign aggregation and artifact emission.
+
+The report layer is pure presentation: :func:`aggregate` folds the
+cell results into one flat table (in cell order, so the bytes are
+reproducible), and the renderers delegate to the consolidated
+table/CSV writers in :mod:`repro.experiments.report` — the same
+writers the legacy tables print through.  :func:`write_artifacts`
+publishes everything with atomic writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..utils.serialization import atomic_write_text, canonical_json_dumps
+from .executor import CampaignRun
+from .runners import get_runner
+from .spec import CampaignSpec
+
+__all__ = [
+    "CampaignReport",
+    "aggregate",
+    "report_csv",
+    "report_markdown",
+    "report_plot",
+    "write_artifacts",
+]
+
+
+@dataclass
+class CampaignReport:
+    """The flat result table of one executed campaign."""
+
+    spec: CampaignSpec
+    columns: List[str]
+    rows: List[dict]
+
+
+def aggregate(run: CampaignRun) -> CampaignReport:
+    """Fold cell results into the campaign's report table."""
+    runner = get_runner(run.spec.kind)
+    rows: List[dict] = []
+    for cell, result in zip(run.cells, run.results):
+        rows.extend(runner.rows(cell.coords, result))
+    return CampaignReport(spec=run.spec, columns=list(runner.columns),
+                          rows=rows)
+
+
+def report_csv(report: CampaignReport) -> str:
+    from ..experiments.report import rows_to_csv
+
+    return rows_to_csv(report.columns, report.rows)
+
+
+def report_markdown(report: CampaignReport) -> str:
+    from ..experiments.report import rows_to_markdown
+
+    title = f"campaign {report.spec.name} ({report.spec.kind})"
+    return rows_to_markdown(report.columns, report.rows, title=title)
+
+
+def report_plot(report: CampaignReport) -> Optional[str]:
+    """Ascii rendering of the report, if the kind declares one."""
+    runner = get_runner(report.spec.kind)
+    if runner.plot is None or not report.rows:
+        return None
+    return runner.plot(report.rows)
+
+
+def write_artifacts(run: CampaignRun, out_dir: Union[str, Path]) -> List[Path]:
+    """Publish the campaign's artifacts under ``out_dir``.
+
+    Always writes ``campaign.json`` (the canonical spec) and
+    ``result.json`` (the canonical cell results); the spec's
+    ``artifacts`` list selects ``cells.csv``, ``report.md``, and
+    ``plot.txt`` on top.  Every file is written atomically and the
+    bytes depend only on the spec — reproducible across processes and
+    worker counts.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    report = aggregate(run)
+    written: List[Path] = []
+
+    def emit(name: str, text: str) -> None:
+        path = out_dir / name
+        atomic_write_text(path, text)
+        written.append(path)
+
+    emit("campaign.json", run.spec.to_json() + "\n")
+    emit("result.json", canonical_json_dumps(run.to_dict()) + "\n")
+    if "csv" in run.spec.artifacts:
+        emit("cells.csv", report_csv(report))
+    if "markdown" in run.spec.artifacts:
+        emit("report.md", report_markdown(report) + "\n")
+    if "plot" in run.spec.artifacts:
+        plot = report_plot(report)
+        if plot is not None:
+            emit("plot.txt", plot + "\n")
+    return written

@@ -1,0 +1,396 @@
+"""Builtin campaign kinds — one per experiment family.
+
+Each runner delegates to the per-cell unit the experiment modules
+already expose (``mesh_noise_curve``, ``alm_scan_point``,
+``*_cell`` in :mod:`repro.experiments.extensions`), so the campaign
+engine and the legacy entry points execute the *same* science code and
+agree byte-for-byte at a fixed seed (pinned by
+``tests/campaign/test_campaign_parity.py``).  Heavy experiment imports happen
+inside ``run`` so importing the registry stays cheap.
+
+Kinds
+-----
+``fig4-noise``
+    Paper Fig. 4: variation-aware-train one mesh, sweep inference
+    phase noise.  Axis: ``mesh`` (a name resolved through the
+    ``meshes`` map in ``base``).
+``alm-scan`` / ``penalty-scan``
+    Paper Fig. 5(a)/(b) ablation scans.  Axis: ``rho0`` / ``beta``.
+``expressivity`` / ``quantization`` / ``power`` / ``nonideality`` /
+``search-ablation``
+    The extension studies of :mod:`repro.experiments.extensions`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .runners import CellRunner, register_runner
+
+__all__: List[str] = []
+
+
+def _params(params: dict, defaults: dict) -> dict:
+    """Defaults-merged params, rejecting unknown keys (the same
+    contract as the service handlers' ``_with_defaults``)."""
+    unknown = set(params) - set(defaults)
+    if unknown:
+        raise ValueError(f"unknown params {sorted(unknown)}; "
+                         f"expected a subset of {sorted(defaults)}")
+    merged = dict(defaults)
+    merged.update(params)
+    return merged
+
+
+def _require(p: dict, *keys: str) -> None:
+    for key in keys:
+        if p[key] is None:
+            raise ValueError(f"campaign cell requires params[{key!r}]")
+
+
+def _bar(rows: List[dict], label_key: str, value_key: str, title: str,
+         unit: str = "") -> str:
+    from ..utils.ascii_plot import bar_chart
+
+    return bar_chart([str(r[label_key]) for r in rows],
+                     [float(r[value_key]) for r in rows],
+                     title=title, unit=unit)
+
+
+# ----------------------------------------------------------------------
+# fig4-noise: one mesh trained once, noise sweep inside the cell
+# ----------------------------------------------------------------------
+#
+# noise_std deliberately lives *inside* the cell rather than on an
+# axis: the legacy Fig. 4 unit trains one model per mesh and sweeps
+# noise over that same model, so a per-sigma cell would retrain per
+# sigma and change the numbers.  The report still carries one row per
+# (mesh, sigma).
+
+_FIG4_DEFAULTS = {
+    "mesh": None,                # axis: mesh name, resolved via `meshes`
+    "meshes": None,              # {name: "mzi"|"butterfly"|topology dict}
+    "part": "a",
+    "k": 16,
+    "scale": None,               # ExperimentScale field overrides
+    "noise_stds": [0.02, 0.04, 0.06, 0.08, 0.10],
+    "backend": "fast",
+}
+
+
+def _fig4_run(params: dict) -> dict:
+    from ..experiments.common import ExperimentScale
+    from ..experiments.fig4 import mesh_noise_curve
+    from ..service.handlers import resolve_mesh
+
+    p = _params(params, _FIG4_DEFAULTS)
+    _require(p, "mesh", "meshes")
+    if p["mesh"] not in p["meshes"]:
+        raise ValueError(f"mesh {p['mesh']!r} has no entry in params['meshes']")
+    curve = mesh_noise_curve(
+        p["part"], p["mesh"], resolve_mesh(p["meshes"][p["mesh"]]),
+        int(p["k"]), ExperimentScale(**(p["scale"] or {})),
+        [float(s) for s in p["noise_stds"]], p["backend"],
+    )
+    return {"curve": [[float(v) for v in point] for point in curve]}
+
+
+def _fig4_rows(coords: dict, result: dict) -> List[dict]:
+    return [
+        {"mesh": coords["mesh"], "noise_std": s, "mean_acc_percent": m,
+         "std_acc_percent": sd}
+        for s, m, sd in result["curve"]
+    ]
+
+
+def _fig4_plot(rows: List[dict]) -> str:
+    from ..utils.ascii_plot import line_plot
+
+    series = {}
+    for r in rows:
+        xs, ys = series.setdefault(r["mesh"], ([], []))
+        xs.append(r["noise_std"])
+        ys.append(r["mean_acc_percent"])
+    return line_plot(series, title="mean accuracy (%) vs phase-noise sigma",
+                     x_label="noise_std")
+
+
+register_runner(CellRunner(
+    kind="fig4-noise",
+    run=_fig4_run,
+    columns=("mesh", "noise_std", "mean_acc_percent", "std_acc_percent"),
+    rows=_fig4_rows,
+    plot=_fig4_plot,
+    description="Fig. 4 noise-robustness curve, one cell per mesh",
+))
+
+
+# ----------------------------------------------------------------------
+# alm-scan / penalty-scan: Fig. 5 ablations, one cell per scan point
+# ----------------------------------------------------------------------
+
+_ALM_DEFAULTS = {
+    "rho0": None,                # axis
+    "k": 8,
+    "n_blocks": 6,
+    "steps": 600,
+    "seed": 0,
+}
+
+
+def _alm_run(params: dict) -> dict:
+    from ..experiments.fig5 import alm_scan_point
+
+    p = _params(params, _ALM_DEFAULTS)
+    _require(p, "rho0")
+    trace = alm_scan_point(float(p["rho0"]), k=int(p["k"]),
+                           n_blocks=int(p["n_blocks"]), steps=int(p["steps"]),
+                           seed=int(p["seed"]))
+    return {
+        "perm_error": [float(v) for v in trace.perm_error],
+        "mean_lambda": [float(v) for v in trace.mean_lambda],
+    }
+
+
+def _alm_rows(coords: dict, result: dict) -> List[dict]:
+    return [{
+        "rho0": coords["rho0"],
+        "perm_error_first": result["perm_error"][0],
+        "perm_error_final": result["perm_error"][-1],
+        "lambda_final": result["mean_lambda"][-1],
+    }]
+
+
+register_runner(CellRunner(
+    kind="alm-scan",
+    run=_alm_run,
+    columns=("rho0", "perm_error_first", "perm_error_final", "lambda_final"),
+    rows=_alm_rows,
+    plot=lambda rows: _bar(rows, "rho0", "perm_error_final",
+                           title="final permutation error vs rho0"),
+    description="Fig. 5(a) ALM rho0 scan, one cell per rho0",
+))
+
+
+_PENALTY_DEFAULTS = {
+    "beta": None,                # axis
+    "k": 8,
+    "window_kum2": [240.0, 300.0],
+    "steps": 150,
+    "seed": 0,
+}
+
+
+def _penalty_run(params: dict) -> dict:
+    from ..experiments.fig5 import penalty_scan_point
+
+    p = _params(params, _PENALTY_DEFAULTS)
+    _require(p, "beta")
+    lo, hi = p["window_kum2"]
+    trace = penalty_scan_point(float(p["beta"]), k=int(p["k"]),
+                               window_kum2=(float(lo), float(hi)),
+                               steps=int(p["steps"]), seed=int(p["seed"]))
+    return {
+        "expected_footprint": [float(v) for v in trace.expected_footprint],
+        "penalty_over_beta": [float(v) for v in trace.penalty_over_beta],
+        "window": [float(w) for w in trace.window],
+    }
+
+
+def _penalty_rows(coords: dict, result: dict) -> List[dict]:
+    lo, hi = result["window"]
+    final = result["expected_footprint"][-1]
+    return [{
+        "beta": coords["beta"],
+        "ef_first": result["expected_footprint"][0],
+        "ef_final": final,
+        "in_window": lo <= final <= hi,
+    }]
+
+
+register_runner(CellRunner(
+    kind="penalty-scan",
+    run=_penalty_run,
+    columns=("beta", "ef_first", "ef_final", "in_window"),
+    rows=_penalty_rows,
+    plot=lambda rows: _bar(rows, "beta", "ef_final",
+                           title="final E[F] (um^2) vs beta"),
+    description="Fig. 5(b) footprint-penalty beta scan, one cell per beta",
+))
+
+
+# ----------------------------------------------------------------------
+# extension studies
+# ----------------------------------------------------------------------
+
+_EXPRESSIVITY_DEFAULTS = {
+    "design": None,              # axis: mzi | fft | adept-a1 | adept-a5
+    "k": 8,
+    "pdk": "amf",
+    "steps": 400,
+    "n_targets": 2,
+    "seed": 0,
+}
+
+
+def _expressivity_run(params: dict) -> dict:
+    from ..experiments.extensions import expressivity_cell
+
+    p = _params(params, _EXPRESSIVITY_DEFAULTS)
+    _require(p, "design")
+    return expressivity_cell(p["design"], k=int(p["k"]), pdk=p["pdk"],
+                             steps=int(p["steps"]),
+                             n_targets=int(p["n_targets"]), seed=int(p["seed"]))
+
+
+register_runner(CellRunner(
+    kind="expressivity",
+    run=_expressivity_run,
+    columns=("design", "error", "fidelity", "footprint_kum2"),
+    rows=lambda coords, result: [{"design": coords["design"], **result}],
+    plot=lambda rows: _bar(rows, "design", "error",
+                           title="unitary-fit error per design"),
+    description="unitary-fit expressivity per PTC family, one cell per design",
+))
+
+
+_QUANTIZATION_DEFAULTS = {
+    "bits": None,                # axis
+    "k": 8,
+    "steps": 400,
+    "seed": 0,
+}
+
+
+def _quantization_run(params: dict) -> dict:
+    from ..experiments.extensions import quantization_cell
+
+    p = _params(params, _QUANTIZATION_DEFAULTS)
+    _require(p, "bits")
+    return quantization_cell(int(p["bits"]), k=int(p["k"]),
+                             steps=int(p["steps"]), seed=int(p["seed"]))
+
+
+def _quantization_plot(rows: List[dict]) -> str:
+    from ..utils.ascii_plot import line_plot
+
+    bits = [float(r["bits"]) for r in rows]
+    return line_plot(
+        {"ptq": (bits, [float(r["ptq_error"]) for r in rows]),
+         "qat": (bits, [float(r["qat_error"]) for r in rows])},
+        title="fit error vs phase bit width", x_label="bits",
+    )
+
+
+register_runner(CellRunner(
+    kind="quantization",
+    run=_quantization_run,
+    columns=("bits", "full_precision_error", "ptq_error", "qat_error"),
+    rows=lambda coords, result: [{"bits": coords["bits"], **result}],
+    plot=_quantization_plot,
+    description="PTQ vs QAT low-bit phase control, one cell per bit width",
+))
+
+
+_POWER_DEFAULTS = {
+    "design": None,              # axis: mzi | fft | adept
+    "k": 8,
+    "pdk": "amf",
+    "window_kum2": [240.0, 300.0],
+    "seed": 0,
+}
+
+
+def _power_run(params: dict) -> dict:
+    from ..experiments.extensions import power_cell
+
+    p = _params(params, _POWER_DEFAULTS)
+    _require(p, "design")
+    lo, hi = p["window_kum2"]
+    return power_cell(p["design"], k=int(p["k"]), pdk=p["pdk"],
+                      window_kum2=(float(lo), float(hi)), seed=int(p["seed"]))
+
+
+register_runner(CellRunner(
+    kind="power",
+    run=_power_run,
+    columns=("design", "total_power_mw", "latency_ps", "energy_per_mac_fj",
+             "worst_loss_db"),
+    rows=lambda coords, result: [{"design": coords["design"], **result}],
+    plot=lambda rows: _bar(rows, "design", "total_power_mw",
+                           title="electrical power per design", unit=" mW"),
+    description="link-budget power/latency per design, one cell per design",
+))
+
+
+_NONIDEALITY_DEFAULTS = {
+    "nonideality": None,         # axis: phase-noise | insertion-loss | ...
+    "k": 8,
+    "shallow_blocks": 3,
+    "deep_blocks": 16,
+    "n_trials": 8,
+    "seed": 0,
+}
+
+
+def _nonideality_run(params: dict) -> dict:
+    from ..experiments.extensions import nonideality_cell
+
+    p = _params(params, _NONIDEALITY_DEFAULTS)
+    _require(p, "nonideality")
+    return nonideality_cell(p["nonideality"], k=int(p["k"]),
+                            shallow_blocks=int(p["shallow_blocks"]),
+                            deep_blocks=int(p["deep_blocks"]),
+                            n_trials=int(p["n_trials"]), seed=int(p["seed"]))
+
+
+register_runner(CellRunner(
+    kind="nonideality",
+    run=_nonideality_run,
+    columns=("nonideality", "shallow_fidelity", "deep_fidelity"),
+    rows=lambda coords, result: [
+        {"nonideality": coords["nonideality"], **result}
+    ],
+    plot=lambda rows: _bar(rows, "nonideality", "deep_fidelity",
+                           title="deep-mesh fidelity per nonideality"),
+    description="shallow vs deep fidelity, one cell per nonideality",
+))
+
+
+_SEARCH_ABLATION_DEFAULTS = {
+    "method": None,              # axis: adept | random | evolutionary
+    "k": 8,
+    "pdk": "amf",
+    "window_kum2": [240.0, 300.0],
+    "budget": 12,
+    "scale": None,               # ExperimentScale field overrides
+    "seed": 0,
+}
+
+
+def _search_ablation_run(params: dict) -> dict:
+    from ..experiments.extensions import search_method_cell
+
+    p = _params(params, _SEARCH_ABLATION_DEFAULTS)
+    _require(p, "method")
+    lo, hi = p["window_kum2"]
+    return search_method_cell(p["method"], k=int(p["k"]), pdk=p["pdk"],
+                              window_kum2=(float(lo), float(hi)),
+                              budget=int(p["budget"]), scale=p["scale"],
+                              seed=int(p["seed"]))
+
+
+register_runner(CellRunner(
+    kind="search-ablation",
+    run=_search_ablation_run,
+    columns=("method", "score", "footprint_um2", "feasible"),
+    rows=lambda coords, result: [{
+        "method": coords["method"],
+        "score": result["score"],
+        "footprint_um2": result["footprint_um2"],
+        "feasible": result["feasible"],
+    }],
+    plot=lambda rows: _bar(rows, "method", "score",
+                           title="expressivity score per search method"),
+    description="ADEPT vs black-box search, one cell per method",
+))

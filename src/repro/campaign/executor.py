@@ -1,0 +1,133 @@
+"""Campaign execution: inline loop or service-sharded pool.
+
+Both routes produce the same :class:`CampaignRun` — cell results in
+cell-index order — because cells are pure functions of their params
+and the decomposition is pure data.  The service route submits one
+``campaign`` job (one shard per cell) into the persistent queue of
+:mod:`repro.service`, inheriting its crash recovery: a SIGKILLed
+worker's shard lease expires and another worker re-runs the cell,
+with byte-identical aggregate artifacts (pinned by
+``tests/campaign/test_campaign_resume.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .runners import get_runner
+from .spec import CampaignCell, CampaignSpec, expand
+
+__all__ = ["CampaignRun", "campaign_job_params", "run_campaign",
+           "run_from_job_result"]
+
+
+@dataclass
+class CampaignRun:
+    """An executed campaign: cells and their results, in cell order."""
+
+    spec: CampaignSpec
+    cells: List[CampaignCell]
+    results: List[dict]
+
+    def result_for(self, **coords) -> dict:
+        """The result of the cell with exactly these coordinates."""
+        for cell, result in zip(self.cells, self.results):
+            if cell.coords == coords:
+                return result
+        raise KeyError(f"no cell with coords {coords!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-native payload — the canonical result artifact."""
+        return {
+            "campaign_id": self.spec.campaign_id,
+            "name": self.spec.name,
+            "kind": self.spec.kind,
+            "cells": [
+                {"cell_id": c.cell_id, "coords": c.coords, "result": r}
+                for c, r in zip(self.cells, self.results)
+            ],
+        }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    n_workers: int = 0,
+    root: Optional[Union[str, Path]] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    timeout: Optional[float] = None,
+) -> CampaignRun:
+    """Execute every cell of ``spec`` and return the ordered results.
+
+    With ``root=None`` the cells run inline in this process;
+    ``cache_dir`` optionally scopes the shared on-disk unitary cache
+    (:mod:`repro.ptc.cache`) to the run so repeated builds are reused
+    across cells (the previous setting is restored on exit).
+
+    With a ``root`` the campaign is submitted to the design service
+    rooted there as one ``campaign`` job and drained by a local pool
+    of ``n_workers`` processes (``0`` = in-process worker); submission
+    is idempotent and a partially finished campaign resumes instead of
+    recomputing.  The service pool shares its own unitary cache under
+    ``root/unitary-cache``.
+    """
+    spec.validate()
+    if root is not None:
+        return _run_via_service(spec, root, n_workers, timeout)
+
+    runner = get_runner(spec.kind)
+    cells = expand(spec)
+    if cache_dir is None:
+        results = [runner.run(cell.params) for cell in cells]
+    else:
+        from ..ptc.cache import set_unitary_cache_dir
+
+        prev = set_unitary_cache_dir(cache_dir)
+        try:
+            results = [runner.run(cell.params) for cell in cells]
+        finally:
+            set_unitary_cache_dir(prev)
+    return CampaignRun(spec=spec, cells=cells, results=results)
+
+
+def campaign_job_params(spec: CampaignSpec) -> dict:
+    """The ``campaign`` job-kind params for ``spec`` (also the route to
+    its content-addressed job id via :class:`repro.service.JobSpec`)."""
+    return {"spec": spec.to_dict()}
+
+
+def run_from_job_result(spec: CampaignSpec, job_result: dict) -> CampaignRun:
+    """Rebuild a :class:`CampaignRun` from a ``campaign`` job's result."""
+    if job_result.get("campaign_id") != spec.campaign_id:
+        raise ValueError(
+            "job result does not belong to this campaign spec "
+            f"(result campaign_id {job_result.get('campaign_id')!r}, "
+            f"spec {spec.campaign_id!r})"
+        )
+    cells = expand(spec)
+    by_id = {entry["cell_id"]: entry for entry in job_result["cells"]}
+    results = []
+    for cell in cells:
+        if cell.cell_id not in by_id:
+            raise ValueError(f"job result is missing cell {cell.cell_id}")
+        results.append(by_id[cell.cell_id]["result"])
+    return CampaignRun(spec=spec, cells=cells, results=results)
+
+
+def _run_via_service(
+    spec: CampaignSpec,
+    root: Union[str, Path],
+    n_workers: int,
+    timeout: Optional[float],
+) -> CampaignRun:
+    from ..service import DesignService
+
+    svc = DesignService(root)
+    try:
+        job_id = svc.submit("campaign", campaign_job_params(spec))
+        svc.run(n_workers=n_workers, timeout=timeout)
+        result = svc.result(job_id)
+    finally:
+        svc.close()
+    return run_from_job_result(spec, result)

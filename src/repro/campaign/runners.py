@@ -1,0 +1,72 @@
+"""Cell-runner registry: what one campaign cell computes.
+
+Mirrors the job-kind registry in :mod:`repro.service.jobs`: each
+campaign ``kind`` registers a :class:`CellRunner` whose functions are
+pure — ``run`` maps a JSON-native params dict to a JSON-native result
+(all randomness from in-params seeds), and ``rows`` maps one cell's
+``(coords, result)`` to the tabular report rows it contributes.
+Builtin runners live in :mod:`repro.campaign.builtin` and register
+themselves on (lazy) import, keeping ``import repro.campaign`` free of
+experiment-layer dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "CellRunner",
+    "available_runners",
+    "get_runner",
+    "register_runner",
+]
+
+
+@dataclass(frozen=True)
+class CellRunner:
+    """A registered campaign kind.
+
+    ``columns`` declares the report schema; ``rows(coords, result)``
+    returns one dict per report row (a cell may contribute several,
+    e.g. one per noise level).  ``plot(rows)`` optionally renders the
+    full report as an ascii figure (:mod:`repro.utils.ascii_plot`).
+    """
+
+    kind: str
+    run: Callable[[dict], dict]
+    columns: Tuple[str, ...]
+    rows: Callable[[dict, dict], List[dict]]
+    plot: Optional[Callable[[List[dict]], str]] = None
+    description: str = ""
+
+
+_REGISTRY: Dict[str, CellRunner] = {}
+
+
+def register_runner(runner: CellRunner) -> CellRunner:
+    """Register (or replace) a campaign kind; returns the runner."""
+    _REGISTRY[runner.kind] = runner
+    return runner
+
+
+def get_runner(kind: str) -> CellRunner:
+    _ensure_builtin_runners()
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign kind {kind!r}; available: {available_runners()}"
+        ) from None
+
+
+def available_runners() -> List[str]:
+    _ensure_builtin_runners()
+    return sorted(_REGISTRY)
+
+
+def _ensure_builtin_runners() -> None:
+    # Builtin runners register themselves on import; imported lazily so
+    # `import repro.campaign` stays cheap (same pattern as
+    # service/jobs.py's _ensure_builtin_handlers).
+    from . import builtin  # noqa: F401

@@ -1,0 +1,211 @@
+"""Spec builders for the paper's sweeps and the extension studies.
+
+One function per legacy entry point, returning the
+:class:`CampaignSpec` that reproduces it byte-for-byte at the same
+arguments.  The deprecated shims in :mod:`repro.experiments` call
+these builders, and the checked-in configs under
+``examples/campaigns/`` are their serialized output — so config, shim,
+and engine can never drift apart (``tests/campaign/test_campaign_parity.py``
+compares all three).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, Optional, Sequence, Tuple
+
+from .spec import CampaignSpec
+
+__all__ = [
+    "expressivity_spec",
+    "fig4_spec",
+    "fig5a_spec",
+    "fig5b_spec",
+    "nonideality_spec",
+    "power_spec",
+    "quantization_spec",
+    "search_ablation_spec",
+]
+
+#: Nonideality cell names, in the legacy study's emission order.
+NONIDEALITY_NAMES = (
+    "phase-noise", "insertion-loss", "dc-imbalance", "crosstalk", "combined",
+)
+
+
+def _pdk_name(pdk) -> str:
+    return pdk if isinstance(pdk, str) else pdk.name
+
+
+def _mesh_value(mesh):
+    """A mesh axis entry as JSON: builtin names pass through, a
+    :class:`repro.core.PTCTopology` serializes to its dict form."""
+    if isinstance(mesh, str):
+        return mesh
+    return json.loads(mesh.to_json())
+
+
+def fig4_spec(
+    part: str,
+    topologies: Optional[Dict[str, object]] = None,
+    k: int = 16,
+    scale=None,
+    noise_stds: Optional[Sequence[float]] = None,
+    backend: str = "fast",
+    name: Optional[str] = None,
+) -> CampaignSpec:
+    """The Fig. 4 noise sweep of one subfigure as a campaign."""
+    from ..experiments.common import ExperimentScale
+    from ..experiments.fig4 import NOISE_STDS
+
+    scale = scale or ExperimentScale.from_env()
+    if noise_stds is None:
+        noise_stds = NOISE_STDS
+    meshes = [("MZI", "mzi"), ("FFT", "butterfly")]
+    meshes += list((topologies or {}).items())
+    return CampaignSpec(
+        name=name or f"fig4{part}-noise",
+        kind="fig4-noise",
+        axes={"mesh": [mesh_name for mesh_name, _ in meshes]},
+        base={
+            "part": part,
+            "k": int(k),
+            "meshes": {mesh_name: _mesh_value(m) for mesh_name, m in meshes},
+            "scale": asdict(scale),
+            "noise_stds": [float(s) for s in noise_stds],
+            "backend": backend,
+        },
+    )
+
+
+def fig5a_spec(
+    k: int = 8,
+    n_blocks: int = 6,
+    steps: int = 600,
+    rho0_values: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    name: str = "fig5a-alm-scan",
+) -> CampaignSpec:
+    from ..experiments.fig5 import RHO0_VALUES
+
+    if rho0_values is None:
+        rho0_values = RHO0_VALUES
+    return CampaignSpec(
+        name=name,
+        kind="alm-scan",
+        axes={"rho0": [float(r) for r in rho0_values]},
+        base={"k": int(k), "n_blocks": int(n_blocks), "steps": int(steps),
+              "seed": int(seed)},
+    )
+
+
+def fig5b_spec(
+    k: int = 8,
+    window_kum2: Tuple[float, float] = (240.0, 300.0),
+    steps: int = 150,
+    beta_values: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    name: str = "fig5b-penalty-scan",
+) -> CampaignSpec:
+    from ..experiments.fig5 import BETA_VALUES
+
+    if beta_values is None:
+        beta_values = BETA_VALUES
+    return CampaignSpec(
+        name=name,
+        kind="penalty-scan",
+        axes={"beta": [float(b) for b in beta_values]},
+        base={"k": int(k),
+              "window_kum2": [float(window_kum2[0]), float(window_kum2[1])],
+              "steps": int(steps), "seed": int(seed)},
+    )
+
+
+def expressivity_spec(
+    k: int = 8,
+    pdk="amf",
+    steps: int = 400,
+    n_targets: int = 2,
+    seed: int = 0,
+    name: str = "expressivity-comparison",
+) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        kind="expressivity",
+        axes={"design": ["mzi", "fft", "adept-a1", "adept-a5"]},
+        base={"k": int(k), "pdk": _pdk_name(pdk), "steps": int(steps),
+              "n_targets": int(n_targets), "seed": int(seed)},
+    )
+
+
+def quantization_spec(
+    k: int = 8,
+    bit_widths: Sequence[int] = (6, 4, 3, 2),
+    steps: int = 400,
+    seed: int = 0,
+    name: str = "quantization-study",
+) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        kind="quantization",
+        axes={"bits": [int(b) for b in bit_widths]},
+        base={"k": int(k), "steps": int(steps), "seed": int(seed)},
+    )
+
+
+def power_spec(
+    k: int = 8,
+    pdk="amf",
+    window_kum2: Tuple[float, float] = (240.0, 300.0),
+    seed: int = 0,
+    name: str = "power-comparison",
+) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        kind="power",
+        axes={"design": ["mzi", "fft", "adept"]},
+        base={"k": int(k), "pdk": _pdk_name(pdk),
+              "window_kum2": [float(window_kum2[0]), float(window_kum2[1])],
+              "seed": int(seed)},
+    )
+
+
+def nonideality_spec(
+    k: int = 8,
+    shallow_blocks: int = 3,
+    deep_blocks: int = 16,
+    n_trials: int = 8,
+    seed: int = 0,
+    name: str = "nonideality-study",
+) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        kind="nonideality",
+        axes={"nonideality": list(NONIDEALITY_NAMES)},
+        base={"k": int(k), "shallow_blocks": int(shallow_blocks),
+              "deep_blocks": int(deep_blocks), "n_trials": int(n_trials),
+              "seed": int(seed)},
+    )
+
+
+def search_ablation_spec(
+    k: int = 8,
+    pdk="amf",
+    window_kum2: Tuple[float, float] = (240.0, 300.0),
+    budget: int = 12,
+    scale=None,
+    seed: int = 0,
+    name: str = "search-method-ablation",
+) -> CampaignSpec:
+    from ..experiments.common import ExperimentScale
+
+    scale = scale or ExperimentScale()
+    return CampaignSpec(
+        name=name,
+        kind="search-ablation",
+        axes={"method": ["adept", "random", "evolutionary"]},
+        base={"k": int(k), "pdk": _pdk_name(pdk),
+              "window_kum2": [float(window_kum2[0]), float(window_kum2[1])],
+              "budget": int(budget), "scale": asdict(scale), "seed": int(seed)},
+    )

@@ -16,6 +16,12 @@ reachable without writing Python:
   service (:mod:`repro.service`): enqueue jobs into a persistent
   queue rooted at a directory, inspect them, and drain them with a
   sharded multiprocess worker pool;
+* ``campaign run`` / ``campaign status`` / ``campaign report`` — the
+  declarative campaign engine (:mod:`repro.campaign`): execute a
+  checked-in campaign config (inline or service-sharded), inspect a
+  sharded campaign's queue progress, and render the artifacts of a
+  finished campaign without recomputing (see ``docs/CAMPAIGNS.md``
+  and ``examples/campaigns/``);
 * ``chip serve`` / ``chip bench`` — the hardware-abstraction layer
   (:mod:`repro.hardware`): run a streaming-inference scenario on a
   drifting virtual chip with online recalibration, or measure the
@@ -174,6 +180,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--timeout", type=float, default=None,
                          help="with --until-idle: max seconds to drain")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_camp = sub.add_parser(
+        "campaign", help="declarative experiment campaigns")
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    p_camp_run = camp_sub.add_parser(
+        "run", help="execute a campaign config (inline or sharded)")
+    p_camp_run.add_argument("spec", type=Path,
+                            help="campaign spec JSON "
+                                 "(see examples/campaigns/)")
+    p_camp_run.add_argument("--out", type=Path, default=None,
+                            help="write artifacts (CSV/markdown/plot) here")
+    p_camp_run.add_argument("--root", type=Path, default=None,
+                            help="shard through a design-service root "
+                                 "(kill-safe, resumable)")
+    p_camp_run.add_argument("--workers", type=int, default=0,
+                            help="worker processes with --root "
+                                 "(0 = in-process worker)")
+    p_camp_run.add_argument("--cache-dir", type=Path, default=None,
+                            help="unitary-cache directory for inline runs")
+    p_camp_run.add_argument("--timeout", type=float, default=None,
+                            help="with --root: max seconds to drain")
+    p_camp_run.set_defaults(func=cmd_campaign_run)
+
+    p_camp_status = camp_sub.add_parser(
+        "status", help="progress of a service-sharded campaign")
+    p_camp_status.add_argument("spec", type=Path, help="campaign spec JSON")
+    p_camp_status.add_argument("--root", type=Path, required=True,
+                               help="design-service root directory")
+    p_camp_status.set_defaults(func=cmd_campaign_status)
+
+    p_camp_report = camp_sub.add_parser(
+        "report", help="render artifacts of a finished sharded campaign")
+    p_camp_report.add_argument("spec", type=Path, help="campaign spec JSON")
+    p_camp_report.add_argument("--root", type=Path, required=True,
+                               help="design-service root directory")
+    p_camp_report.add_argument("--out", type=Path, default=None,
+                               help="write artifacts here (default: print)")
+    p_camp_report.set_defaults(func=cmd_campaign_report)
 
     p_chip = sub.add_parser(
         "chip", help="virtual-chip streaming inference (hardware layer)")
@@ -500,6 +545,103 @@ def cmd_serve(args: argparse.Namespace) -> int:
         svc.close()
     if args.until_idle:
         print("queue drained")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# campaign commands
+# ----------------------------------------------------------------------
+
+def _load_campaign_spec(path: Path):
+    from .campaign import CampaignSpec
+
+    return CampaignSpec.load(path).validate()
+
+
+def _campaign_job_id(spec) -> str:
+    from .campaign import campaign_job_params
+    from .service import JobSpec
+
+    return JobSpec(kind="campaign", params=campaign_job_params(spec)).job_id
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import (
+        aggregate,
+        expand,
+        report_markdown,
+        run_campaign,
+        write_artifacts,
+    )
+
+    spec = _load_campaign_spec(args.spec)
+    n_cells = len(expand(spec))
+    where = (f"service root {args.root} ({args.workers} worker(s))"
+             if args.root is not None else "inline")
+    print(f"campaign {spec.name} ({spec.kind}, id {spec.campaign_id}): "
+          f"{n_cells} cell(s), {where}")
+    run = run_campaign(spec, n_workers=args.workers, root=args.root,
+                       cache_dir=args.cache_dir, timeout=args.timeout)
+    print(report_markdown(aggregate(run)))
+    if args.out is not None:
+        paths = write_artifacts(run, args.out)
+        print(f"artifacts saved -> {args.out} ({len(paths)} file(s))")
+    return 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .service import DesignService
+
+    spec = _load_campaign_spec(args.spec)
+    job_id = _campaign_job_id(spec)
+    svc = DesignService(args.root)
+    try:
+        try:
+            s = svc.status(job_id)
+        except KeyError:
+            raise ValueError(
+                f"campaign {spec.name} (job {job_id}) has not been "
+                f"submitted to {args.root}; run `repro campaign run "
+                f"{args.spec} --root {args.root}` first"
+            )
+    finally:
+        svc.close()
+    done = s["shards"].get("done", 0)
+    print(f"campaign {spec.name} ({spec.kind}, id {spec.campaign_id})")
+    print(f"  job {s['id']}  {s['status']:<8} {done}/{s['n_shards']} cells")
+    if s["error"]:
+        print(f"  error: {s['error']}")
+    return 0 if s["status"] != "failed" else 1
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .campaign import (
+        aggregate,
+        report_markdown,
+        run_from_job_result,
+        write_artifacts,
+    )
+    from .service import DesignService
+
+    spec = _load_campaign_spec(args.spec)
+    job_id = _campaign_job_id(spec)
+    svc = DesignService(args.root)
+    try:
+        try:
+            result = svc.result(job_id)
+        except KeyError:
+            raise ValueError(
+                f"campaign {spec.name} (job {job_id}) has not been "
+                f"submitted to {args.root}"
+            )
+    finally:
+        svc.close()
+    run = run_from_job_result(spec, result)
+    if args.out is not None:
+        paths = write_artifacts(run, args.out)
+        print(f"artifacts saved -> {args.out} ({len(paths)} file(s))")
+    else:
+        print(report_markdown(aggregate(run)))
     return 0
 
 

@@ -28,11 +28,16 @@ from .extensions import (
     PowerComparison,
     QuantizationStudy,
     SearchMethodAblation,
+    expressivity_cell,
+    nonideality_cell,
+    power_cell,
+    quantization_cell,
     run_expressivity_comparison,
     run_nonideality_study,
     run_power_comparison,
     run_quantization_study,
     run_search_method_ablation,
+    search_method_cell,
 )
 from .fig4 import NOISE_STDS, RobustnessCurves, check_fig4_shape, run_fig4_part
 from .fig5 import (
@@ -43,7 +48,15 @@ from .fig5 import (
     run_fig5a,
     run_fig5b,
 )
-from .report import mesh_results_csv, mesh_results_markdown, robustness_csv
+from .report import (
+    format_row,
+    mesh_results_csv,
+    mesh_results_markdown,
+    print_table,
+    robustness_csv,
+    rows_to_csv,
+    rows_to_markdown,
+)
 from .table1 import Table1Result, check_table1_shape, run_table1
 from .table2 import Table2Result, check_table2_shape, run_table2
 from .table3 import (
@@ -65,9 +78,18 @@ __all__ = [
     "run_power_comparison",
     "run_quantization_study",
     "run_search_method_ablation",
+    "expressivity_cell",
+    "nonideality_cell",
+    "power_cell",
+    "quantization_cell",
+    "search_method_cell",
+    "format_row",
     "mesh_results_csv",
     "mesh_results_markdown",
+    "print_table",
     "robustness_csv",
+    "rows_to_csv",
+    "rows_to_markdown",
     "BETA_VALUES",
     "ExperimentScale",
     "MeshResult",

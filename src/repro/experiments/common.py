@@ -204,18 +204,14 @@ def baseline_results(
 
 
 def format_row(r: MeshResult) -> str:
-    fb = r.footprint
-    window = (
-        f"[{r.window[0]:.0f}, {r.window[1]:.0f}]" if r.window else "-"
-    )
-    return (
-        f"{r.name:<12} CR/DC/Blk={fb.n_cr}/{fb.n_dc}/{fb.n_blocks:<3} "
-        f"window={window:<14} F={fb.in_paper_units():7.1f}k "
-        f"acc={r.accuracy:6.2f}%"
-    )
+    """Back-compat alias — the writer moved to :mod:`.report`."""
+    from .report import format_row as _format_row
+
+    return _format_row(r)
 
 
 def print_table(title: str, rows: Sequence[MeshResult]) -> None:
-    print(f"\n=== {title} ===")
-    for r in rows:
-        print("  " + format_row(r))
+    """Back-compat alias — the writer moved to :mod:`.report`."""
+    from .report import print_table as _print_table
+
+    _print_table(title, rows)

@@ -13,7 +13,7 @@ searched ADEPT designs track or beat the log-depth FFT mesh.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -103,73 +103,37 @@ def run_fig4_part(
     invocations produce identical curves regardless of
     ``PYTHONHASHSEED``.
 
-    ``n_workers > 0`` routes the per-mesh work through the design
-    service (:mod:`repro.service`) as one ``fig4-part`` job with one
-    shard per mesh, executed by a local multiprocess pool — same
-    curves, one process per mesh instead of a sequential loop.
+    Since the campaign redesign this entry point is a thin shim over
+    the ``fig4-noise`` campaign (see :mod:`repro.campaign.studies` and
+    ``examples/campaigns/``): one cell per mesh, shared noise grid in
+    the cell params so each mesh trains exactly once.  ``n_workers >
+    0`` shards the cells through the design service's persistent queue
+    and a local multiprocess pool — same curves, one process per mesh
+    instead of a sequential loop.
     """
     scale = scale or ExperimentScale.from_env()
     model_name, dataset = _PART_TASKS[part]
-    meshes: List[Tuple[str, object]] = [("MZI", "mzi"), ("FFT", "butterfly")]
-    meshes += list(topologies.items())
+    from ..campaign import run_campaign
+    from ..campaign.studies import fig4_spec
 
+    spec = fig4_spec(part, topologies=topologies, k=k, scale=scale,
+                     noise_stds=noise_stds, backend=backend)
     out = RobustnessCurves(part=part)
     print(f"\n=== Fig. 4({part}) - {model_name} on {dataset}, noise sweep ===")
     if n_workers > 0:
-        curves = _fig4_curves_via_service(
-            part, meshes, k, scale, noise_stds, backend, n_workers
-        )
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-fig4-") as root:
+            run = run_campaign(spec, n_workers=n_workers, root=root)
     else:
-        curves = {
-            mesh_name: mesh_noise_curve(
-                part, mesh_name, mesh, k, scale, noise_stds, backend
-            )
-            for mesh_name, mesh in meshes
-        }
-    for mesh_name, _ in meshes:
-        curve = [tuple(c) for c in curves[mesh_name]]
+        run = run_campaign(spec)
+    for cell, r in zip(run.cells, run.results):
+        mesh_name = cell.coords["mesh"]
+        curve = [tuple(c) for c in r["curve"]]
         out.curves[mesh_name] = curve
         series = "  ".join(f"{s:.2f}:{m:5.1f}+-{3 * sd:4.1f}" for s, m, sd in curve)
         print(f"  {mesh_name:<9} {series}")
     return out
-
-
-def _fig4_curves_via_service(
-    part: str,
-    meshes: List[Tuple[str, object]],
-    k: int,
-    scale: ExperimentScale,
-    noise_stds: Sequence[float],
-    backend: str,
-    n_workers: int,
-) -> Dict[str, List]:
-    """Run the per-mesh curves as one sharded service job."""
-    import tempfile
-
-    from ..service import DesignService
-    from ..service.handlers import topology_param
-
-    mesh_params = [
-        [name, mesh if isinstance(mesh, str) else topology_param(mesh)]
-        for name, mesh in meshes
-    ]
-    with tempfile.TemporaryDirectory(prefix="repro-fig4-") as root:
-        svc = DesignService(root)
-        job_id = svc.submit(
-            "fig4-part",
-            {
-                "part": part,
-                "k": k,
-                "meshes": mesh_params,
-                "scale": asdict(scale),
-                "noise_stds": [float(s) for s in noise_stds],
-                "backend": backend,
-            },
-        )
-        svc.run(n_workers=n_workers)
-        result = svc.result(job_id)
-        svc.close()
-    return result["curves"]
 
 
 def degradation(curve: List[Tuple[float, float, float]]) -> float:

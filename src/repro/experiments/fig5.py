@@ -87,35 +87,26 @@ def run_fig5a(
     permutations must trade task fit against legality — the same
     tension as in the full search.
 
-    ``n_workers > 0`` runs the scan points as shards of one ``fig5a``
-    design-service job on a local multiprocess pool (identical traces;
-    see :mod:`repro.service`).
+    Since the campaign redesign this entry point is a thin shim over
+    the ``alm-scan`` campaign (one cell per rho0; see
+    :mod:`repro.campaign.studies`).  ``n_workers > 0`` shards the cells
+    through the design service's persistent queue on a local
+    multiprocess pool (identical traces).
     """
+    from ..campaign.studies import fig5a_spec
+
+    spec = fig5a_spec(k=k, n_blocks=n_blocks, steps=steps,
+                      rho0_values=rho0_values, seed=seed)
     out: Dict[float, ALMTrace] = {}
     print("\n=== Fig. 5(a) - permutation ALM rho0 scan ===")
-    if n_workers > 0:
-        traces = _scan_via_service(
-            "fig5a",
-            {
-                "k": k,
-                "n_blocks": n_blocks,
-                "steps": steps,
-                "rho0_values": [float(r) for r in rho0_values],
-                "seed": seed,
-            },
-            n_workers,
+    run = _run_scan_campaign(spec, "fig5a", n_workers)
+    for cell, r in zip(run.cells, run.results):
+        rho0 = cell.coords["rho0"]
+        out[rho0] = ALMTrace(
+            rho0=rho0,
+            perm_error=list(r["perm_error"]),
+            mean_lambda=list(r["mean_lambda"]),
         )
-        for t in traces:
-            out[t["rho0"]] = ALMTrace(
-                rho0=t["rho0"],
-                perm_error=t["perm_error"],
-                mean_lambda=t["mean_lambda"],
-            )
-    else:
-        for rho0 in rho0_values:
-            out[rho0] = alm_scan_point(
-                rho0, k=k, n_blocks=n_blocks, steps=steps, seed=seed
-            )
     for rho0, trace in out.items():
         print(
             f"  rho0={rho0:7.0e}  Delta_P: {trace.perm_error[0]:.3f} -> "
@@ -124,19 +115,16 @@ def run_fig5a(
     return out
 
 
-def _scan_via_service(kind: str, params: dict, n_workers: int) -> list:
-    """Submit one scan job, drain it with a local pool, return traces."""
-    import tempfile
+def _run_scan_campaign(spec, label: str, n_workers: int):
+    """Run a Fig. 5 scan campaign inline or service-sharded."""
+    from ..campaign import run_campaign
 
-    from ..service import DesignService
+    if n_workers > 0:
+        import tempfile
 
-    with tempfile.TemporaryDirectory(prefix=f"repro-{kind}-") as root:
-        svc = DesignService(root)
-        job_id = svc.submit(kind, params)
-        svc.run(n_workers=n_workers)
-        result = svc.result(job_id)
-        svc.close()
-    return result["traces"]
+        with tempfile.TemporaryDirectory(prefix=f"repro-{label}-") as root:
+            return run_campaign(spec, n_workers=n_workers, root=root)
+    return run_campaign(spec)
 
 
 def check_fig5a_shape(traces: Dict[float, ALMTrace]) -> List[str]:
@@ -226,36 +214,27 @@ def run_fig5b(
     beta the task term dominates and the expected footprint drifts out
     of the window.
 
-    ``n_workers > 0`` runs the scan points as shards of one ``fig5b``
-    design-service job on a local multiprocess pool (identical traces;
-    see :mod:`repro.service`).
+    Since the campaign redesign this entry point is a thin shim over
+    the ``penalty-scan`` campaign (one cell per beta; see
+    :mod:`repro.campaign.studies`).  ``n_workers > 0`` shards the cells
+    through the design service's persistent queue on a local
+    multiprocess pool (identical traces).
     """
+    from ..campaign.studies import fig5b_spec
+
+    spec = fig5b_spec(k=k, window_kum2=window_kum2, steps=steps,
+                      beta_values=beta_values, seed=seed)
     out: Dict[float, PenaltyTrace] = {}
     print("\n=== Fig. 5(b) - footprint penalty beta scan ===")
-    if n_workers > 0:
-        traces = _scan_via_service(
-            "fig5b",
-            {
-                "k": k,
-                "window_kum2": [float(window_kum2[0]), float(window_kum2[1])],
-                "steps": steps,
-                "beta_values": [float(b) for b in beta_values],
-                "seed": seed,
-            },
-            n_workers,
+    run = _run_scan_campaign(spec, "fig5b", n_workers)
+    for cell, r in zip(run.cells, run.results):
+        beta = cell.coords["beta"]
+        out[beta] = PenaltyTrace(
+            beta=beta,
+            expected_footprint=list(r["expected_footprint"]),
+            penalty_over_beta=list(r["penalty_over_beta"]),
+            window=tuple(r["window"]),
         )
-        for t in traces:
-            out[t["beta"]] = PenaltyTrace(
-                beta=t["beta"],
-                expected_footprint=t["expected_footprint"],
-                penalty_over_beta=t["penalty_over_beta"],
-                window=tuple(t["window"]),
-            )
-    else:
-        for beta in beta_values:
-            out[beta] = penalty_scan_point(
-                beta, k=k, window_kum2=window_kum2, steps=steps, seed=seed
-            )
     for beta, trace in out.items():
         status = "in window" if trace.final_in_window else "VIOLATED"
         print(

@@ -22,10 +22,10 @@ from .common import (
     MeshResult,
     TABLE1_WINDOWS,
     baseline_results,
-    print_table,
     run_search,
     train_eval_mesh,
 )
+from .report import print_table
 
 
 @dataclass

@@ -18,10 +18,10 @@ from .common import (
     MeshResult,
     TABLE2_WINDOWS,
     baseline_results,
-    print_table,
     run_search,
     train_eval_mesh,
 )
+from .report import print_table
 
 
 @dataclass

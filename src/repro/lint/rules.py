@@ -21,6 +21,9 @@
 |       |                          | are validated only in              |
 |       |                          | ``service/queue.py``               |
 | RL008 | cli-exit-contract        | PR 7: CLI failures must not exit 0 |
+| RL009 | bespoke-sweep            | campaign redesign: sweeps are      |
+|       |                          | declarative ``CampaignSpec`` data, |
+|       |                          | not hand-rolled loops              |
 
 Every rule is a heuristic over the AST — precise enough to catch each
 historical bug verbatim (``tests/lint/test_rules.py`` locks this), and
@@ -46,6 +49,7 @@ __all__ = [
     "WallClockRule",
     "RawQueueTransitionRule",
     "CliExitContractRule",
+    "BespokeSweepRule",
 ]
 
 
@@ -560,3 +564,88 @@ class CliExitContractRule(Rule):
                             "re-raise or return a non-zero exit code "
                             "(`error: ...` to stderr, exit 1)",
                         )
+
+
+_SWEEP_NAME_RE = re.compile(
+    r"(?:^|_)(?:values|stds|sigmas|betas|rhos|bits|bit_widths|widths|"
+    r"windows|seeds|levels|corners|specs|designs|entries)$",
+    re.IGNORECASE,
+)
+
+
+def _is_sweep_iterable(node: ast.AST) -> bool:
+    """True when ``for ... in <node>`` walks a parameter grid.
+
+    Matches names/attributes with sweep-shaped suffixes (``*_values``,
+    ``*_stds``, ``betas``, ...), subscripts and ``.items()``/``.keys()``
+    calls over such containers, ``enumerate``/``sorted``/``zip``
+    wrappers around them, and literal tuples/lists of two or more
+    numbers.
+    """
+    if isinstance(node, ast.Name):
+        return bool(_SWEEP_NAME_RE.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_SWEEP_NAME_RE.search(node.attr))
+    if isinstance(node, ast.Subscript):
+        return _is_sweep_iterable(node.value)
+    if isinstance(node, ast.Call):
+        f = node.func
+        if isinstance(f, ast.Attribute) and f.attr in ("items", "keys"):
+            return _is_sweep_iterable(f.value)
+        if isinstance(f, ast.Name) and f.id in (
+            "enumerate", "sorted", "reversed", "zip", "list", "tuple"
+        ):
+            return any(_is_sweep_iterable(a) for a in node.args)
+        return False
+    if isinstance(node, (ast.List, ast.Tuple)):
+        if len(node.elts) < 2:
+            return False
+        return all(
+            isinstance(e, ast.Constant)
+            and isinstance(e.value, (int, float))
+            and not isinstance(e.value, bool)
+            for e in node.elts
+        )
+    return False
+
+
+@register_rule
+class BespokeSweepRule(Rule):
+    """RL009 — hand-rolled parameter-sweep loops in experiment drivers.
+
+    The campaign redesign moved every parameter matrix behind
+    ``repro.campaign.CampaignSpec``: axes are declared as data,
+    expanded into content-addressed cells, and executed inline or
+    sharded through the design service — with caching, resume, and
+    artifact emission for free.  A bespoke ``for beta in
+    BETA_VALUES:`` loop inside a ``run_*`` driver re-creates none of
+    that, so new sweeps must be campaign kinds plus a thin shim.
+    Pre-redesign drivers (the frozen ``_run_*_reference`` parity
+    oracles and the table sweeps) are grandfathered via
+    ``lint-baseline.json``.
+    """
+
+    id = "RL009"
+    name = "bespoke-sweep"
+    description = "hand-rolled parameter sweep in an experiments run_* driver"
+    rationale = (
+        "campaign redesign: sweeps are declarative CampaignSpec data "
+        "(cached, resumable, service-shardable); bespoke loops in "
+        "experiment drivers silently fork that machinery."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_directories({"experiments"}):
+            return
+        for fn in ctx.functions():
+            if not fn.name.lstrip("_").startswith("run_"):
+                continue
+            for node in ctx.function_body_nodes(fn):
+                if isinstance(node, ast.For) and _is_sweep_iterable(node.iter):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"parameter sweep loop in {fn.name}(); declare the "
+                        "axis in a repro.campaign.CampaignSpec (see "
+                        "docs/CAMPAIGNS.md) instead of a bespoke loop",
+                    )

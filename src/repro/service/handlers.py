@@ -506,3 +506,62 @@ register_job_type(JobType(
     aggregate=lambda params, results: {"traces": results},
     description="Fig. 5(b) footprint-penalty beta scan, one shard per beta",
 ))
+
+
+# ----------------------------------------------------------------------
+# campaign: one declarative experiment matrix, one shard per cell
+# ----------------------------------------------------------------------
+
+
+def _campaign_spec(params: dict):
+    from ..campaign import CampaignSpec
+
+    if set(params) != {"spec"}:
+        raise ValueError("campaign params must be exactly {'spec': ...} "
+                         "(see repro.campaign.campaign_job_params)")
+    return CampaignSpec.from_dict(params["spec"]).validate()
+
+
+def _campaign_expand(params: dict) -> List[dict]:
+    from ..campaign import expand
+
+    return [
+        {"cell_index": cell.index, "cell_id": cell.cell_id}
+        for cell in expand(_campaign_spec(params))
+    ]
+
+
+def _campaign_run_shard(params: dict, shard: dict) -> dict:
+    from ..campaign import expand, get_runner
+
+    spec = _campaign_spec(params)
+    cell = expand(spec)[int(shard["cell_index"])]
+    if cell.cell_id != shard["cell_id"]:
+        raise ValueError(
+            f"cell id mismatch at index {cell.index}: the spec no longer "
+            "expands to the submitted matrix"
+        )
+    return {
+        "cell_id": cell.cell_id,
+        "coords": cell.coords,
+        "result": get_runner(spec.kind).run(cell.params),
+    }
+
+
+def _campaign_aggregate(params: dict, shard_results: List[dict]) -> dict:
+    spec = _campaign_spec(params)
+    return {
+        "campaign_id": spec.campaign_id,
+        "name": spec.name,
+        "kind": spec.kind,
+        "cells": shard_results,
+    }
+
+
+register_job_type(JobType(
+    kind="campaign",
+    expand=_campaign_expand,
+    run_shard=_campaign_run_shard,
+    aggregate=_campaign_aggregate,
+    description="declarative campaign matrix, one shard per cell",
+))

@@ -1,0 +1,65 @@
+"""Shared fixtures for the campaign test suites.
+
+A cheap deterministic cell runner is registered at import time (in
+the parent process, so fork-started service workers inherit it —
+same pattern as ``tests/service/conftest.py``), keeping the matrix /
+executor / resume machinery, not the science, on the clock.
+"""
+
+import time
+
+import pytest
+
+from repro.campaign import CampaignSpec, CellRunner, register_runner
+from repro.utils.rng import stable_seed
+
+GRID_KIND = "test-grid"
+
+
+def _grid_run(params):
+    if params.get("sleep"):
+        time.sleep(float(params["sleep"]))
+    value = stable_seed(GRID_KIND, params["alpha"], params["beta"]) % 997
+    return {"value": int(value) + int(params.get("offset", 0))}
+
+
+def _grid_rows(coords, result):
+    return [{"alpha": coords["alpha"], "beta": coords["beta"],
+             "value": result["value"]}]
+
+
+def _grid_plot(rows):
+    return "\n".join(f"{r['alpha']}/{r['beta']}: {r['value']}" for r in rows)
+
+
+register_runner(CellRunner(
+    kind=GRID_KIND,
+    run=_grid_run,
+    columns=("alpha", "beta", "value"),
+    rows=_grid_rows,
+    plot=_grid_plot,
+    description="deterministic seeded grid (tests)",
+))
+
+
+def _make_grid_spec(name="unit-grid", sleep=0.0, exclude=(), **overrides):
+    fields = dict(
+        name=name,
+        kind=GRID_KIND,
+        axes={"beta": ["x", "y"], "alpha": [1, 2, 3]},
+        base={"offset": 5, "sleep": sleep},
+        exclude=list(exclude),
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+@pytest.fixture()
+def make_spec():
+    """Factory for the test-grid campaign (override any spec field)."""
+    return _make_grid_spec
+
+
+@pytest.fixture()
+def grid_spec():
+    return _make_grid_spec()

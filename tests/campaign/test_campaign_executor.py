@@ -1,0 +1,104 @@
+"""Execution and aggregation: inline loop, service sharding, artifact
+byte-determinism across worker counts."""
+
+import pytest
+
+from repro.campaign import (
+    aggregate,
+    campaign_job_params,
+    expand,
+    get_runner,
+    report_csv,
+    report_markdown,
+    report_plot,
+    run_campaign,
+    run_from_job_result,
+    write_artifacts,
+)
+from repro.service import DesignService, JobSpec
+
+
+def _artifact_bytes(run, out_dir):
+    return {p.name: p.read_bytes() for p in write_artifacts(run, out_dir)}
+
+
+class TestInline:
+    def test_results_in_cell_order(self, grid_spec):
+        run = run_campaign(grid_spec)
+        runner = get_runner(grid_spec.kind)
+        assert run.cells == expand(grid_spec)
+        assert run.results == [runner.run(c.params) for c in run.cells]
+        # result_for resolves by exact coordinates.
+        assert run.result_for(alpha=2, beta="y") == run.results[3]
+        with pytest.raises(KeyError, match="no cell with coords"):
+            run.result_for(alpha=9, beta="x")
+
+    def test_run_validates_spec(self, make_spec):
+        with pytest.raises(ValueError, match="at least one axis"):
+            run_campaign(make_spec(axes={}))
+
+    def test_base_params_feed_the_runner(self, make_spec):
+        plain = run_campaign(make_spec())
+        shifted = run_campaign(make_spec(base={"offset": 6, "sleep": 0.0}))
+        assert [r["value"] for r in shifted.results] == [
+            r["value"] + 1 for r in plain.results
+        ]
+
+
+class TestAggregate:
+    def test_report_table_in_cell_order(self, grid_spec):
+        run = run_campaign(grid_spec)
+        report = aggregate(run)
+        assert report.columns == ["alpha", "beta", "value"]
+        assert [r["alpha"] for r in report.rows] == [1, 1, 2, 2, 3, 3]
+        csv = report_csv(report)
+        assert csv.splitlines()[0] == "alpha,beta,value"
+        assert len(csv.splitlines()) == 7
+        md = report_markdown(report)
+        assert md.splitlines()[0] == "### campaign unit-grid (test-grid)"
+        assert "| alpha | beta | value |" in md
+        assert report_plot(report).count("\n") == 5
+
+    def test_artifact_selection(self, make_spec, tmp_path):
+        run = run_campaign(make_spec(artifacts=["csv"]))
+        names = {p.name for p in write_artifacts(run, tmp_path / "csv-only")}
+        assert names == {"campaign.json", "result.json", "cells.csv"}
+        run = run_campaign(make_spec())
+        names = {p.name for p in write_artifacts(run, tmp_path / "all")}
+        assert names == {"campaign.json", "result.json", "cells.csv",
+                         "report.md", "plot.txt"}
+
+
+class TestServiceSharded:
+    def test_sharded_matches_inline_byte_for_byte(self, grid_spec, tmp_path):
+        inline = run_campaign(grid_spec)
+        sharded = run_campaign(grid_spec, n_workers=2,
+                               root=tmp_path / "svc")
+        assert sharded.to_dict() == inline.to_dict()
+        assert (_artifact_bytes(sharded, tmp_path / "a")
+                == _artifact_bytes(inline, tmp_path / "b"))
+
+    def test_resubmission_is_idempotent(self, grid_spec, tmp_path):
+        root = tmp_path / "svc"
+        first = run_campaign(grid_spec, root=root)
+        # The same spec maps to the same content-addressed job: the
+        # second run reuses the finished result instead of recomputing.
+        svc = DesignService(root)
+        job_id = JobSpec(kind="campaign",
+                         params=campaign_job_params(grid_spec)).job_id
+        assert svc.status(job_id)["status"] == "done"
+        again = run_from_job_result(grid_spec, svc.result(job_id))
+        svc.close()
+        assert again.to_dict() == first.to_dict()
+
+    def test_result_from_wrong_spec_is_rejected(self, grid_spec, make_spec,
+                                                tmp_path):
+        root = tmp_path / "svc"
+        run_campaign(grid_spec, root=root)
+        svc = DesignService(root)
+        job_id = JobSpec(kind="campaign",
+                         params=campaign_job_params(grid_spec)).job_id
+        result = svc.result(job_id)
+        svc.close()
+        with pytest.raises(ValueError, match="does not belong"):
+            run_from_job_result(make_spec(name="other"), result)

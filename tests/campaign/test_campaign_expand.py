@@ -1,0 +1,87 @@
+"""Deterministic matrix expansion: ordering, excludes, id stability."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.campaign import expand
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestOrdering:
+    def test_sorted_axes_last_axis_fastest(self, grid_spec):
+        cells = expand(grid_spec)
+        # Axis names sort to (alpha, beta) regardless of declaration
+        # order; beta (last-sorted) iterates fastest, values keep
+        # their declared order.
+        assert [c.coords for c in cells] == [
+            {"alpha": 1, "beta": "x"}, {"alpha": 1, "beta": "y"},
+            {"alpha": 2, "beta": "x"}, {"alpha": 2, "beta": "y"},
+            {"alpha": 3, "beta": "x"}, {"alpha": 3, "beta": "y"},
+        ]
+        assert [c.index for c in cells] == list(range(6))
+
+    def test_declared_value_order_is_preserved(self, make_spec):
+        spec = make_spec(axes={"beta": ["y", "x"], "alpha": [3, 1, 2]})
+        cells = expand(spec)
+        assert [c.coords["alpha"] for c in cells] == [3, 3, 1, 1, 2, 2]
+        assert [c.coords["beta"] for c in cells][:2] == ["y", "x"]
+
+    def test_params_merge_base_and_coords(self, grid_spec):
+        cell = expand(grid_spec)[0]
+        assert cell.params == {"offset": 5, "sleep": 0.0,
+                               "alpha": 1, "beta": "x"}
+
+
+class TestExcludes:
+    def test_exclude_drops_matching_cells_and_renumbers(self, make_spec):
+        spec = make_spec(exclude=[{"alpha": 2, "beta": "y"}, {"alpha": 3}])
+        cells = expand(spec)
+        assert [c.coords for c in cells] == [
+            {"alpha": 1, "beta": "x"}, {"alpha": 1, "beta": "y"},
+            {"alpha": 2, "beta": "x"},
+        ]
+        assert [c.index for c in cells] == [0, 1, 2]
+
+    def test_excluded_spec_has_distinct_cell_ids(self, grid_spec, make_spec):
+        # cell_id hashes (campaign_id, params): excluding cells
+        # changes the campaign id, so the surviving cells get fresh
+        # ids — two different campaigns never collide.
+        base_ids = {c.cell_id for c in expand(grid_spec)}
+        excl_ids = {c.cell_id
+                    for c in expand(make_spec(exclude=[{"alpha": 3}]))}
+        assert base_ids.isdisjoint(excl_ids)
+
+
+class TestIdStability:
+    def test_expansion_is_pure(self, grid_spec, make_spec):
+        a = expand(grid_spec)
+        b = expand(make_spec())
+        assert a == b
+        assert len({c.cell_id for c in a}) == len(a)
+
+    def test_cell_ids_stable_across_processes_and_hashseed(self, grid_spec):
+        """Cell ids and order must not depend on PYTHONHASHSEED."""
+        payload = json.dumps(grid_spec.to_dict())
+        script = (
+            "import json, sys\n"
+            "from repro.campaign import CampaignSpec, expand\n"
+            "spec = CampaignSpec.from_json(sys.argv[1])\n"
+            "print(json.dumps([c.cell_id for c in expand(spec)]))\n"
+        )
+        ids = []
+        for hashseed in ("0", "4242"):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            env["PYTHONHASHSEED"] = hashseed
+            proc = subprocess.run(
+                [sys.executable, "-c", script, payload],
+                capture_output=True, text=True, env=env,
+                cwd=REPO_ROOT, timeout=60,
+            )
+            assert proc.returncode == 0, proc.stderr
+            ids.append(json.loads(proc.stdout))
+        assert ids[0] == ids[1] == [c.cell_id for c in expand(grid_spec)]

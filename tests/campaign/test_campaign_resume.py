@@ -1,0 +1,78 @@
+"""Crash injection for service-sharded campaigns: SIGKILL the whole
+pool mid-matrix, restart, and every aggregate artifact must be
+byte-identical to an uninterrupted inline run."""
+
+import os
+import signal
+import time
+
+from repro.campaign import (
+    campaign_job_params,
+    run_campaign,
+    run_from_job_result,
+    write_artifacts,
+)
+from repro.service import DesignService, JobSpec
+
+
+def _wait_for_progress(svc, job_id, min_done, timeout=60.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if svc.status(job_id)["shards"].get("done", 0) >= min_done:
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"no progress: {svc.status(job_id)}")
+
+
+def _wait_done(svc, job_id, timeout=120.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if svc.status(job_id)["status"] in ("done", "failed"):
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"job stuck: {svc.status(job_id)}")
+
+
+def _artifact_bytes(run, out_dir):
+    return {p.name: p.read_bytes() for p in write_artifacts(run, out_dir)}
+
+
+class TestSigkillResume:
+    def test_killed_pool_resumes_byte_identical(self, make_spec, tmp_path):
+        spec = make_spec(sleep=0.15)
+        expected = _artifact_bytes(run_campaign(spec), tmp_path / "ref")
+
+        svc = DesignService(tmp_path / "crashy")
+        job_id = svc.submit("campaign", campaign_job_params(spec))
+        pool = svc.pool(2, lease_seconds=1.0, poll_seconds=0.02).start()
+        try:
+            _wait_for_progress(svc, job_id, min_done=1)
+            for pid in pool.pids():
+                os.kill(pid, signal.SIGKILL)
+        finally:
+            pool.terminate()
+        status = svc.status(job_id)
+        assert status["status"] == "running"
+        assert status["shards"].get("done", 0) < 6
+
+        # A brand-new pool on the same root resumes from the queue.
+        pool2 = svc.pool(2, lease_seconds=1.0, poll_seconds=0.02).start()
+        try:
+            _wait_done(svc, job_id)
+        finally:
+            pool2.terminate()
+        assert svc.status(job_id)["status"] == "done"
+        resumed = run_from_job_result(spec, svc.result(job_id))
+        svc.close()
+        assert _artifact_bytes(resumed, tmp_path / "resumed") == expected
+
+    def test_job_id_matches_run_campaign_route(self, make_spec, tmp_path):
+        # The executor and a hand-submitted job agree on the content
+        # address, so `repro campaign status` can find either.
+        spec = make_spec()
+        run_campaign(spec, root=tmp_path / "svc")
+        svc = DesignService(tmp_path / "svc")
+        job_id = JobSpec(kind="campaign",
+                         params=campaign_job_params(spec)).job_id
+        assert svc.status(job_id)["status"] == "done"
+        svc.close()

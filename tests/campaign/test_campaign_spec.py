@@ -1,0 +1,92 @@
+"""CampaignSpec declaration: round-trips, identity, validation."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec
+from repro.utils.serialization import json_digest
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, grid_spec):
+        assert CampaignSpec.from_dict(grid_spec.to_dict()) == grid_spec
+
+    def test_json_round_trip(self, grid_spec):
+        assert CampaignSpec.from_json(grid_spec.to_json()) == grid_spec
+
+    def test_save_load_round_trip(self, grid_spec, tmp_path):
+        path = tmp_path / "campaign.json"
+        grid_spec.save(path)
+        loaded = CampaignSpec.load(path)
+        assert loaded == grid_spec
+        assert loaded.campaign_id == grid_spec.campaign_id
+        # The file is pretty-printed but decodes to the same payload.
+        assert json.loads(path.read_text()) == grid_spec.to_dict()
+
+    def test_from_dict_rejects_unknown_fields(self, grid_spec):
+        with pytest.raises(ValueError, match="unknown campaign spec fields"):
+            CampaignSpec.from_dict({"name": "x", "kind": grid_spec.kind,
+                                    "n_workers": 2})
+
+    def test_from_dict_requires_name_and_kind(self, grid_spec):
+        with pytest.raises(ValueError, match="missing 'kind'"):
+            CampaignSpec.from_dict({"name": "x"})
+        with pytest.raises(ValueError, match="missing 'name'"):
+            CampaignSpec.from_dict({"kind": grid_spec.kind})
+
+
+class TestIdentity:
+    def test_campaign_id_is_content_address(self, grid_spec, make_spec):
+        assert grid_spec.campaign_id == json_digest(grid_spec.to_dict())
+        assert grid_spec.campaign_id == make_spec().campaign_id
+
+    def test_axis_insertion_order_does_not_change_id(self, grid_spec, make_spec):
+        reordered = make_spec(axes={"alpha": [1, 2, 3], "beta": ["x", "y"]})
+        assert reordered.campaign_id == grid_spec.campaign_id
+
+    def test_content_changes_change_id(self, grid_spec, make_spec):
+        assert make_spec(name="other").campaign_id != grid_spec.campaign_id
+        assert (make_spec(axes={"beta": ["x"], "alpha": [1, 2, 3]})
+                .campaign_id != grid_spec.campaign_id)
+
+
+class TestValidate:
+    def test_valid_spec_returns_self(self, grid_spec):
+        assert grid_spec.validate() is grid_spec
+
+    def test_needs_axes(self, make_spec):
+        with pytest.raises(ValueError, match="at least one axis"):
+            make_spec(axes={}).validate()
+
+    def test_axis_values_must_be_scalars(self, make_spec):
+        with pytest.raises(ValueError, match="not a JSON scalar"):
+            make_spec(axes={"alpha": [[1, 2]], "beta": ["x"]}).validate()
+
+    def test_axis_values_must_be_unique(self, make_spec):
+        with pytest.raises(ValueError, match="repeats a value"):
+            make_spec(axes={"alpha": [1, 1], "beta": ["x"]}).validate()
+
+    def test_axes_and_base_must_be_disjoint(self, make_spec):
+        with pytest.raises(ValueError, match="both axes and base"):
+            make_spec(base={"alpha": 0, "offset": 5}).validate()
+
+    def test_exclude_keys_must_be_axes(self, make_spec):
+        with pytest.raises(ValueError, match="not axes"):
+            make_spec(exclude=[{"gamma": 1}]).validate()
+
+    def test_empty_exclude_pattern_rejected(self, make_spec):
+        with pytest.raises(ValueError, match="drop every cell"):
+            make_spec(exclude=[{}]).validate()
+
+    def test_exclude_dropping_all_cells_rejected(self, make_spec):
+        with pytest.raises(ValueError, match="drop every cell"):
+            make_spec(exclude=[{"beta": "x"}, {"beta": "y"}]).validate()
+
+    def test_unknown_artifacts_rejected(self, make_spec):
+        with pytest.raises(ValueError, match="unknown artifacts"):
+            make_spec(artifacts=["csv", "pdf"]).validate()
+
+    def test_unknown_kind_rejected(self, make_spec):
+        with pytest.raises(KeyError, match="unknown campaign kind"):
+            make_spec(kind="no-such-kind").validate()

@@ -23,9 +23,9 @@ BAD_WRITE = 'with open("out.json", "w") as f:\n    f.write("{}")\n'
 
 
 class TestRegistry:
-    def test_eight_rules_plus_stable_ids(self):
+    def test_nine_rules_plus_stable_ids(self):
         rules = available_rules()
-        assert [r.id for r in rules] == [f"RL00{i}" for i in range(1, 9)]
+        assert [r.id for r in rules] == [f"RL00{i}" for i in range(1, 10)]
         assert all(r.name and r.description and r.rationale for r in rules)
 
     def test_get_rule_unknown_raises(self):
@@ -171,12 +171,17 @@ class TestBaseline:
         with pytest.raises(ValueError, match="baseline"):
             load_baseline(p)
 
-    def test_checked_in_baseline_is_empty(self):
+    def test_checked_in_baseline_is_rl009_only(self):
+        # The sole grandfathered rule is RL009 (bespoke-sweep): the
+        # frozen pre-campaign parity oracles keep their legacy loops
+        # on purpose.  Every other rule holds with zero suppressions
+        # (tests/lint/test_self_hosted.py pins that side).
         from pathlib import Path
 
         repo = Path(__file__).resolve().parents[2]
         baseline = load_baseline(repo / "lint-baseline.json")
-        assert sum(baseline.values()) == 0
+        assert sum(baseline.values()) > 0
+        assert {rule for rule, _path, _text in baseline} == {"RL009"}
 
 
 class TestPathWalking:

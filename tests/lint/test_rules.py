@@ -412,3 +412,77 @@ class TestRL008CliExitContract:
             return 0
         """
         assert ids(src, path="src/repro/service/workers.py") == []
+
+
+class TestRL009BespokeSweep:
+    PATH = "src/repro/experiments/mystudy.py"
+
+    def test_flags_pre_campaign_sweep_verbatim(self):
+        # The exact idiom the campaign redesign replaced: run_* drivers
+        # looping over a module-level value grid.
+        src = """
+        BETA_VALUES = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+        def run_fig5b(steps=150):
+            out = {}
+            for beta in BETA_VALUES:
+                out[beta] = scan_point(beta, steps=steps)
+            return out
+        """
+        fs = findings(src, path=self.PATH)
+        assert [f.rule for f in fs] == ["RL009"]
+        assert "CampaignSpec" in fs[0].message
+
+    def test_flags_items_over_spec_table(self):
+        src = """
+        def run_nonideality_study(n_trials=8):
+            rows = []
+            for name, spec in specs.items():
+                rows.append(measure(name, spec, n_trials))
+            return rows
+        """
+        assert ids(src, path=self.PATH) == ["RL009"]
+
+    def test_flags_literal_numeric_grid_and_subscripted_windows(self):
+        src = """
+        def run_quantization_study(k=8):
+            for bits in (6, 4, 3, 2):
+                evaluate(bits, k)
+
+        def run_table(k=8, n_targets=2):
+            for i, window in enumerate(WINDOWS[k][:n_targets], start=1):
+                search(i, window)
+        """
+        fs = findings(src, path=self.PATH)
+        assert [f.rule for f in fs] == ["RL009", "RL009"]
+
+    def test_campaign_shim_loops_are_clean(self):
+        # The post-redesign shim shape: iterate the campaign's cells
+        # and results, not a parameter grid.
+        src = """
+        def run_fig5b(steps=150):
+            run = run_campaign(build_spec(steps))
+            out = {}
+            for cell, r in zip(run.cells, run.results):
+                out[cell.coords["beta"]] = r
+            for beta, trace in out.items():
+                report(beta, trace)
+            return out
+        """
+        assert ids(src, path=self.PATH) == []
+
+    def test_only_run_drivers_in_experiments_are_in_scope(self):
+        sweep = """
+        def {name}(k=8):
+            for bits in bit_widths:
+                evaluate(bits, k)
+        """
+        # Helper functions are out of scope ...
+        assert ids(sweep.format(name="collect_cells"), path=self.PATH) == []
+        # ... as are run_* drivers outside experiments/.
+        assert ids(sweep.format(name="run_scan"),
+                   path="src/repro/analysis/scan.py") == []
+        # Reference oracles (leading underscore) stay in scope: the
+        # checked-in ones are baselined, not exempted.
+        assert ids(sweep.format(name="_run_scan_reference"),
+                   path=self.PATH) == ["RL009"]

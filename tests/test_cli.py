@@ -222,9 +222,12 @@ class TestLintCLI:
     BAD = 'with open("out.json", "w") as f:\n    f.write("{}")\n'
 
     def test_clean_tree_exits_zero(self):
-        proc = _run_cli("lint", "src/repro")
+        # The checked-in baseline grandfathers only RL009 findings
+        # (the frozen pre-campaign sweep oracles).
+        proc = _run_cli("lint", "src/repro", "--baseline", "lint-baseline.json")
         assert proc.returncode == 0
         assert "0 finding(s)" in proc.stdout
+        assert "grandfathered" in proc.stdout
 
     def test_findings_exit_one(self, tmp_path):
         bad = tmp_path / "bad.py"
@@ -273,6 +276,77 @@ class TestLintCLI:
         proc = _run_cli("lint", str(bad), "--baseline", str(baseline))
         assert proc.returncode == 0
         assert "grandfathered" in proc.stdout
+
+
+class TestCampaignCLI:
+    """Subprocess tests for ``repro campaign run/status/report``."""
+
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        from repro.campaign.studies import fig5a_spec
+
+        spec = fig5a_spec(k=4, n_blocks=2, steps=12,
+                          rho0_values=(1e-7, 1e-6), seed=0,
+                          name="cli-alm-scan")
+        path = tmp_path / "campaign.json"
+        spec.save(path)
+        return path
+
+    def test_run_inline_writes_artifacts(self, spec_path, tmp_path):
+        out = tmp_path / "artifacts"
+        proc = _run_cli("campaign", "run", str(spec_path), "--out", str(out))
+        assert proc.returncode == 0
+        assert "cli-alm-scan (alm-scan" in proc.stdout
+        assert "2 cell(s)" in proc.stdout
+        for name in ("campaign.json", "result.json", "cells.csv",
+                     "report.md"):
+            assert (out / name).exists()
+
+    def test_status_before_run_is_an_error(self, spec_path, tmp_path):
+        proc = _run_cli("campaign", "status", str(spec_path),
+                        "--root", str(tmp_path / "svc"))
+        assert proc.returncode == 1
+        assert proc.stderr.startswith("error:")
+        assert "has not been submitted" in proc.stderr
+
+    def test_sharded_run_status_report_round_trip(self, spec_path, tmp_path):
+        root = tmp_path / "svc"
+        inline_out = tmp_path / "inline"
+        proc = _run_cli("campaign", "run", str(spec_path),
+                        "--out", str(inline_out))
+        assert proc.returncode == 0
+
+        proc = _run_cli("campaign", "run", str(spec_path),
+                        "--root", str(root), "--workers", "1")
+        assert proc.returncode == 0
+        proc = _run_cli("campaign", "status", str(spec_path),
+                        "--root", str(root))
+        assert proc.returncode == 0
+        assert "done" in proc.stdout
+
+        # `report` renders from the queue without recomputing, and the
+        # artifacts match the inline run byte for byte.
+        report_out = tmp_path / "from-service"
+        proc = _run_cli("campaign", "report", str(spec_path),
+                        "--root", str(root), "--out", str(report_out))
+        assert proc.returncode == 0
+        for path in sorted(inline_out.iterdir()):
+            assert (report_out / path.name).read_bytes() == path.read_bytes()
+
+    def test_invalid_spec_fails(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x"}')
+        proc = _run_cli("campaign", "run", str(bad))
+        assert proc.returncode == 1
+        assert proc.stderr.startswith("error:")
+
+    def test_unknown_kind_fails(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "kind": "no-such-kind", '
+                       '"axes": {"a": [1]}}')
+        proc = _run_cli("campaign", "run", str(bad))
+        assert proc.returncode == 1
+        assert "unknown campaign kind" in proc.stderr
 
 
 class TestChipCommands:
